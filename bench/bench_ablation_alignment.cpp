@@ -1,0 +1,30 @@
+// A1 — ablation of §7.4's anti-conflict allocation: the staggered scratch
+// layout (A(buf_i) ≡ i·B mod 4K) versus plain 4K-aligned scratch buffers
+// (the adversarial layout where every block maps to the same cache sets).
+#include "bench_common.hpp"
+
+using namespace xorec;
+using namespace xorec::bench;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const size_t n = 10, p = 4;
+  auto cluster = std::make_shared<RsCluster>(n, p, frag_len_for(n));
+
+  for (size_t block : {512u, 1024u, 2048u, 4096u}) {
+    for (bool stagger : {true, false}) {
+      ec::CodecOptions opt = full_options(block);
+      opt.exec.stagger_scratch = stagger;
+      auto codec = std::make_shared<ec::RsCodec>(n, p, opt);
+      register_encode(std::string("alignment_encode/") +
+                          (stagger ? "stagger" : "aligned4k") + "/B" +
+                          std::to_string(block),
+                      codec, cluster);
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// A3 — pass ablation on RS(10,4) encode (B = 1K):
+//   - compression: none vs RePair vs XorRePair (fused + scheduled on top),
+//   - scheduling: none vs DFS vs greedy (on XorRePair + fusion),
+//   - fusion alone (no compression) vs the full pipeline.
+// Complements §7.5 by isolating each design decision end to end.
+#include "bench_common.hpp"
+
+using namespace xorec;
+using namespace xorec::bench;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const size_t n = 10, p = 4, block = 1024;
+  auto cluster = std::make_shared<RsCluster>(n, p, frag_len_for(n));
+
+  struct Config {
+    const char* name;
+    slp::CompressKind compress;
+    bool fuse;
+    slp::ScheduleKind sched;
+  };
+  const Config configs[] = {
+      {"compress_none_fuse_dfs", slp::CompressKind::None, true, slp::ScheduleKind::Dfs},
+      {"compress_repair_fuse_dfs", slp::CompressKind::RePair, true, slp::ScheduleKind::Dfs},
+      {"compress_xorrepair_fuse_dfs", slp::CompressKind::XorRePair, true,
+       slp::ScheduleKind::Dfs},
+      {"xorrepair_fuse_sched_none", slp::CompressKind::XorRePair, true,
+       slp::ScheduleKind::None},
+      {"xorrepair_fuse_sched_greedy", slp::CompressKind::XorRePair, true,
+       slp::ScheduleKind::Greedy},
+      {"fuse_only", slp::CompressKind::None, true, slp::ScheduleKind::None},
+      {"nothing", slp::CompressKind::None, false, slp::ScheduleKind::None},
+  };
+  for (const Config& c : configs) {
+    auto codec =
+        std::make_shared<ec::RsCodec>(n, p, stage_options(c.compress, c.fuse, c.sched, block));
+    register_encode(std::string("passes_encode/") + c.name, codec, cluster);
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

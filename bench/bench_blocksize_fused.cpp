@@ -1,0 +1,39 @@
+// E6 — §7.4 case 1: the fused-but-uncompressed SLP P+F_enc across block
+// sizes (RS(10,4) encode, AVX2).
+//
+// Paper's intel row (GB/s): 0.87 1.73 2.85 4.08 5.29 5.78 4.36 for
+// B = 64..4K, with NVar(P+F) = 32 and CCap(P+F) = 88.
+// Shape target: rises with B, peaks around 1K-2K, dips at 4K.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "slp/metrics.hpp"
+
+using namespace xorec;
+using namespace xorec::bench;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const size_t n = 10, p = 4;
+  auto cluster = std::make_shared<RsCluster>(n, p, frag_len_for(n));
+
+  bool printed = false;
+  for (size_t block : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    auto codec = std::make_shared<ec::RsCodec>(n, p, fused_uncompressed_options(block));
+    if (!printed) {
+      const auto& pipe = codec->encode_pipeline();
+      const auto m = slp::measure(pipe.final_program(), slp::ExecForm::Fused);
+      std::printf("P+F_enc static measures: NVar=%zu CCap=%zu #xor=%zu #M=%zu "
+                  "(paper: NVar=32 CCap=88)\n",
+                  m.nvar, m.ccap, m.xor_ops, m.mem_accesses);
+      printed = true;
+    }
+    register_encode("fused_uncompressed_encode/B" + std::to_string(block), codec, cluster);
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E2 — §7.2: throughput of the unoptimized P_enc across block sizes, with
+// the byte-wise xor1 kernel vs the 32-byte SIMD xor32 kernel.
+//
+// Paper's intel row (GB/s):
+//   xor1:  B=64 -> 0.16
+//   xor32: 64/128/256/512/1K/2K/4K -> 0.62 1.12 2.05 3.02 4.03 4.78 4.72
+// The reproduction target is the *shape*: xor32 >> xor1, throughput rising
+// with block size and flattening/peaking near 2K-4K.
+#include "bench_common.hpp"
+
+using namespace xorec;
+using namespace xorec::bench;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const size_t n = 10, p = 4;
+  auto cluster = std::make_shared<RsCluster>(n, p, frag_len_for(n));
+
+  // xor1 at B=64 only (the paper's table has a single xor1 column; the
+  // scalar kernel is uniformly slow).
+  {
+    auto codec =
+        std::make_shared<ec::RsCodec>(n, p, base_options(64, kernel::Isa::Scalar));
+    register_encode("unopt_encode/xor1/B64", codec, cluster);
+  }
+  for (size_t block : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    auto codec =
+        std::make_shared<ec::RsCodec>(n, p, base_options(block, kernel::Isa::Avx2));
+    register_encode("unopt_encode/xor32/B" + std::to_string(block), codec, cluster);
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Shared machinery for the paper-table benchmarks: codec construction
+// presets, random cluster setup, and throughput registration helpers.
+//
+// Conventions (matching §7): data size is 10 MB per coding call (n fragments
+// of 10MB/n each, rounded to a multiple of 8); throughput is data bytes per
+// second of coding time, reported through google-benchmark's bytes counter
+// (console column "bytes_per_second", GB/s = value / 1e9... benchmark prints
+// human units).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "baseline/isal_style.hpp"
+#include "baseline/naive_xor.hpp"
+#include "ec/rs_codec.hpp"
+
+namespace xorec::bench {
+
+inline constexpr size_t kDataBytes = 10u << 20;  // the paper's 10 MB objects
+
+inline size_t frag_len_for(size_t n) {
+  const size_t raw = kDataBytes / n;
+  return raw - raw % 64;  // multiple of 8 strips x 8-byte words
+}
+
+/// One encoded RS cluster with owned buffers.
+struct RsCluster {
+  size_t n, p, frag_len;
+  std::vector<std::vector<uint8_t>> frags;
+  std::vector<const uint8_t*> data_ptrs;
+  std::vector<uint8_t*> parity_ptrs;
+
+  RsCluster(size_t n_, size_t p_, size_t frag_len_, uint32_t seed = 1)
+      : n(n_), p(p_), frag_len(frag_len_) {
+    std::mt19937_64 rng(seed);
+    frags.assign(n + p, std::vector<uint8_t>(frag_len));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t w = 0; w + 8 <= frag_len; w += 8) {
+        const uint64_t v = rng();
+        std::memcpy(frags[i].data() + w, &v, 8);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) data_ptrs.push_back(frags[i].data());
+    for (size_t i = 0; i < p; ++i) parity_ptrs.push_back(frags[n + i].data());
+  }
+};
+
+/// Pipeline presets for the paper's four stages.
+inline ec::CodecOptions stage_options(slp::CompressKind compress, bool fuse,
+                                      slp::ScheduleKind sched, size_t block_size,
+                                      kernel::Isa isa = kernel::Isa::Avx2) {
+  ec::CodecOptions o;
+  o.pipeline.compress = compress;
+  o.pipeline.fuse = fuse;
+  o.pipeline.schedule = sched;
+  o.pipeline.greedy_capacity = (32u << 10) / block_size;  // 32 KB L1 / B
+  o.exec.block_size = block_size;
+  o.exec.isa = isa;
+  return o;
+}
+
+inline ec::CodecOptions base_options(size_t block, kernel::Isa isa = kernel::Isa::Avx2) {
+  return stage_options(slp::CompressKind::None, false, slp::ScheduleKind::None, block, isa);
+}
+inline ec::CodecOptions compressed_options(size_t block) {
+  return stage_options(slp::CompressKind::XorRePair, false, slp::ScheduleKind::None, block);
+}
+inline ec::CodecOptions fused_options(size_t block) {
+  return stage_options(slp::CompressKind::XorRePair, true, slp::ScheduleKind::None, block);
+}
+inline ec::CodecOptions fused_uncompressed_options(size_t block) {
+  return stage_options(slp::CompressKind::None, true, slp::ScheduleKind::None, block);
+}
+inline ec::CodecOptions full_options(size_t block,
+                                     slp::ScheduleKind sched = slp::ScheduleKind::Dfs) {
+  return stage_options(slp::CompressKind::XorRePair, true, sched, block);
+}
+
+/// Registers an encode-throughput benchmark over a shared codec/cluster.
+inline void register_encode(const std::string& name, std::shared_ptr<ec::RsCodec> codec,
+                            std::shared_ptr<RsCluster> cluster) {
+  benchmark::RegisterBenchmark(name.c_str(), [codec, cluster](benchmark::State& state) {
+    for (auto _ : state) {
+      codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(),
+                    cluster->frag_len);
+      benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(cluster->n * cluster->frag_len));
+  });
+}
+
+/// Decode benchmark: reconstruct `erased` (pre-encoded cluster required).
+inline void register_decode(const std::string& name, std::shared_ptr<ec::RsCodec> codec,
+                            std::shared_ptr<RsCluster> cluster,
+                            std::vector<uint32_t> erased) {
+  // Pre-encode once so the survivors are valid.
+  codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(), cluster->frag_len);
+  auto available = std::make_shared<std::vector<uint32_t>>();
+  auto avail_ptrs = std::make_shared<std::vector<const uint8_t*>>();
+  for (uint32_t id = 0; id < cluster->n + cluster->p; ++id) {
+    if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
+      available->push_back(id);
+      avail_ptrs->push_back(cluster->frags[id].data());
+    }
+  }
+  auto out = std::make_shared<std::vector<std::vector<uint8_t>>>(
+      erased.size(), std::vector<uint8_t>(cluster->frag_len));
+  auto out_ptrs = std::make_shared<std::vector<uint8_t*>>();
+  for (auto& o : *out) out_ptrs->push_back(o.data());
+  auto erased_copy = std::make_shared<std::vector<uint32_t>>(std::move(erased));
+
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [codec, cluster, available, avail_ptrs, erased_copy, out, out_ptrs](
+          benchmark::State& state) {
+        // Warm the decode-program cache outside the timed region.
+        codec->reconstruct(*available, avail_ptrs->data(), *erased_copy, out_ptrs->data(),
+                           cluster->frag_len);
+        for (auto _ : state) {
+          codec->reconstruct(*available, avail_ptrs->data(), *erased_copy, out_ptrs->data(),
+                             cluster->frag_len);
+          benchmark::ClobberMemory();
+        }
+        state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                                static_cast<int64_t>(cluster->n * cluster->frag_len));
+      });
+}
+
+}  // namespace xorec::bench

@@ -1,0 +1,77 @@
+// E1 / E8 / E9 — §2's performance strip and §7.5's stage tables.
+//
+// Static part (printed before timing): the P_enc and P_dec stage tables
+//   P_enc  paper: #⊕ 755/385/146, #M 2265/1155/677, NVar 32/385/146/88,
+//                 CCap 92/447/224/167
+//   P_dec  paper ({2,4,5,6} erased): #⊕ 1368/511/206, #M 4104/1533/923,
+//                 NVar 32/511/206/125, CCap 89/585/283/205
+// Dynamic part: encode/decode throughput for Base -> Comp -> Fuse -> Sched
+// (paper intel B=1K: 4.03 / 4.36 / 7.50 / 8.92 GB/s encode,
+//                    2.35 / 3.32 / 5.51 / 6.67 GB/s decode).
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "slp/metrics.hpp"
+
+using namespace xorec;
+using namespace xorec::bench;
+
+namespace {
+
+void print_stage_table(const char* title, const slp::PipelineResult& r) {
+  const auto base = slp::measure(r.base, slp::ExecForm::Binary);
+  const auto co = slp::measure(*r.compressed, slp::ExecForm::Binary);
+  const auto fu = slp::measure(*r.fused, slp::ExecForm::Fused);
+  const auto sc = slp::measure(*r.scheduled, slp::ExecForm::Fused);
+  std::printf("%s stage table (Base / Co / Fu(Co) / Dfs(Fu(Co))):\n", title);
+  std::printf("  #xor  %5zu %5zu %5zu %5zu\n", base.xor_ops, co.xor_ops, fu.instructions,
+              sc.instructions);
+  std::printf("  #M    %5zu %5zu %5zu %5zu\n", base.mem_accesses, co.mem_accesses,
+              fu.mem_accesses, sc.mem_accesses);
+  std::printf("  NVar  %5zu %5zu %5zu %5zu\n", base.nvar, co.nvar, fu.nvar, sc.nvar);
+  std::printf("  CCap  %5zu %5zu %5zu %5zu\n", base.ccap, co.ccap, fu.ccap, sc.ccap);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const size_t n = 10, p = 4;
+  const size_t block = 1024;  // the paper's chosen intel block size
+
+  // --- static tables -------------------------------------------------------
+  {
+    ec::RsCodec codec(n, p, full_options(block));
+    print_stage_table("P_enc (paper: 755/385/146; 2265/1155/677; 32/385/146/88; "
+                      "92/447/224/167)",
+                      codec.encode_pipeline());
+    const auto dec = codec.decode_program({2, 4, 5, 6});
+    print_stage_table("P_dec (paper: 1368/511/206; 4104/1533/923; 32/511/206/125; "
+                      "89/585/283/205)",
+                      dec->pipeline);
+  }
+
+  // --- throughput per stage ------------------------------------------------
+  auto cluster = std::make_shared<RsCluster>(n, p, frag_len_for(n));
+  struct Stage {
+    const char* name;
+    ec::CodecOptions opt;
+  };
+  const Stage stages[] = {
+      {"base", base_options(block)},
+      {"compressed", compressed_options(block)},
+      {"fused", fused_options(block)},
+      {"scheduled", full_options(block)},
+  };
+  for (const Stage& s : stages) {
+    auto codec = std::make_shared<ec::RsCodec>(n, p, s.opt);
+    register_encode(std::string("stage_encode/") + s.name, codec, cluster);
+    register_decode(std::string("stage_decode/") + s.name, codec, cluster, {2, 4, 5, 6});
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// A4 — thread scaling of the blocked executor (the §8 parallelism
+// direction): RS(10,4) full pipeline, strip ranges split across workers,
+// each with private staggered scratch.
+#include "bench_common.hpp"
+
+#include <thread>
+
+using namespace xorec;
+using namespace xorec::bench;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  const size_t n = 10, p = 4, block = 1024;
+  // Larger object so per-thread spans stay meaningful.
+  const size_t frag_len = (64u << 20) / n / 64 * 64;
+  auto cluster = std::make_shared<RsCluster>(n, p, frag_len);
+
+  const size_t hw = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    if (threads > 2 * hw) break;
+    ec::CodecOptions opt = full_options(block);
+    opt.exec.threads = threads;
+    auto codec = std::make_shared<ec::RsCodec>(n, p, opt);
+    register_encode("threads_encode/t" + std::to_string(threads), codec, cluster);
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// custom_code: the library as a *compiler* for user-defined XOR codes.
+//
+// Defines a tiny custom code (a 3+2 flat XOR code), pushes it through every
+// optimizer stage, and prints the SLPs and their cost measures at each stage
+// — the paper's §2 walkthrough, live. Then does the same for EVENODD(5) to
+// show a real array code shrinking.
+//
+//   ./build/examples/custom_code
+#include <cstdio>
+
+#include "altcodes/evenodd.hpp"
+#include "slp/cache_model.hpp"
+#include "slp/fusion.hpp"
+#include "slp/metrics.hpp"
+#include "slp/pipeline.hpp"
+#include "slp/repair.hpp"
+#include "slp/schedule_dfs.hpp"
+
+using namespace xorec;
+
+namespace {
+
+void show(const char* title, const slp::Program& p, slp::ExecForm form) {
+  const auto m = slp::measure(p, form);
+  std::printf("---- %s: #xor=%zu #M=%zu NVar=%zu CCap=%zu\n", title, m.xor_ops,
+              m.mem_accesses, m.nvar, m.ccap);
+  std::printf("%s", p.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A hand-written parity scheme over 5 inputs: three overlapping parities.
+  //   out0 = a^b^c^d,  out1 = b^c^d^e,  out2 = a^b^c^d^e
+  bitmatrix::BitMatrix code(3, 5);
+  for (int j = 0; j < 4; ++j) code.set(0, j, true);
+  for (int j = 1; j < 5; ++j) code.set(1, j, true);
+  for (int j = 0; j < 5; ++j) code.set(2, j, true);
+
+  std::printf("== custom 3x5 parity code through the optimizer ==\n");
+  const slp::Program base = slp::from_bitmatrix(code, "custom");
+  show("Base (straight from the matrix)", base, slp::ExecForm::Binary);
+
+  const slp::Program co = slp::xor_repair_compress(base);
+  show("XorRePair (shared subexpressions + cancellation)", co, slp::ExecForm::Binary);
+
+  const slp::Program fu = slp::fuse(co);
+  show("Fused (deforestation: multi-input XORs)", fu, slp::ExecForm::Fused);
+
+  const slp::Program sched = slp::schedule_dfs(fu);
+  show("Scheduled (pebble game: buffer reuse + locality)", sched, slp::ExecForm::Fused);
+
+  // The same flow on a real array code, summary only.
+  std::printf("\n== EVENODD(p=5) encode SLP, stage summary ==\n");
+  const auto spec = altcodes::evenodd_spec(5);
+  bitmatrix::BitMatrix parity(2 * 4, 5 * 4);
+  for (size_t r = 0; r < 8; ++r) parity.row(r) = spec.code.row(5 * 4 + r);
+  slp::PipelineOptions opt;  // defaults: XorRePair + fuse + DFS
+  const auto pipe = slp::optimize(parity, opt, "evenodd5");
+  const auto pb = slp::measure(pipe.base, slp::ExecForm::Binary);
+  const auto pc = slp::measure(*pipe.compressed, slp::ExecForm::Binary);
+  const auto pf = slp::measure(*pipe.fused, slp::ExecForm::Fused);
+  const auto ps = slp::measure(*pipe.scheduled, slp::ExecForm::Fused);
+  std::printf("stage      #xor   #M  NVar  CCap\n");
+  std::printf("base       %4zu %4zu  %4zu  %4zu\n", pb.xor_ops, pb.mem_accesses, pb.nvar, pb.ccap);
+  std::printf("compressed %4zu %4zu  %4zu  %4zu\n", pc.xor_ops, pc.mem_accesses, pc.nvar, pc.ccap);
+  std::printf("fused      %4zu %4zu  %4zu  %4zu\n", pf.xor_ops, pf.mem_accesses, pf.nvar, pf.ccap);
+  std::printf("scheduled  %4zu %4zu  %4zu  %4zu\n", ps.xor_ops, ps.mem_accesses, ps.nvar, ps.ccap);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "altcodes/evenodd.hpp"
+
+#include <stdexcept>
+
+namespace xorec::altcodes {
+
+bool is_prime(size_t v) {
+  if (v < 2) return false;
+  for (size_t d = 2; d * d <= v; ++d)
+    if (v % d == 0) return false;
+  return true;
+}
+
+XorCodeSpec evenodd_spec(size_t prime) {
+  if (prime < 3 || !is_prime(prime))
+    throw std::invalid_argument("evenodd_spec: need a prime >= 3");
+  const size_t p = prime;
+  const size_t w = p - 1;  // strips per disk
+  const size_t k = p;      // data disks
+
+  XorCodeSpec spec;
+  spec.name = "evenodd(p=" + std::to_string(p) + ")";
+  spec.data_blocks = k;
+  spec.parity_blocks = 2;
+  spec.strips_per_block = w;
+  spec.code = bitmatrix::BitMatrix((k + 2) * w, k * w);
+
+  // a(i, j) = strip i of data disk j.
+  const auto in = [&](size_t i, size_t j) { return j * w + i; };
+
+  for (size_t s = 0; s < k * w; ++s) spec.code.set(s, s, true);
+
+  // Horizontal parity P_i = XOR_j a(i, j).
+  for (size_t i = 0; i < w; ++i) {
+    const size_t row = k * w + i;
+    for (size_t j = 0; j < p; ++j) spec.code.set(row, in(i, j), true);
+  }
+
+  // Adjuster S = XOR_{j=1..p-1} a(p-1-j, j) — the "missing" diagonal.
+  bitmatrix::BitRow s_row(k * w);
+  for (size_t j = 1; j < p; ++j) s_row.flip(in(p - 1 - j, j));
+
+  // Diagonal parity Q_i = S ⊕ XOR_{j : (i-j) mod p != p-1} a((i-j) mod p, j).
+  for (size_t i = 0; i < w; ++i) {
+    const size_t row = (k + 1) * w + i;
+    bitmatrix::BitRow q = s_row;
+    for (size_t j = 0; j < p; ++j) {
+      const size_t r = (i + p - j) % p;  // (i - j) mod p
+      if (r != p - 1) q.flip(in(r, j));
+    }
+    spec.code.row(row) = q;
+  }
+  return spec;
+}
+
+}  // namespace xorec::altcodes

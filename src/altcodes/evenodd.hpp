@@ -1,0 +1,17 @@
+// EVENODD (Blaum-Brady-Bruck-Menon '95): the classic 2-parity array code the
+// paper's §7.6 low-parity comparison cites. p data disks (p prime), 2 parity
+// disks, p-1 strips per disk; horizontal parities plus slope-1 diagonal
+// parities with the S adjuster.
+#pragma once
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// True iff v is prime (array codes need a prime layout parameter).
+bool is_prime(size_t v);
+
+/// EVENODD over `prime` data disks. Requires prime >= 3 and prime prime.
+XorCodeSpec evenodd_spec(size_t prime);
+
+}  // namespace xorec::altcodes

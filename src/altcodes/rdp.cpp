@@ -1,0 +1,52 @@
+#include "altcodes/rdp.hpp"
+
+#include <stdexcept>
+
+#include "altcodes/evenodd.hpp"  // is_prime
+
+namespace xorec::altcodes {
+
+XorCodeSpec rdp_spec(size_t prime) {
+  if (prime < 3 || !is_prime(prime))
+    throw std::invalid_argument("rdp_spec: need a prime >= 3");
+  const size_t p = prime;
+  const size_t w = p - 1;
+  const size_t k = p - 1;  // data disks
+
+  XorCodeSpec spec;
+  spec.name = "rdp(p=" + std::to_string(p) + ")";
+  spec.data_blocks = k;
+  spec.parity_blocks = 2;
+  spec.strips_per_block = w;
+  spec.code = bitmatrix::BitMatrix((k + 2) * w, k * w);
+
+  const auto in = [&](size_t i, size_t j) { return j * w + i; };
+
+  for (size_t s = 0; s < k * w; ++s) spec.code.set(s, s, true);
+
+  // Row parity disk (block k): P_i = XOR_{j<k} a(i, j).
+  std::vector<bitmatrix::BitRow> p_rows(w, bitmatrix::BitRow(k * w));
+  for (size_t i = 0; i < w; ++i) {
+    for (size_t j = 0; j < k; ++j) p_rows[i].flip(in(i, j));
+    spec.code.row(k * w + i) = p_rows[i];
+  }
+
+  // Diagonal parity disk (block k+1): diagonal d collects cells (r, j) with
+  // (r + j) mod p == d over data disks j < k and the row-parity disk at
+  // column index p-1 (whose cell (r, p-1) is P_r); diagonal p-1 is unstored.
+  for (size_t d = 0; d < w; ++d) {
+    bitmatrix::BitRow row(k * w);
+    for (size_t j = 0; j < k; ++j) {
+      const size_t r = (d + p - j) % p;
+      if (r <= p - 2) row.flip(in(r, j));
+    }
+    {
+      const size_t r = (d + p - (p - 1)) % p;  // row-parity column j = p-1
+      if (r <= p - 2) row ^= p_rows[r];
+    }
+    spec.code.row((k + 1) * w + d) = row;
+  }
+  return spec;
+}
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,13 @@
+// RDP — Row-Diagonal Parity (Corbett et al., FAST'04): the second 2-parity
+// comparator of §7.6. p-1 data disks (p prime), a row-parity disk and a
+// diagonal-parity disk whose diagonals *include* the row-parity disk.
+#pragma once
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// RDP with layout parameter `prime` (>= 3, prime): p-1 data disks.
+XorCodeSpec rdp_spec(size_t prime);
+
+}  // namespace xorec::altcodes

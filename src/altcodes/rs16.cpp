@@ -1,0 +1,51 @@
+#include "altcodes/rs16.hpp"
+
+#include <stdexcept>
+
+#include "gf/gf65536.hpp"
+
+namespace xorec::altcodes {
+
+namespace {
+
+/// 16x16 companion bitmatrix of a GF(2^16) coefficient written into `code`
+/// at block position (row_block, col_block): column c holds the bits of
+/// coeff * alpha^c, so M * bits(y) == bits(coeff * y).
+void put_companion16(bitmatrix::BitMatrix& code, size_t row_block, size_t col_block,
+                     uint16_t coeff) {
+  for (int c = 0; c < 16; ++c) {
+    const uint16_t col = gf16::mul(coeff, static_cast<uint16_t>(1u << c));
+    for (int r = 0; r < 16; ++r) {
+      if ((col >> r) & 1u) code.set(row_block * 16 + r, col_block * 16 + c, true);
+    }
+  }
+}
+
+}  // namespace
+
+XorCodeSpec rs16_spec(size_t n, size_t p) {
+  if (n == 0 || p == 0 || n + p > 65535)
+    throw std::invalid_argument("rs16_spec: bad (n, p)");
+
+  XorCodeSpec spec;
+  spec.name = "rs16(" + std::to_string(n) + "," + std::to_string(p) + ")";
+  spec.data_blocks = n;
+  spec.parity_blocks = p;
+  spec.strips_per_block = 16;
+  spec.code = bitmatrix::BitMatrix((n + p) * 16, n * 16);
+
+  for (size_t s = 0; s < n * 16; ++s) spec.code.set(s, s, true);
+
+  // Cauchy block (i, j): 1 / (x_i + y_j) with x_i = alpha^(n+i), y_j = alpha^j.
+  // Distinct exponents below 65535 keep every x_i distinct from every y_j.
+  for (size_t i = 0; i < p; ++i) {
+    const uint16_t xi = gf16::alpha_pow(static_cast<unsigned>(n + i));
+    for (size_t j = 0; j < n; ++j) {
+      const uint16_t yj = gf16::alpha_pow(static_cast<unsigned>(j));
+      put_companion16(spec.code, n + i, j, gf16::inv(static_cast<uint16_t>(xi ^ yj)));
+    }
+  }
+  return spec;
+}
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,19 @@
+// Wide-symbol Reed-Solomon: RS(n, p) over GF(2^16) expressed as a w = 16
+// XOR code and executed through the same SLP pipeline as everything else.
+//
+// Demonstrates that the paper's method is field-width agnostic: the byte ->
+// 8x8 companion expansion of §1 becomes a 16x16 expansion, fragments carry
+// 16 strips, and decode falls out of the generic F2 erasure solver. The
+// systematic Cauchy construction keeps the code provably MDS for any
+// n + p <= 65535 (practically bounded by compile time of the SLP).
+#pragma once
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// Systematic Cauchy RS over GF(2^16); fragment lengths must be multiples
+/// of 16.
+XorCodeSpec rs16_spec(size_t n, size_t p);
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,44 @@
+#include "altcodes/star.hpp"
+
+#include <stdexcept>
+
+#include "altcodes/evenodd.hpp"  // evenodd_spec, is_prime
+
+namespace xorec::altcodes {
+
+XorCodeSpec star_spec(size_t prime) {
+  if (prime < 3 || !is_prime(prime))
+    throw std::invalid_argument("star_spec: need a prime >= 3");
+  const size_t p = prime;
+  const size_t w = p - 1;
+  const size_t k = p;
+
+  // Start from EVENODD (identity + P + Q) and append the anti-diagonal disk.
+  XorCodeSpec eo = evenodd_spec(p);
+  XorCodeSpec spec;
+  spec.name = "star(p=" + std::to_string(p) + ")";
+  spec.data_blocks = k;
+  spec.parity_blocks = 3;
+  spec.strips_per_block = w;
+  spec.code = bitmatrix::BitMatrix((k + 3) * w, k * w);
+  for (size_t r = 0; r < (k + 2) * w; ++r) spec.code.row(r) = eo.code.row(r);
+
+  const auto in = [&](size_t i, size_t j) { return j * w + i; };
+
+  // Anti-diagonal adjuster S2: cells with (r - j) mod p == p-1, i.e. r = j-1.
+  bitmatrix::BitRow s2(k * w);
+  for (size_t j = 1; j < p; ++j) s2.flip(in(j - 1, j));
+
+  // R_i = S2 ⊕ XOR_{j : (i+j) mod p != p-1} a((i+j) mod p, j).
+  for (size_t i = 0; i < w; ++i) {
+    bitmatrix::BitRow row = s2;
+    for (size_t j = 0; j < p; ++j) {
+      const size_t r = (i + j) % p;
+      if (r != p - 1) row.flip(in(r, j));
+    }
+    spec.code.row((k + 2) * w + i) = row;
+  }
+  return spec;
+}
+
+}  // namespace xorec::altcodes

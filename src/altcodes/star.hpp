@@ -1,0 +1,13 @@
+// STAR (Huang-Xu '08): EVENODD extended with a third parity disk of
+// slope -1 (anti-diagonal) parities; tolerates any three disk failures.
+// The §7.6 three-parity comparator.
+#pragma once
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// STAR over `prime` data disks (prime >= 3): 3 parity disks, p-1 strips.
+XorCodeSpec star_spec(size_t prime);
+
+}  // namespace xorec::altcodes

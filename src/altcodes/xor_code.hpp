@@ -1,0 +1,62 @@
+// Generic XOR-code codec: any systematic parity bitmatrix over block strips
+// (EVENODD, RDP, STAR, or user-defined codes) runs through the same SLP
+// optimizer and blocked executor as RS — the library's generality claim.
+//
+// A code over k data blocks + m parity blocks with w strips per block is a
+// ((k+m)·w) x (k·w) bitmatrix whose top k·w rows are the identity. Block i's
+// strips occupy indices i·w .. i·w+w-1. Decoding arbitrary block erasures is
+// F2 Gaussian elimination over the surviving strips (f2_solve_erasures).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmatrix/bitmatrix.hpp"
+#include "ec/rs_codec.hpp"
+
+namespace xorec::altcodes {
+
+struct XorCodeSpec {
+  std::string name;
+  size_t data_blocks = 0;      // k
+  size_t parity_blocks = 0;    // m
+  size_t strips_per_block = 0; // w
+  bitmatrix::BitMatrix code;   // ((k+m)w) x (kw), systematic
+
+  void validate() const;  // shape + systematic top; throws on violation
+};
+
+class XorCodec {
+ public:
+  explicit XorCodec(XorCodeSpec spec, ec::CodecOptions opt = {});
+
+  const XorCodeSpec& spec() const { return spec_; }
+  size_t data_blocks() const { return spec_.data_blocks; }
+  size_t parity_blocks() const { return spec_.parity_blocks; }
+  /// Fragment lengths must be positive multiples of this.
+  size_t fragment_multiple() const { return spec_.strips_per_block; }
+
+  const slp::PipelineResult& encode_pipeline() const { return enc_->pipeline; }
+
+  void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
+
+  /// Rebuild erased blocks (data and/or parity) from available blocks.
+  /// Same calling convention as RsCodec::reconstruct.
+  void reconstruct(const std::vector<uint32_t>& available,
+                   const uint8_t* const* available_frags,
+                   const std::vector<uint32_t>& erased, uint8_t* const* out,
+                   size_t frag_len) const;
+
+ private:
+  std::shared_ptr<ec::CompiledProgram> recovery_program(
+      const std::vector<uint32_t>& available_blocks,
+      const std::vector<uint32_t>& erased_blocks) const;
+
+  XorCodeSpec spec_;
+  ec::CodecOptions opt_;
+  std::shared_ptr<ec::CompiledProgram> enc_;
+  std::unique_ptr<ec::detail::DecodeCache> cache_;
+};
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,199 @@
+#include "baseline/isal_style.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "kernel/xor_kernel.hpp"
+
+#if defined(XOREC_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace xorec::baseline {
+
+std::vector<uint8_t> build_gf_tables(const gf::Matrix& coeffs) {
+  const size_t m = coeffs.rows(), k = coeffs.cols();
+  std::vector<uint8_t> t(m * k * 64);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      uint8_t* e = t.data() + (i * k + j) * 64;
+      const uint8_t c = coeffs.at(i, j);
+      for (int x = 0; x < 16; ++x) {
+        const uint8_t lo = gf::mul(c, static_cast<uint8_t>(x));
+        const uint8_t hi = gf::mul(c, static_cast<uint8_t>(x << 4));
+        e[x] = lo;
+        e[16 + x] = lo;   // low table duplicated across both AVX2 lanes
+        e[32 + x] = hi;
+        e[48 + x] = hi;
+      }
+    }
+  }
+  return t;
+}
+
+void gf_dot_prod_scalar(const gf::Matrix& coeffs, const uint8_t* const* src,
+                        uint8_t* const* dst, size_t len) {
+  const size_t m = coeffs.rows(), k = coeffs.cols();
+  for (size_t i = 0; i < m; ++i) {
+    std::memset(dst[i], 0, len);
+    for (size_t j = 0; j < k; ++j) {
+      const uint8_t c = coeffs.at(i, j);
+      if (c == 0) continue;
+      const auto& row = gf::detail::tables().mul_[c];
+      for (size_t b = 0; b < len; ++b) dst[i][b] ^= row[src[j][b]];
+    }
+  }
+}
+
+namespace {
+
+/// Nibble-table scalar path sharing the table layout with the SIMD kernel.
+void dot_prod_tables_scalar(const std::vector<uint8_t>& tables, size_t k, size_t m,
+                            const uint8_t* const* src, uint8_t* const* dst, size_t len) {
+  for (size_t i = 0; i < m; ++i) {
+    std::memset(dst[i], 0, len);
+    for (size_t j = 0; j < k; ++j) {
+      const uint8_t* e = tables.data() + (i * k + j) * 64;
+      for (size_t b = 0; b < len; ++b) {
+        const uint8_t x = src[j][b];
+        dst[i][b] ^= static_cast<uint8_t>(e[x & 15] ^ e[32 + (x >> 4)]);
+      }
+    }
+  }
+}
+
+#if defined(XOREC_HAVE_AVX2)
+__attribute__((target("avx2"))) void dot_prod_avx2(const std::vector<uint8_t>& tables,
+                                                   size_t k, size_t m,
+                                                   const uint8_t* const* src,
+                                                   uint8_t* const* dst, size_t len) {
+  constexpr size_t kGroup = 4;  // outputs whose accumulators live in registers
+  const __m256i lo_mask = _mm256_set1_epi8(0x0f);
+
+  for (size_t i0 = 0; i0 < m; i0 += kGroup) {
+    const size_t g = std::min(kGroup, m - i0);
+    size_t b = 0;
+    for (; b + 32 <= len; b += 32) {
+      __m256i acc[kGroup] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                             _mm256_setzero_si256(), _mm256_setzero_si256()};
+      for (size_t j = 0; j < k; ++j) {
+        const __m256i in = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j] + b));
+        const __m256i in_lo = _mm256_and_si256(in, lo_mask);
+        const __m256i in_hi = _mm256_and_si256(_mm256_srli_epi64(in, 4), lo_mask);
+        for (size_t gi = 0; gi < g; ++gi) {
+          const uint8_t* e = tables.data() + ((i0 + gi) * k + j) * 64;
+          const __m256i tlo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e));
+          const __m256i thi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + 32));
+          const __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, in_lo),
+                                                _mm256_shuffle_epi8(thi, in_hi));
+          acc[gi] = _mm256_xor_si256(acc[gi], prod);
+        }
+      }
+      for (size_t gi = 0; gi < g; ++gi)
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst[i0 + gi] + b), acc[gi]);
+    }
+    if (b < len) {
+      // Ragged tail via the table-scalar path on the remaining bytes.
+      for (size_t gi = 0; gi < g; ++gi) {
+        uint8_t* d = dst[i0 + gi] + b;
+        std::memset(d, 0, len - b);
+        for (size_t j = 0; j < k; ++j) {
+          const uint8_t* e = tables.data() + ((i0 + gi) * k + j) * 64;
+          const uint8_t* s = src[j] + b;
+          for (size_t t = 0; t < len - b; ++t)
+            d[t] ^= static_cast<uint8_t>(e[s[t] & 15] ^ e[32 + (s[t] >> 4)]);
+        }
+      }
+    }
+  }
+}
+#endif
+
+}  // namespace
+
+void gf_dot_prod(const std::vector<uint8_t>& tables, size_t k, size_t m,
+                 const uint8_t* const* src, uint8_t* const* dst, size_t len) {
+  if (tables.size() != m * k * 64) throw std::invalid_argument("gf_dot_prod: table shape");
+#if defined(XOREC_HAVE_AVX2)
+  if (kernel::cpu_has_avx2()) {
+    dot_prod_avx2(tables, k, m, src, dst, len);
+    return;
+  }
+#endif
+  dot_prod_tables_scalar(tables, k, m, src, dst, len);
+}
+
+IsalStyleCodec::IsalStyleCodec(size_t n, size_t p, ec::MatrixFamily family)
+    : n_(n), p_(p) {
+  if (n == 0 || p == 0 || n + p > 255)
+    throw std::invalid_argument("IsalStyleCodec: bad (n, p)");
+  code_ = ec::make_code_matrix(family, n, p);
+  std::vector<size_t> bottom(p);
+  for (size_t i = 0; i < p; ++i) bottom[i] = n + i;
+  parity_ = code_.select_rows(bottom);
+  enc_tables_ = build_gf_tables(parity_);
+}
+
+void IsalStyleCodec::encode(const uint8_t* const* data, uint8_t* const* parity,
+                            size_t frag_len) const {
+  gf_dot_prod(enc_tables_, n_, p_, data, parity, frag_len);
+}
+
+void IsalStyleCodec::reconstruct(const std::vector<uint32_t>& available,
+                                 const uint8_t* const* available_frags,
+                                 const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                 size_t frag_len) const {
+  std::vector<const uint8_t*> frag_by_id(n_ + p_, nullptr);
+  for (size_t i = 0; i < available.size(); ++i) frag_by_id[available[i]] = available_frags[i];
+
+  std::vector<uint32_t> erased_data, erased_parity;
+  std::vector<uint8_t*> out_data, out_parity;
+  for (size_t i = 0; i < erased.size(); ++i) {
+    if (erased[i] < n_) {
+      erased_data.push_back(erased[i]);
+      out_data.push_back(out[i]);
+    } else {
+      erased_parity.push_back(erased[i]);
+      out_parity.push_back(out[i]);
+    }
+  }
+
+  if (!erased_data.empty()) {
+    // Survivor selection mirrors RsCodec: data rows first, then parities.
+    std::vector<size_t> survivors;
+    for (uint32_t id = 0; id < n_ + p_ && survivors.size() < n_; ++id)
+      if (frag_by_id[id] != nullptr && id < n_) survivors.push_back(id);
+    for (uint32_t id = n_; id < n_ + p_ && survivors.size() < n_; ++id)
+      if (frag_by_id[id] != nullptr) survivors.push_back(id);
+    if (survivors.size() < n_)
+      throw std::invalid_argument("IsalStyleCodec: not enough survivors");
+
+    auto minv = gf::decode_matrix(code_, survivors);
+    if (!minv) throw std::logic_error("IsalStyleCodec: singular decode matrix");
+    std::vector<size_t> rows(erased_data.begin(), erased_data.end());
+    const gf::Matrix recovery = minv->select_rows(rows);
+    const auto tables = build_gf_tables(recovery);
+
+    std::vector<const uint8_t*> in(survivors.size());
+    for (size_t i = 0; i < survivors.size(); ++i) in[i] = frag_by_id[survivors[i]];
+    gf_dot_prod(tables, n_, erased_data.size(), in.data(), out_data.data(), frag_len);
+
+    for (size_t i = 0; i < erased_data.size(); ++i) frag_by_id[erased_data[i]] = out_data[i];
+  }
+
+  if (!erased_parity.empty()) {
+    std::vector<size_t> rows(erased_parity.begin(), erased_parity.end());
+    const gf::Matrix rebuilt = code_.select_rows(rows);
+    const auto tables = build_gf_tables(rebuilt);
+    std::vector<const uint8_t*> data_in(n_);
+    for (size_t d = 0; d < n_; ++d) {
+      if (frag_by_id[d] == nullptr)
+        throw std::logic_error("IsalStyleCodec: missing data for parity rebuild");
+      data_in[d] = frag_by_id[d];
+    }
+    gf_dot_prod(tables, n_, erased_parity.size(), data_in.data(), out_parity.data(), frag_len);
+  }
+}
+
+}  // namespace xorec::baseline

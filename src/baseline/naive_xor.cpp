@@ -1,0 +1,19 @@
+#include "baseline/naive_xor.hpp"
+
+namespace xorec::baseline {
+
+ec::CodecOptions naive_xor_options(size_t block_size, kernel::Isa isa) {
+  ec::CodecOptions opt;
+  opt.pipeline.compress = slp::CompressKind::None;
+  opt.pipeline.fuse = false;
+  opt.pipeline.schedule = slp::ScheduleKind::None;
+  opt.exec.block_size = block_size;
+  opt.exec.isa = isa;
+  return opt;
+}
+
+ec::RsCodec make_naive_codec(size_t n, size_t p, size_t block_size, kernel::Isa isa) {
+  return ec::RsCodec(n, p, naive_xor_options(block_size, isa));
+}
+
+}  // namespace xorec::baseline

@@ -1,0 +1,18 @@
+// The paper's "Base" configuration: unoptimized SLPs straight from the
+// bitmatrix, executed as chains of binary XORs (3 memory accesses per XOR).
+// Thin preset over RsCodec so comparison benches construct it uniformly.
+#pragma once
+
+#include "ec/rs_codec.hpp"
+
+namespace xorec::baseline {
+
+/// CodecOptions with every optimizer pass disabled.
+ec::CodecOptions naive_xor_options(size_t block_size = 2048,
+                                   kernel::Isa isa = kernel::Isa::Auto);
+
+/// RS(n, p) running raw bitmatrix XOR chains.
+ec::RsCodec make_naive_codec(size_t n, size_t p, size_t block_size = 2048,
+                             kernel::Isa isa = kernel::Isa::Auto);
+
+}  // namespace xorec::baseline

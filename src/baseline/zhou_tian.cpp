@@ -1,0 +1,117 @@
+#include "baseline/zhou_tian.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xorec::baseline {
+
+using bitmatrix::BitMatrix;
+using bitmatrix::BitRow;
+using slp::Instruction;
+using slp::Program;
+using slp::Term;
+
+Program incremental_schedule(const BitMatrix& m, std::string name) {
+  Program p;
+  p.name = std::move(name);
+  p.num_consts = static_cast<uint32_t>(m.cols());
+  p.num_vars = static_cast<uint32_t>(m.rows());
+
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const BitRow& row = m.row(r);
+    const size_t direct_terms = row.popcount();
+    if (direct_terms == 0)
+      throw std::invalid_argument("incremental_schedule: zero row");
+
+    // Nearest previously computed output row: r = base ⊕ (diff strips);
+    // term count = 1 + hamming(row, base).
+    size_t best_terms = direct_terms;
+    size_t best_base = SIZE_MAX;
+    for (size_t b = 0; b < r; ++b) {
+      const size_t h = row.xor_popcount(m.row(b));
+      if (1 + h < best_terms) {
+        best_terms = 1 + h;
+        best_base = b;
+      }
+    }
+
+    Instruction ins;
+    ins.target = static_cast<uint32_t>(r);
+    if (best_base == SIZE_MAX) {
+      for (uint32_t c : row.ones()) ins.args.push_back(Term::constant(c));
+    } else {
+      ins.args.push_back(Term::var(static_cast<uint32_t>(best_base)));
+      BitRow diff = row;
+      diff ^= m.row(best_base);
+      for (uint32_t c : diff.ones()) ins.args.push_back(Term::constant(c));
+    }
+    p.body.push_back(std::move(ins));
+    p.outputs.push_back(static_cast<uint32_t>(r));
+  }
+  return p;
+}
+
+Program reorder_for_locality(const Program& p) {
+  if (!p.is_ssa())
+    throw std::invalid_argument("reorder_for_locality: program must be SSA");
+  const size_t n = p.body.size();
+
+  // Dependency counts: instruction i depends on instruction defining var v.
+  std::vector<uint32_t> def_of(p.num_vars, UINT32_MAX);
+  for (uint32_t i = 0; i < n; ++i) def_of[p.body[i].target] = i;
+  std::vector<uint32_t> deps_left(n, 0);
+  std::vector<std::vector<uint32_t>> dependents(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const Term& t : p.body[i].args) {
+      if (!t.is_var()) continue;
+      ++deps_left[i];
+      dependents[def_of[t.id]].push_back(i);
+    }
+  }
+
+  std::vector<bool> scheduled(n, false);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+
+  auto shared_terms = [&](uint32_t a, uint32_t b) {
+    size_t shared = 0;
+    for (const Term& x : p.body[a].args)
+      for (const Term& y : p.body[b].args)
+        if (x == y) ++shared;
+    return shared;
+  };
+
+  uint32_t prev = UINT32_MAX;
+  for (size_t step = 0; step < n; ++step) {
+    uint32_t best = UINT32_MAX;
+    size_t best_score = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (scheduled[i] || deps_left[i] != 0) continue;
+      // Also reward reading the value the previous instruction just wrote.
+      size_t score = 1;
+      if (prev != UINT32_MAX) {
+        score += shared_terms(prev, i);
+        for (const Term& t : p.body[i].args)
+          if (t.is_var() && t.id == p.body[prev].target) score += 2;
+      }
+      if (best == UINT32_MAX || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    scheduled[best] = true;
+    order.push_back(best);
+    for (uint32_t d : dependents[best]) --deps_left[d];
+    prev = best;
+  }
+
+  Program out;
+  out.num_consts = p.num_consts;
+  out.num_vars = p.num_vars;
+  out.outputs = p.outputs;
+  out.name = p.name.empty() ? p.name : p.name + "+reorder";
+  for (uint32_t i : order) out.body.push_back(p.body[i]);
+  return out;
+}
+
+}  // namespace xorec::baseline

@@ -1,0 +1,147 @@
+#include "bitmatrix/bitmatrix.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace xorec::bitmatrix {
+
+size_t BitRow::popcount() const {
+  size_t n = 0;
+  for (uint64_t w : w_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+size_t BitRow::xor_popcount(const BitRow& o) const {
+  size_t n = 0;
+  const size_t k = std::min(w_.size(), o.w_.size());
+  for (size_t i = 0; i < k; ++i) n += static_cast<size_t>(std::popcount(w_[i] ^ o.w_[i]));
+  for (size_t i = k; i < w_.size(); ++i) n += static_cast<size_t>(std::popcount(w_[i]));
+  for (size_t i = k; i < o.w_.size(); ++i) n += static_cast<size_t>(std::popcount(o.w_[i]));
+  return n;
+}
+
+bool BitRow::any() const {
+  for (uint64_t w : w_) if (w) return true;
+  return false;
+}
+
+std::vector<uint32_t> BitRow::ones() const {
+  std::vector<uint32_t> out;
+  for (size_t wi = 0; wi < w_.size(); ++wi) {
+    uint64_t w = w_[wi];
+    while (w) {
+      const int b = std::countr_zero(w);
+      out.push_back(static_cast<uint32_t>(wi * 64 + b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+size_t BitRow::hash() const {
+  // FNV-1a over the words; good enough for dedup maps in the optimizer.
+  size_t h = 1469598103934665603ull;
+  for (uint64_t w : w_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+BitMatrix BitMatrix::identity(size_t n) {
+  BitMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+BitMatrix BitMatrix::operator*(const BitMatrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("BitMatrix::operator*: shape");
+  BitMatrix out(rows_, rhs.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      if (get(i, k)) out.r_[i] ^= rhs.r_[k];
+    }
+  }
+  return out;
+}
+
+BitRow BitMatrix::apply(const BitRow& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("BitMatrix::apply: size");
+  BitRow y(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    // Dot product over F2 = parity of AND.
+    size_t par = 0;
+    const auto& rw = r_[i].words();
+    const auto& xw = x.words();
+    for (size_t w = 0; w < rw.size(); ++w) par ^= static_cast<size_t>(std::popcount(rw[w] & xw[w]));
+    if (par & 1) y.set(i, true);
+  }
+  return y;
+}
+
+size_t BitMatrix::total_ones() const {
+  size_t n = 0;
+  for (const auto& r : r_) n += r.popcount();
+  return n;
+}
+
+size_t BitMatrix::xor_cost() const {
+  size_t n = 0;
+  for (const auto& r : r_) {
+    const size_t pc = r.popcount();
+    if (pc > 0) n += pc - 1;
+  }
+  return n;
+}
+
+std::string BitMatrix::to_string() const {
+  std::string s;
+  s.reserve(rows_ * (cols_ + 1));
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) s += get(i, j) ? '1' : '0';
+    s += '\n';
+  }
+  return s;
+}
+
+BitMatrix companion(uint8_t coeff) {
+  BitMatrix m(8, 8);
+  for (int c = 0; c < 8; ++c) {
+    const uint8_t col = gf::mul(coeff, static_cast<uint8_t>(1u << c));
+    for (int r = 0; r < 8; ++r) m.set(r, c, (col >> r) & 1u);
+  }
+  return m;
+}
+
+BitMatrix expand(const gf::Matrix& m) {
+  BitMatrix out(m.rows() * 8, m.cols() * 8);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      const uint8_t coeff = m.at(i, j);
+      if (coeff == 0) continue;
+      const BitMatrix c = companion(coeff);
+      for (size_t r = 0; r < 8; ++r)
+        for (size_t cc = 0; cc < 8; ++cc)
+          if (c.get(r, cc)) out.set(i * 8 + r, j * 8 + cc, true);
+    }
+  }
+  return out;
+}
+
+BitRow pack_bytes(const std::vector<uint8_t>& bytes) {
+  BitRow r(bytes.size() * 8);
+  for (size_t i = 0; i < bytes.size(); ++i)
+    for (int b = 0; b < 8; ++b)
+      if ((bytes[i] >> b) & 1u) r.set(i * 8 + b, true);
+  return r;
+}
+
+std::vector<uint8_t> unpack_bytes(const BitRow& bits) {
+  std::vector<uint8_t> out(bits.size() / 8, 0);
+  for (size_t i = 0; i < out.size(); ++i)
+    for (int b = 0; b < 8; ++b)
+      if (bits.get(i * 8 + b)) out[i] |= static_cast<uint8_t>(1u << b);
+  return out;
+}
+
+}  // namespace xorec::bitmatrix

@@ -1,0 +1,106 @@
+// Matrices over F2 and the byte -> 8x8 companion-matrix expansion that turns
+// a GF(2^8) coding matrix into the "bitmatrix" ˜V of §1 (Mastrovito / VLSI
+// construction, refs [74][13] in the paper).
+//
+// Rows are stored packed, 64 columns per word, so row XOR / popcount — the
+// inner operations of every optimizer pass — are word ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf/gfmat.hpp"
+
+namespace xorec::bitmatrix {
+
+/// Packed row of F2 entries. Also reused by the SLP layer as a "value"
+/// (a set of constants under symmetric difference, §4.1).
+class BitRow {
+ public:
+  BitRow() = default;
+  explicit BitRow(size_t nbits) : nbits_(nbits), w_((nbits + 63) / 64, 0) {}
+
+  size_t size() const { return nbits_; }
+  bool get(size_t i) const { return (w_[i >> 6] >> (i & 63)) & 1u; }
+  void set(size_t i, bool v) {
+    const uint64_t m = 1ull << (i & 63);
+    if (v) w_[i >> 6] |= m; else w_[i >> 6] &= ~m;
+  }
+  void flip(size_t i) { w_[i >> 6] ^= 1ull << (i & 63); }
+
+  BitRow& operator^=(const BitRow& o) {
+    for (size_t i = 0; i < w_.size(); ++i) w_[i] ^= o.w_[i];
+    return *this;
+  }
+  friend BitRow operator^(BitRow a, const BitRow& b) { a ^= b; return a; }
+
+  size_t popcount() const;
+  /// popcount(*this ^ o) without materializing the XOR.
+  size_t xor_popcount(const BitRow& o) const;
+  bool any() const;
+  bool operator==(const BitRow&) const = default;
+
+  /// Indices of set bits, ascending.
+  std::vector<uint32_t> ones() const;
+
+  const std::vector<uint64_t>& words() const { return w_; }
+  size_t hash() const;
+
+ private:
+  size_t nbits_ = 0;
+  std::vector<uint64_t> w_;
+};
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), r_(rows, BitRow(cols)) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  bool get(size_t r, size_t c) const { return r_[r].get(c); }
+  void set(size_t r, size_t c, bool v) { r_[r].set(c, v); }
+  void flip(size_t r, size_t c) { r_[r].flip(c); }
+  BitRow& row(size_t r) { return r_[r]; }
+  const BitRow& row(size_t r) const { return r_[r]; }
+
+  bool operator==(const BitMatrix&) const = default;
+
+  static BitMatrix identity(size_t n);
+
+  BitMatrix operator*(const BitMatrix& rhs) const;
+
+  /// y = A x over F2 where x is a packed bit vector.
+  BitRow apply(const BitRow& x) const;
+
+  size_t total_ones() const;
+
+  /// Total XOR count of evaluating each row as a chain: sum(popcount - 1)
+  /// over nonzero rows (the #⊕ of the unoptimized SLP of this matrix).
+  size_t xor_cost() const;
+
+  std::string to_string() const;
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<BitRow> r_;
+};
+
+/// 8x8 companion bitmatrix of a GF(2^8) coefficient: column j holds the bits
+/// of coeff * alpha^j, so that M * bits(y) == bits(coeff * y) for all y.
+BitMatrix companion(uint8_t coeff);
+
+/// Expand an a x b matrix over GF(2^8) into the 8a x 8b bitmatrix ˜V.
+/// Bit layout: row 8*i+r / col 8*j+c maps strip r of output block i to strip
+/// c of input block j.
+BitMatrix expand(const gf::Matrix& m);
+
+/// Oracle used by tests: apply `m` over GF(2^8) to bytes, bit-by-bit
+/// equivalent to expand(m).apply on the bit representation.
+BitRow pack_bytes(const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> unpack_bytes(const BitRow& bits);
+
+}  // namespace xorec::bitmatrix

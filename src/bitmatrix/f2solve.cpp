@@ -1,0 +1,128 @@
+#include "bitmatrix/f2solve.hpp"
+
+#include <stdexcept>
+
+namespace xorec::bitmatrix {
+
+std::optional<BitMatrix> f2_inverse(const BitMatrix& m) {
+  if (m.rows() != m.cols()) return std::nullopt;
+  const size_t n = m.rows();
+  BitMatrix a = m;
+  BitMatrix inv = BitMatrix::identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    size_t piv = col;
+    while (piv < n && !a.get(piv, col)) ++piv;
+    if (piv == n) return std::nullopt;
+    if (piv != col) {
+      std::swap(a.row(piv), a.row(col));
+      std::swap(inv.row(piv), inv.row(col));
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r != col && a.get(r, col)) {
+        a.row(r) ^= a.row(col);
+        inv.row(r) ^= inv.row(col);
+      }
+    }
+  }
+  return inv;
+}
+
+size_t f2_rank(const BitMatrix& m) {
+  BitMatrix a = m;
+  size_t rank = 0;
+  for (size_t col = 0; col < a.cols() && rank < a.rows(); ++col) {
+    size_t piv = rank;
+    while (piv < a.rows() && !a.get(piv, col)) ++piv;
+    if (piv == a.rows()) continue;
+    std::swap(a.row(piv), a.row(rank));
+    for (size_t r = 0; r < a.rows(); ++r)
+      if (r != rank && a.get(r, col)) a.row(r) ^= a.row(rank);
+    ++rank;
+  }
+  return rank;
+}
+
+std::optional<std::vector<BitRow>> f2_solve_erasures(
+    const BitMatrix& code,
+    const std::vector<uint32_t>& erased_inputs,
+    const std::vector<uint32_t>& available_outputs) {
+  const size_t n_in = code.cols();
+  const size_t n_av = available_outputs.size();
+  const size_t n_er = erased_inputs.size();
+  if (n_er == 0) return std::vector<BitRow>{};
+
+  std::vector<bool> is_erased(n_in, false);
+  std::vector<uint32_t> unknown_col(n_in, UINT32_MAX);
+  for (size_t i = 0; i < n_er; ++i) {
+    const uint32_t e = erased_inputs[i];
+    if (e >= n_in) throw std::out_of_range("f2_solve_erasures: erased id");
+    is_erased[e] = true;
+    unknown_col[e] = static_cast<uint32_t>(i);
+  }
+
+  // Requires a systematic code: row j (j < n_in) must be the identity row, so
+  // that a non-erased input is itself a surviving output strip.
+  for (size_t j = 0; j < n_in; ++j) {
+    if (code.row(j).popcount() != 1 || !code.get(j, j))
+      throw std::invalid_argument("f2_solve_erasures: code is not systematic");
+  }
+
+  // Position of each surviving output within available_outputs.
+  std::vector<uint32_t> out_pos(code.rows(), UINT32_MAX);
+  for (size_t i = 0; i < n_av; ++i) {
+    const uint32_t o = available_outputs[i];
+    if (o >= code.rows()) throw std::out_of_range("f2_solve_erasures: output id");
+    out_pos[o] = static_cast<uint32_t>(i);
+  }
+  for (size_t j = 0; j < n_in; ++j) {
+    if (!is_erased[j] && out_pos[j] == UINT32_MAX)
+      throw std::invalid_argument(
+          "f2_solve_erasures: non-erased input's systematic strip missing from survivors");
+  }
+
+  // Each surviving output o yields:  sum_{j in row(o), erased} x_j =
+  //   out_o  XOR  sum_{j in row(o), known} out_j.
+  // A: coefficients over the unknowns.  B: which surviving strips feed the
+  // right-hand side of each equation.
+  BitMatrix a(n_av, n_er);
+  BitMatrix b(n_av, n_av);
+  for (size_t i = 0; i < n_av; ++i) {
+    const uint32_t o = available_outputs[i];
+    b.set(i, i, true);
+    for (uint32_t j : code.row(o).ones()) {
+      if (is_erased[j]) {
+        a.flip(i, unknown_col[j]);
+      } else {
+        b.flip(i, out_pos[j]);
+      }
+    }
+  }
+
+  // Gauss-Jordan on [A | B]; pivot per unknown column.
+  std::vector<size_t> pivot_row(n_er, SIZE_MAX);
+  size_t next_row = 0;
+  for (size_t col = 0; col < n_er; ++col) {
+    size_t piv = next_row;
+    while (piv < n_av && !a.get(piv, col)) ++piv;
+    if (piv == n_av) return std::nullopt;  // underdetermined
+    if (piv != next_row) {
+      std::swap(a.row(piv), a.row(next_row));
+      std::swap(b.row(piv), b.row(next_row));
+    }
+    for (size_t r = 0; r < n_av; ++r) {
+      if (r != next_row && a.get(r, col)) {
+        a.row(r) ^= a.row(next_row);
+        b.row(r) ^= b.row(next_row);
+      }
+    }
+    pivot_row[col] = next_row;
+    ++next_row;
+  }
+
+  std::vector<BitRow> out;
+  out.reserve(n_er);
+  for (size_t col = 0; col < n_er; ++col) out.push_back(b.row(pivot_row[col]));
+  return out;
+}
+
+}  // namespace xorec::bitmatrix

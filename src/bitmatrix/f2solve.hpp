@@ -1,0 +1,36 @@
+// Gaussian elimination over F2: inversion and erased-unknown solving.
+//
+// This is the generic decoder substrate for *any* XOR-based code (EVENODD,
+// RDP, STAR, or a user-supplied parity bitmatrix): given the equations of the
+// surviving strips, solve for the erased ones.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bitmatrix/bitmatrix.hpp"
+
+namespace xorec::bitmatrix {
+
+/// Gauss-Jordan inverse over F2; nullopt if singular.
+std::optional<BitMatrix> f2_inverse(const BitMatrix& m);
+
+/// Rank over F2.
+size_t f2_rank(const BitMatrix& m);
+
+/// Solve a strip-erasure problem.
+///
+/// The code maps `n_in` input strips to `n_out` output strips via `code`
+/// (n_out x n_in; typically [I; parity]). `erased_inputs` lists input-strip
+/// ids whose value was lost, `available_outputs` lists output-strip ids that
+/// survive. On success returns, for each erased input (in the given order), a
+/// BitRow over the available outputs (in the given order) telling which
+/// surviving strips XOR to the lost strip.
+///
+/// Returns nullopt when the survivors do not determine the erased strips.
+std::optional<std::vector<BitRow>> f2_solve_erasures(
+    const BitMatrix& code,
+    const std::vector<uint32_t>& erased_inputs,
+    const std::vector<uint32_t>& available_outputs);
+
+}  // namespace xorec::bitmatrix

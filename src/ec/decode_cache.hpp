@@ -1,0 +1,75 @@
+// Bounded LRU cache of compiled decode programs, keyed by erasure pattern.
+//
+// RS(10, 4) alone has 1001 decode matrices (§7.1); compiling one costs
+// milliseconds (RePair + scheduling), so codecs memoize them. Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace xorec::ec::detail {
+
+/// Key: arbitrary id sequence (we use erased ids ++ 0xFFFFFFFF ++ survivors).
+struct KeyHash {
+  size_t operator()(const std::vector<uint32_t>& k) const {
+    size_t h = 1469598103934665603ull;
+    for (uint32_t v : k) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : cap_(capacity) {}
+
+  /// Returns the cached value or builds, stores and returns it.
+  std::shared_ptr<V> get_or_build(const std::vector<uint32_t>& key,
+                                  const std::function<std::shared_ptr<V>()>& build) {
+    {
+      std::lock_guard lk(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        order_.splice(order_.begin(), order_, it->second.second);
+        return it->second.first;
+      }
+    }
+    // Build outside the lock (compilation is slow); racing builders are
+    // harmless — last insert wins and both results are valid.
+    std::shared_ptr<V> v = build();
+    std::lock_guard lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second.first;
+    order_.push_front(key);
+    map_.emplace(key, std::make_pair(v, order_.begin()));
+    if (cap_ != 0 && map_.size() > cap_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    return v;
+  }
+
+  size_t size() const {
+    std::lock_guard lk(mu_);
+    return map_.size();
+  }
+
+ private:
+  size_t cap_;
+  mutable std::mutex mu_;
+  std::list<std::vector<uint32_t>> order_;  // front = MRU
+  std::unordered_map<std::vector<uint32_t>,
+                     std::pair<std::shared_ptr<V>, std::list<std::vector<uint32_t>>::iterator>,
+                     KeyHash>
+      map_;
+};
+
+}  // namespace xorec::ec::detail

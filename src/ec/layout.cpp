@@ -1,0 +1,37 @@
+#include "ec/layout.hpp"
+
+#include <stdexcept>
+
+namespace xorec::ec {
+
+std::vector<uint8_t> fragment_to_symbols(const uint8_t* frag, size_t frag_len) {
+  if (frag_len % 8 != 0)
+    throw std::invalid_argument("fragment_to_symbols: frag_len must be a multiple of 8");
+  const size_t strip_len = frag_len / 8;
+  std::vector<uint8_t> symbols(frag_len, 0);
+  for (size_t c = 0; c < 8; ++c) {
+    const uint8_t* strip = frag + c * strip_len;
+    for (size_t t = 0; t < frag_len; ++t) {
+      const uint8_t bit = (strip[t >> 3] >> (t & 7)) & 1u;
+      symbols[t] |= static_cast<uint8_t>(bit << c);
+    }
+  }
+  return symbols;
+}
+
+std::vector<uint8_t> symbols_to_fragment(const std::vector<uint8_t>& symbols) {
+  const size_t frag_len = symbols.size();
+  if (frag_len % 8 != 0)
+    throw std::invalid_argument("symbols_to_fragment: size must be a multiple of 8");
+  const size_t strip_len = frag_len / 8;
+  std::vector<uint8_t> frag(frag_len, 0);
+  for (size_t c = 0; c < 8; ++c) {
+    uint8_t* strip = frag.data() + c * strip_len;
+    for (size_t t = 0; t < frag_len; ++t) {
+      if ((symbols[t] >> c) & 1u) strip[t >> 3] |= static_cast<uint8_t>(1u << (t & 7));
+    }
+  }
+  return frag;
+}
+
+}  // namespace xorec::ec

@@ -1,0 +1,27 @@
+// Fragment layout transforms.
+//
+// XOR-based EC operates on fragments in *bit-plane* layout: a fragment of L
+// bytes is 8 strips of L/8 bytes, and GF(2^8) symbol t of the fragment has
+// bit c equal to bit t of strip c. Byte-stream codecs (ISA-L and friends)
+// instead treat byte t as symbol t.
+//
+// Both engines apply the same coding matrix — over different symbol
+// orderings of the same fragment. These transforms convert between the two
+// views, enabling byte-exact cross-validation (tests) and data interchange
+// with byte-stream RS implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xorec::ec {
+
+/// Gather the frag_len GF(2^8) symbols of a bit-plane fragment
+/// (symbol t bit c = bit t of strip c).
+std::vector<uint8_t> fragment_to_symbols(const uint8_t* frag, size_t frag_len);
+
+/// Scatter symbols back into bit-plane layout (inverse of the above).
+std::vector<uint8_t> symbols_to_fragment(const std::vector<uint8_t>& symbols);
+
+}  // namespace xorec::ec

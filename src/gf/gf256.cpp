@@ -1,0 +1,66 @@
+#include "gf/gf256.hpp"
+
+#include <stdexcept>
+
+namespace xorec::gf {
+namespace detail {
+
+namespace {
+Tables build_tables() {
+  Tables t{};
+  // exp/log via repeated multiplication by alpha.
+  uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp_[i] = x;
+    t.log_[x] = static_cast<uint8_t>(i);
+    x = mul_slow(x, kAlpha);
+  }
+  t.exp_[255] = t.exp_[0];  // convenience wraparound
+  t.log_[0] = 0;            // never read; keep deterministic
+
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      t.mul_[a][b] = mul_slow(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+    }
+  }
+  t.inv_[0] = 0;  // never read
+  for (int a = 1; a < 256; ++a) {
+    t.inv_[a] = t.exp_[(255 - t.log_[a]) % 255];
+  }
+  return t;
+}
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace detail
+
+uint8_t inv(uint8_t a) {
+  if (a == 0) throw std::domain_error("gf::inv(0)");
+  return detail::tables().inv_[a];
+}
+
+uint8_t div(uint8_t a, uint8_t b) {
+  if (b == 0) throw std::domain_error("gf::div by zero");
+  return mul(a, detail::tables().inv_[b]);
+}
+
+uint8_t pow(uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  unsigned l = t.log_[a];
+  return t.exp_[(l * (e % 255u)) % 255u];
+}
+
+uint8_t alpha_pow(unsigned e) { return detail::tables().exp_[e % 255u]; }
+
+uint8_t log(uint8_t a) {
+  if (a == 0) throw std::domain_error("gf::log(0)");
+  return detail::tables().log_[a];
+}
+
+}  // namespace xorec::gf

@@ -1,0 +1,84 @@
+// GF(2^8) arithmetic over the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1
+// (0x11D), the same field ISA-L and the paper (§7.1) use.
+//
+// The field is exposed both as free functions on raw bytes (hot paths) and as
+// a tiny value type `GF` for algebraic code (matrix routines, tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace xorec::gf {
+
+// Reduction polynomial without the leading x^8 term: x^4+x^3+x^2+1.
+inline constexpr uint16_t kPoly = 0x11D;
+// alpha = x (== 2) is a primitive element for 0x11D.
+inline constexpr uint8_t kAlpha = 0x02;
+
+namespace detail {
+struct Tables {
+  std::array<uint8_t, 256> exp_;       // exp_[i] = alpha^i (exp_[255] == exp_[0])
+  std::array<uint8_t, 256> log_;       // log_[x] for x != 0; log_[0] unused
+  std::array<std::array<uint8_t, 256>, 256> mul_;  // full product table
+  std::array<uint8_t, 256> inv_;       // multiplicative inverse; inv_[0] unused
+};
+// Built once at first use; immutable afterwards.
+const Tables& tables();
+}  // namespace detail
+
+/// Carry-less "schoolbook" multiply with polynomial reduction. Slow; used to
+/// build the tables and as an independent oracle in tests.
+constexpr uint8_t mul_slow(uint8_t a, uint8_t b) {
+  uint16_t acc = 0;
+  uint16_t aa = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & (1u << bit)) acc ^= static_cast<uint16_t>(aa << bit);
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1u << bit)) acc ^= static_cast<uint16_t>(kPoly << (bit - 8));
+  }
+  return static_cast<uint8_t>(acc);
+}
+
+inline uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+inline uint8_t sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+inline uint8_t mul(uint8_t a, uint8_t b) { return detail::tables().mul_[a][b]; }
+
+/// a / b; b must be nonzero.
+uint8_t div(uint8_t a, uint8_t b);
+
+/// Multiplicative inverse; a must be nonzero.
+uint8_t inv(uint8_t a);
+
+/// a^e with a^0 == 1 (including 0^0 == 1 by convention).
+uint8_t pow(uint8_t a, unsigned e);
+
+/// alpha^e for arbitrary e (reduced mod 255).
+uint8_t alpha_pow(unsigned e);
+
+/// Discrete log base alpha; a must be nonzero.
+uint8_t log(uint8_t a);
+
+/// Value-type wrapper so matrix code reads like linear algebra.
+class GF {
+ public:
+  constexpr GF() = default;
+  constexpr explicit GF(uint8_t v) : v_(v) {}
+  constexpr uint8_t value() const { return v_; }
+
+  friend GF operator+(GF a, GF b) { return GF(static_cast<uint8_t>(a.v_ ^ b.v_)); }
+  friend GF operator-(GF a, GF b) { return a + b; }
+  friend GF operator*(GF a, GF b) { return GF(mul(a.v_, b.v_)); }
+  friend GF operator/(GF a, GF b) { return GF(div(a.v_, b.v_)); }
+  GF& operator+=(GF o) { v_ ^= o.v_; return *this; }
+  GF& operator*=(GF o) { v_ = mul(v_, o.v_); return *this; }
+  friend bool operator==(GF a, GF b) = default;
+
+  bool is_zero() const { return v_ == 0; }
+
+ private:
+  uint8_t v_ = 0;
+};
+
+}  // namespace xorec::gf

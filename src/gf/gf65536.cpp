@@ -1,0 +1,50 @@
+#include "gf/gf65536.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace xorec::gf16 {
+
+namespace {
+
+struct Tables {
+  std::vector<uint16_t> exp_;  // 65536 entries (wraparound at 65535)
+  std::vector<uint16_t> log_;  // 65536 entries
+
+  Tables() : exp_(65536), log_(65536) {
+    uint16_t x = 1;
+    for (unsigned i = 0; i < 65535; ++i) {
+      exp_[i] = x;
+      log_[x] = static_cast<uint16_t>(i);
+      x = mul_slow(x, kAlpha);
+    }
+    if (x != 1) throw std::logic_error("gf16: 0x1100B is not primitive?");
+    exp_[65535] = exp_[0];
+    log_[0] = 0;  // never read
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+uint16_t mul(uint16_t a, uint16_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  const unsigned s = static_cast<unsigned>(t.log_[a]) + t.log_[b];
+  return t.exp_[s % 65535u];
+}
+
+uint16_t inv(uint16_t a) {
+  if (a == 0) throw std::domain_error("gf16::inv(0)");
+  const auto& t = tables();
+  return t.exp_[(65535u - t.log_[a]) % 65535u];
+}
+
+uint16_t alpha_pow(unsigned e) { return tables().exp_[e % 65535u]; }
+
+}  // namespace xorec::gf16

@@ -1,0 +1,34 @@
+// GF(2^16) arithmetic over the primitive polynomial
+// x^16 + x^12 + x^3 + x + 1 (0x1100B).
+//
+// Used to build wide-symbol (w = 16) coding matrices: the XOR-based method
+// of §1 works for any GF(2^w) — a coefficient becomes a w x w bitmatrix over
+// strips — and larger fields admit far more fragments (n + p <= 65535).
+// Log/exp tables (256 KB) are built on first use.
+#pragma once
+
+#include <cstdint>
+
+namespace xorec::gf16 {
+
+inline constexpr uint32_t kPoly = 0x1100B;
+inline constexpr uint16_t kAlpha = 0x0002;
+
+/// Shift-and-reduce oracle (slow; table builder + tests).
+constexpr uint16_t mul_slow(uint16_t a, uint16_t b) {
+  uint32_t acc = 0;
+  uint32_t aa = a;
+  for (int bit = 0; bit < 16; ++bit) {
+    if (b & (1u << bit)) acc ^= aa << bit;
+  }
+  for (int bit = 31; bit >= 16; --bit) {
+    if (acc & (1u << bit)) acc ^= kPoly << (bit - 16);
+  }
+  return static_cast<uint16_t>(acc);
+}
+
+uint16_t mul(uint16_t a, uint16_t b);
+uint16_t inv(uint16_t a);  // a != 0
+uint16_t alpha_pow(unsigned e);
+
+}  // namespace xorec::gf16

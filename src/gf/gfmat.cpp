@@ -1,0 +1,224 @@
+#include "gf/gfmat.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace xorec::gf {
+
+Matrix::Matrix(size_t rows, size_t cols, std::initializer_list<uint8_t> vals)
+    : Matrix(rows, cols) {
+  if (vals.size() != rows * cols) throw std::invalid_argument("Matrix: initializer size");
+  std::copy(vals.begin(), vals.end(), a_.begin());
+}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const uint8_t aik = at(i, k);
+      if (aik == 0) continue;
+      for (size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) ^= mul(aik, rhs.at(k, j));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> Matrix::apply(const std::vector<uint8_t>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::apply: size mismatch");
+  std::vector<uint8_t> y(rows_, 0);
+  for (size_t i = 0; i < rows_; ++i) {
+    uint8_t acc = 0;
+    for (size_t j = 0; j < cols_; ++j) acc ^= mul(at(i, j), x[j]);
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::select_rows(const std::vector<size_t>& which) const {
+  Matrix out(which.size(), cols_);
+  for (size_t i = 0; i < which.size(); ++i) {
+    if (which[i] >= rows_) throw std::out_of_range("Matrix::select_rows");
+    for (size_t j = 0; j < cols_; ++j) out.at(i, j) = at(which[i], j);
+  }
+  return out;
+}
+
+Matrix Matrix::vstack(const Matrix& below) const {
+  if (cols_ != below.cols_) throw std::invalid_argument("Matrix::vstack: cols mismatch");
+  Matrix out(rows_ + below.rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out.at(i, j) = at(i, j);
+  for (size_t i = 0; i < below.rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out.at(rows_ + i, j) = below.at(i, j);
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverse() const {
+  if (rows_ != cols_) return std::nullopt;
+  const size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    size_t piv = col;
+    while (piv < n && a.at(piv, col) == 0) ++piv;
+    if (piv == n) return std::nullopt;
+    if (piv != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(a.at(piv, j), a.at(col, j));
+        std::swap(inv.at(piv, j), inv.at(col, j));
+      }
+    }
+    // Scale pivot row to 1.
+    const uint8_t pv = a.at(col, col);
+    const uint8_t pv_inv = gf::inv(pv);
+    for (size_t j = 0; j < n; ++j) {
+      a.at(col, j) = mul(a.at(col, j), pv_inv);
+      inv.at(col, j) = mul(inv.at(col, j), pv_inv);
+    }
+    // Eliminate all other rows.
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        a.at(r, j) ^= mul(f, a.at(col, j));
+        inv.at(r, j) ^= mul(f, inv.at(col, j));
+      }
+    }
+  }
+  return inv;
+}
+
+size_t Matrix::rank() const {
+  Matrix a = *this;
+  size_t rank = 0;
+  for (size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    size_t piv = rank;
+    while (piv < rows_ && a.at(piv, col) == 0) ++piv;
+    if (piv == rows_) continue;
+    for (size_t j = 0; j < cols_; ++j) std::swap(a.at(piv, j), a.at(rank, j));
+    const uint8_t pv_inv = gf::inv(a.at(rank, col));
+    for (size_t j = 0; j < cols_; ++j) a.at(rank, j) = mul(a.at(rank, j), pv_inv);
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (size_t j = 0; j < cols_; ++j) a.at(r, j) ^= mul(f, a.at(rank, j));
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Matrix vandermonde(size_t n_plus_p, size_t n) {
+  Matrix v(n_plus_p, n);
+  for (size_t i = 0; i < n_plus_p; ++i) {
+    const uint8_t base = alpha_pow(static_cast<unsigned>(i + 1));  // alpha^(i+1), rows 1..n+p
+    uint8_t x = 1;
+    for (size_t j = 0; j < n; ++j) {
+      v.at(i, j) = x;
+      x = mul(x, base);
+    }
+  }
+  return v;
+}
+
+Matrix rs_systematic_matrix(size_t n, size_t p) {
+  if (n == 0 || p == 0 || n + p > 255) throw std::invalid_argument("rs_systematic_matrix: bad (n,p)");
+  Matrix v = vandermonde(n + p, n);
+  std::vector<size_t> top(n);
+  for (size_t i = 0; i < n; ++i) top[i] = i;
+  Matrix vtop = v.select_rows(top);
+  auto vtop_inv = vtop.inverse();
+  // Top block of a Vandermonde with distinct evaluation points is invertible.
+  assert(vtop_inv.has_value());
+  return v * *vtop_inv;
+}
+
+Matrix rs_parity_matrix(size_t n, size_t p) {
+  Matrix sys = rs_systematic_matrix(n, p);
+  std::vector<size_t> bottom(p);
+  for (size_t i = 0; i < p; ++i) bottom[i] = n + i;
+  return sys.select_rows(bottom);
+}
+
+Matrix rs_cauchy_matrix(size_t n, size_t p) {
+  if (n == 0 || p == 0 || n + p > 255) throw std::invalid_argument("rs_cauchy_matrix: bad (n,p)");
+  Matrix m(n + p, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  for (size_t i = 0; i < p; ++i) {
+    const uint8_t xi = alpha_pow(static_cast<unsigned>(n + i));
+    for (size_t j = 0; j < n; ++j) {
+      const uint8_t yj = alpha_pow(static_cast<unsigned>(j));
+      m.at(n + i, j) = inv(static_cast<uint8_t>(xi ^ yj));
+    }
+  }
+  return m;
+}
+
+namespace {
+/// Total ones of the 8x8 companion expansion of a coefficient (the XOR mass
+/// this coefficient contributes per occurrence).
+size_t companion_ones(uint8_t coeff) {
+  size_t ones = 0;
+  for (int c = 0; c < 8; ++c) ones += static_cast<size_t>(std::popcount(static_cast<unsigned>(mul(coeff, static_cast<uint8_t>(1u << c)))));
+  return ones;
+}
+}  // namespace
+
+Matrix rs_cauchy_good_matrix(size_t n, size_t p) {
+  Matrix m = rs_cauchy_matrix(n, p);
+  for (size_t i = 0; i < p; ++i) {
+    const size_t row = n + i;
+    // Try dividing the row by each of its elements; keep the best bit count.
+    size_t best_ones = SIZE_MAX;
+    uint8_t best_div = 1;
+    for (size_t cand = 0; cand < n; ++cand) {
+      const uint8_t d = m.at(row, cand);
+      if (d == 0) continue;
+      size_t ones = 0;
+      for (size_t j = 0; j < n; ++j) ones += companion_ones(div(m.at(row, j), d));
+      if (ones < best_ones) {
+        best_ones = ones;
+        best_div = d;
+      }
+    }
+    for (size_t j = 0; j < n; ++j) m.at(row, j) = div(m.at(row, j), best_div);
+  }
+  return m;
+}
+
+Matrix rs_isal_matrix(size_t n, size_t p) {
+  if (n == 0 || p == 0 || n + p > 255) throw std::invalid_argument("rs_isal_matrix: bad (n,p)");
+  Matrix m(n + p, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  uint8_t gen = 1;
+  for (size_t i = 0; i < p; ++i) {
+    uint8_t x = 1;
+    for (size_t j = 0; j < n; ++j) {
+      m.at(n + i, j) = x;
+      x = mul(x, gen);
+    }
+    gen = mul(gen, kAlpha);
+  }
+  return m;
+}
+
+std::optional<Matrix> decode_matrix(const Matrix& code, const std::vector<size_t>& survivors) {
+  if (survivors.size() != code.cols()) return std::nullopt;
+  Matrix sub = code.select_rows(survivors);
+  return sub.inverse();
+}
+
+}  // namespace xorec::gf

@@ -1,0 +1,91 @@
+// Dense matrices over GF(2^8): the coding-matrix algebra of §1/§7.1.
+//
+// Provides the Vandermonde construction, the "reduced" (systematic) form the
+// paper and ISA-L use as the actual RS(n,p) encoding matrix, Gauss-Jordan
+// inversion for decoding, and Cauchy matrices as an alternative MDS family.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <vector>
+
+#include "gf/gf256.hpp"
+
+namespace xorec::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), a_(rows * cols, 0) {}
+  Matrix(size_t rows, size_t cols, std::initializer_list<uint8_t> vals);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  uint8_t& at(size_t r, size_t c) { return a_[r * cols_ + c]; }
+  uint8_t at(size_t r, size_t c) const { return a_[r * cols_ + c]; }
+  const uint8_t* row(size_t r) const { return a_.data() + r * cols_; }
+
+  bool operator==(const Matrix&) const = default;
+
+  static Matrix identity(size_t n);
+
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product y = A x (x.size() == cols()).
+  std::vector<uint8_t> apply(const std::vector<uint8_t>& x) const;
+
+  /// Rows `which` of this matrix as a new matrix.
+  Matrix select_rows(const std::vector<size_t>& which) const;
+
+  /// Vertical stack [this; below]; column counts must match.
+  Matrix vstack(const Matrix& below) const;
+
+  /// Gauss-Jordan inverse; nullopt if singular.
+  std::optional<Matrix> inverse() const;
+
+  /// Rank via Gaussian elimination (useful for MDS property checks).
+  size_t rank() const;
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<uint8_t> a_;
+};
+
+/// Raw (n+p) x n Vandermonde matrix of the "standard construction" in §7.1:
+/// row i (1-based) = [1, alpha^i, (alpha^i)^2, ..., (alpha^i)^(n-1)].
+Matrix vandermonde(size_t n_plus_p, size_t n);
+
+/// The paper's / ISA-L's reduced (systematic) form: V * V_top^{-1}, which is
+/// [I_n ; M] with M = bottom p rows. Every n x n submatrix stays invertible.
+Matrix rs_systematic_matrix(size_t n, size_t p);
+
+/// Only the parity part M (p x n) of rs_systematic_matrix.
+Matrix rs_parity_matrix(size_t n, size_t p);
+
+/// Systematic Cauchy construction [I_n ; C] with C[i][j] = 1/(x_i + y_j),
+/// x_i = alpha^(n+i), y_j = alpha^j. MDS for n+p <= 255. Alternative family.
+Matrix rs_cauchy_matrix(size_t n, size_t p);
+
+/// Jerasure-style "good" Cauchy: each parity row of the Cauchy block is
+/// divided by the row element whose companion expansion minimizes the row's
+/// total bit count (division by a constant preserves the MDS property).
+/// Fewer ones = fewer XORs before RePair even starts.
+Matrix rs_cauchy_good_matrix(size_t n, size_t p);
+
+/// ISA-L's gf_gen_rs_matrix construction: [I_n ; G] with G[i][j] = (2^i)^j —
+/// parity row 0 is all-ones, row i uses powers of alpha^i. This is the exact
+/// encoding matrix the paper's §7 evaluation uses (its parity bitmatrix for
+/// RS(10,4) has 787 ones = 755 XORs, matching §7.5's P_enc), and it is much
+/// sparser as a bitmatrix than the reduced Vandermonde. NOT guaranteed MDS
+/// for arbitrary (n, p); verified MDS for the paper's grid RS(8..10, 2..4)
+/// (see tests). Use Cauchy when a provable MDS guarantee is needed.
+Matrix rs_isal_matrix(size_t n, size_t p);
+
+/// For a failure pattern: given the systematic (n+p) x n matrix and the list
+/// of surviving row ids (size n), returns the n x n inverse used for decode;
+/// nullopt if the survivors are not decodable (never happens for MDS).
+std::optional<Matrix> decode_matrix(const Matrix& code, const std::vector<size_t>& survivors);
+
+}  // namespace xorec::gf

@@ -1,0 +1,43 @@
+#include "kernel/xor_kernel.hpp"
+
+namespace xorec::kernel {
+
+bool cpu_has_avx2() {
+#if defined(XOREC_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+XorManyFn resolve(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return &xor_many_scalar;
+    case Isa::Word64:
+      return &xor_many_word64;
+    case Isa::Avx2:
+    case Isa::Auto:
+#if defined(XOREC_HAVE_AVX2)
+      if (cpu_has_avx2()) return &xor_many_avx2;
+#endif
+      return &xor_many_word64;
+  }
+  return &xor_many_scalar;
+}
+
+void xor_many(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len, Isa isa) {
+  resolve(isa)(dst, srcs, k, len);
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Word64: return "word64";
+    case Isa::Avx2: return "avx2";
+    case Isa::Auto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace xorec::kernel

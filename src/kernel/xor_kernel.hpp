@@ -1,0 +1,47 @@
+// Multi-input XOR kernels: the execution substrate for fused SLP®⊕
+// instructions (§5) and the xor1/xor32 variants of §7.2.
+//
+// Contract of xor_many:
+//   dst[0..len) = srcs[0] ^ srcs[1] ^ ... ^ srcs[k-1]   (k >= 1)
+// - single pass: each source stream is read once, dst written once
+//   (#M = k + 1 in the paper's model);
+// - dst may be exactly equal to any srcs[i] (in-place accumulation); partial
+//   overlap is undefined behaviour;
+// - arbitrary len and alignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xorec::kernel {
+
+enum class Isa : uint8_t {
+  Scalar,  // byte-at-a-time (the paper's xor1)
+  Word64,  // uint64 at a time
+  Avx2,    // 32-byte SIMD (the paper's xor32); falls back if unsupported
+  Auto,    // best available
+};
+
+using XorManyFn = void (*)(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len);
+
+/// Best implementation for the requested ISA (Avx2 silently degrades to
+/// Word64 when the CPU lacks it).
+XorManyFn resolve(Isa isa);
+
+/// One-shot convenience.
+void xor_many(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len,
+              Isa isa = Isa::Auto);
+
+/// True when the running CPU supports AVX2 and the library was built with it.
+bool cpu_has_avx2();
+
+const char* isa_name(Isa isa);
+
+// Implementations (exposed for tests/benches; prefer resolve()).
+void xor_many_scalar(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len);
+void xor_many_word64(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len);
+#if defined(XOREC_HAVE_AVX2)
+void xor_many_avx2(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len);
+#endif
+
+}  // namespace xorec::kernel

@@ -1,0 +1,44 @@
+#include <cstring>
+
+#include "kernel/xor_kernel.hpp"
+
+namespace xorec::kernel {
+
+void xor_many_scalar(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len) {
+  if (k == 1) {
+    if (dst != srcs[0]) std::memmove(dst, srcs[0], len);
+    return;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    uint8_t acc = srcs[0][i];
+    for (size_t j = 1; j < k; ++j) acc ^= srcs[j][i];
+    dst[i] = acc;
+  }
+}
+
+void xor_many_word64(uint8_t* dst, const uint8_t* const* srcs, size_t k, size_t len) {
+  if (k == 1) {
+    if (dst != srcs[0]) std::memmove(dst, srcs[0], len);
+    return;
+  }
+  size_t i = 0;
+  // Unaligned 8-byte loads/stores are fine on x86; memcpy keeps it portable
+  // and compiles to plain moves.
+  for (; i + 8 <= len; i += 8) {
+    uint64_t acc;
+    std::memcpy(&acc, srcs[0] + i, 8);
+    for (size_t j = 1; j < k; ++j) {
+      uint64_t w;
+      std::memcpy(&w, srcs[j] + i, 8);
+      acc ^= w;
+    }
+    std::memcpy(dst + i, &acc, 8);
+  }
+  for (; i < len; ++i) {
+    uint8_t acc = srcs[0][i];
+    for (size_t j = 1; j < k; ++j) acc ^= srcs[j][i];
+    dst[i] = acc;
+  }
+}
+
+}  // namespace xorec::kernel

@@ -1,0 +1,36 @@
+#include "runtime/aligned_buffer.hpp"
+
+#include <cstring>
+
+namespace xorec::runtime {
+
+StripArena::StripArena(size_t count, size_t strip_len, size_t block_size, bool stagger)
+    : strip_len_(strip_len) {
+  offsets_.resize(count);
+  // Per-strip stride: strip length rounded up to 4K, plus the stagger shift.
+  const size_t base_stride = (strip_len + kCachePage - 1) / kCachePage * kCachePage;
+  size_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t shift = stagger ? (i * block_size) % kCachePage : 0;
+    offsets_[i] = total + shift;
+    total += base_stride + (stagger ? kCachePage : 0);
+  }
+  storage_ = std::make_unique<uint8_t[]>(total + kCachePage);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(storage_.get());
+  base_ = storage_.get() + ((kCachePage - raw % kCachePage) % kCachePage);
+  std::memset(base_, 0, total);
+}
+
+std::vector<uint8_t*> StripArena::pointers() {
+  std::vector<uint8_t*> p(count());
+  for (size_t i = 0; i < count(); ++i) p[i] = strip(i);
+  return p;
+}
+
+std::vector<const uint8_t*> StripArena::const_pointers() const {
+  std::vector<const uint8_t*> p(count());
+  for (size_t i = 0; i < count(); ++i) p[i] = strip(i);
+  return p;
+}
+
+}  // namespace xorec::runtime

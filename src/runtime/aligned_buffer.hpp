@@ -1,0 +1,41 @@
+// Cache-conscious buffer allocation (§7.4).
+//
+// The paper's anti-conflict strategy: with a 32 KB / 8-way / 64 B-line L1,
+// addresses congruent mod 4 KB compete for the same cache set. Laying
+// strip i at  A(strip_i) ≡ i·B (mod 4 KB)  staggers the strips across sets
+// so blocks of different strips never all collide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xorec::runtime {
+
+inline constexpr size_t kCachePage = 4096;  // set-conflict period on x86 L1
+
+/// A slab of `count` equally sized strips with the staggered layout:
+/// strip(i) starts at offset_i with offset_i ≡ i*block_size (mod 4K).
+/// With stagger disabled every strip is 4K-aligned (the adversarial layout
+/// §7.4 warns about) — kept for the alignment ablation benchmark.
+class StripArena {
+ public:
+  StripArena(size_t count, size_t strip_len, size_t block_size, bool stagger = true);
+
+  uint8_t* strip(size_t i) { return base_ + offsets_[i]; }
+  const uint8_t* strip(size_t i) const { return base_ + offsets_[i]; }
+  size_t count() const { return offsets_.size(); }
+  size_t strip_len() const { return strip_len_; }
+
+  std::vector<uint8_t*> pointers();
+  std::vector<const uint8_t*> const_pointers() const;
+
+ private:
+  size_t strip_len_;
+  std::unique_ptr<uint8_t[]> storage_;
+  uint8_t* base_ = nullptr;  // 4K-aligned start inside storage_
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace xorec::runtime

@@ -1,0 +1,37 @@
+// Ahead-of-time code generation: emit a compiled SLP as a self-contained C
+// translation unit instead of running it through the interpreter.
+//
+// The paper treats XOR-based EC as *program generation*; this module closes
+// the loop by pretty-printing the pointer-resolved execution program as a C
+// function a toolchain can compile to native code (useful for embedding a
+// fixed codec with zero interpreter overhead, or for inspecting exactly what
+// the optimizer produced).
+//
+// Generated signature:
+//   void NAME(const uint8_t* const* in,   // num_inputs strips
+//             uint8_t* const* out,        // num_outputs strips
+//             size_t strip_len,           // bytes per strip
+//             size_t block_size);         // §6.1 blocking parameter
+//
+// The emitted code is plain C99 (byte loops with a word-64 fast path); it
+// relies on the compiler's vectorizer rather than intrinsics so it builds
+// anywhere.
+#pragma once
+
+#include <string>
+
+#include "runtime/exec_program.hpp"
+
+namespace xorec::runtime {
+
+struct CodegenOptions {
+  std::string function_name = "xorec_coded_run";
+  /// Scratch pebbles are stack buffers of this many bytes; must be >= the
+  /// block_size passed at runtime. 4096 covers every paper configuration.
+  size_t max_block_size = 4096;
+};
+
+/// Emit the C source for one execution program.
+std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt = {});
+
+}  // namespace xorec::runtime

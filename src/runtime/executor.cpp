@@ -1,0 +1,82 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+
+namespace xorec::runtime {
+
+Executor::Executor(ExecProgram program, ExecOptions opt)
+    : prog_(std::move(program)), opt_(opt), kernel_(kernel::resolve(opt.isa)) {
+  if (opt_.block_size == 0) throw std::invalid_argument("Executor: block_size == 0");
+  if (opt_.threads == 0) opt_.threads = 1;
+  scratch_arenas_.reserve(opt_.threads);
+  scratch_ptrs_.reserve(opt_.threads);
+  for (size_t w = 0; w < opt_.threads; ++w) {
+    scratch_arenas_.emplace_back(prog_.num_scratch, opt_.block_size, opt_.block_size,
+                                 opt_.stagger_scratch);
+    scratch_ptrs_.push_back(scratch_arenas_.back().pointers());
+  }
+}
+
+void Executor::run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
+                         size_t end, uint8_t* const* scratch) const {
+  const size_t B = opt_.block_size;
+  std::vector<const uint8_t*> srcs(std::max<size_t>(prog_.max_arity(), 1));
+
+  for (size_t off = begin; off < end; off += B) {
+    const size_t len = std::min(B, end - off);
+    if (opt_.prefetch_next_block && off + B < end) {
+      // Pull the next block's input cache lines while this block computes.
+      for (uint32_t i = 0; i < prog_.num_inputs; ++i) {
+        const uint8_t* next = inputs[i] + off + B;
+        for (size_t l = 0; l < len; l += 64) __builtin_prefetch(next + l, 0, 1);
+      }
+    }
+    for (const ExecOp& op : prog_.ops) {
+      for (size_t j = 0; j < op.srcs.size(); ++j) {
+        const Operand& s = op.srcs[j];
+        switch (s.space) {
+          case Space::In: srcs[j] = inputs[s.index] + off; break;
+          case Space::Out: srcs[j] = outputs[s.index] + off; break;
+          case Space::Scratch: srcs[j] = scratch[s.index]; break;
+        }
+      }
+      uint8_t* dst;
+      switch (op.dst.space) {
+        case Space::Out: dst = outputs[op.dst.index] + off; break;
+        case Space::Scratch: dst = scratch[op.dst.index]; break;
+        case Space::In:
+        default:
+          throw std::logic_error("Executor: write to input space");
+      }
+      kernel_(dst, srcs.data(), op.srcs.size(), len);
+    }
+  }
+}
+
+void Executor::run(const uint8_t* const* inputs, uint8_t* const* outputs,
+                   size_t strip_len) const {
+  if (strip_len == 0 || prog_.ops.empty()) return;
+  const size_t B = opt_.block_size;
+
+  if (opt_.threads <= 1) {
+    run_range(inputs, outputs, 0, strip_len, scratch_ptrs_[0].data());
+    return;
+  }
+
+  // Split the strip into per-worker spans of whole blocks.
+  const size_t n_blocks = (strip_len + B - 1) / B;
+  const size_t workers = std::min(opt_.threads, n_blocks);
+  const size_t per = (n_blocks + workers - 1) / workers;
+  ThreadPool& pool = ThreadPool::shared(workers);
+  pool.run_on_all([&](size_t w) {
+    if (w >= workers) return;
+    const size_t begin = std::min(w * per * B, strip_len);
+    const size_t end = std::min((w + 1) * per * B, strip_len);
+    if (begin < end) run_range(inputs, outputs, begin, end, scratch_ptrs_[w].data());
+  });
+}
+
+}  // namespace xorec::runtime

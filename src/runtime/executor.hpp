@@ -1,0 +1,51 @@
+// The blocked SLP interpreter (§6.1): runs an ExecProgram over strips in
+// B-byte blocks so all the pebbles of one iteration stay cache-resident,
+// with optional thread-level parallelism over the strip length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernel/xor_kernel.hpp"
+#include "runtime/aligned_buffer.hpp"
+#include "runtime/exec_program.hpp"
+
+namespace xorec::runtime {
+
+struct ExecOptions {
+  size_t block_size = 2048;               // B of the blocking technique
+  kernel::Isa isa = kernel::Isa::Auto;
+  size_t threads = 1;                      // 1 = run on the calling thread
+  bool stagger_scratch = true;             // §7.4 anti-conflict layout
+  /// §8's software-prefetch direction: while executing block i, issue
+  /// prefetches for the *input* strips of block i+1 so loads overlap the
+  /// in-cache XOR work. 0 disables.
+  bool prefetch_next_block = false;
+};
+
+/// Owns the scratch pebble arenas (one per worker) for one compiled program
+/// at one block size; reusable across calls, not thread-safe per instance.
+class Executor {
+ public:
+  Executor(ExecProgram program, ExecOptions opt = {});
+
+  const ExecProgram& program() const { return prog_; }
+  const ExecOptions& options() const { return opt_; }
+
+  /// inputs:  num_inputs strip pointers, each strip_len bytes.
+  /// outputs: num_outputs strip pointers, each strip_len bytes.
+  /// Any strip_len is accepted (the last block may be short).
+  void run(const uint8_t* const* inputs, uint8_t* const* outputs, size_t strip_len) const;
+
+ private:
+  void run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
+                 size_t end, uint8_t* const* scratch) const;
+
+  ExecProgram prog_;
+  ExecOptions opt_;
+  kernel::XorManyFn kernel_;
+  std::vector<StripArena> scratch_arenas_;          // one per worker
+  std::vector<std::vector<uint8_t*>> scratch_ptrs_;  // cached pointer tables
+};
+
+}  // namespace xorec::runtime

@@ -1,0 +1,77 @@
+#include "runtime/thread_pool.hpp"
+
+#include <map>
+#include <memory>
+
+namespace xorec::runtime {
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n_workers = threads > 0 ? threads - 1 : 0;
+  workers_.reserve(n_workers);
+  for (size_t w = 0; w < n_workers; ++w) {
+    workers_.emplace_back([this, w] {
+      uint64_t seen = 0;
+      for (;;) {
+        const std::function<void(size_t)>* fn = nullptr;
+        {
+          std::unique_lock lk(mu_);
+          cv_start_.wait(lk, [&] { return stop_ || epoch_ > seen; });
+          if (stop_) return;
+          seen = epoch_;
+          fn = fn_;
+        }
+        try {
+          (*fn)(w);
+        } catch (...) {
+          std::lock_guard lk(mu_);
+          if (!error_) error_ = std::current_exception();
+        }
+        {
+          std::lock_guard lk(mu_);
+          if (--pending_ == 0) cv_done_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(size_t)>& fn) {
+  {
+    std::lock_guard lk(mu_);
+    fn_ = &fn;
+    error_ = nullptr;
+    pending_ = workers_.size();
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  // The caller participates as the last index.
+  try {
+    fn(workers_.size());
+  } catch (...) {
+    std::lock_guard lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+ThreadPool& ThreadPool::shared(size_t threads) {
+  static std::mutex m;
+  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard lk(m);
+  auto& p = pools[threads];
+  if (!p) p = std::make_unique<ThreadPool>(threads);
+  return *p;
+}
+
+}  // namespace xorec::runtime

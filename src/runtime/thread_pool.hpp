@@ -1,0 +1,51 @@
+// Minimal blocking thread pool for data-parallel strip ranges.
+//
+// The blocked executor splits the strip length into contiguous chunks; each
+// worker runs the whole SLP over its chunk with private scratch buffers
+// (§8's parallelism direction; fragments are row-wise independent).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xorec::runtime {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size() + 1; }  // + calling thread
+
+  /// Runs fn(worker_index) on indices 0..size()-1 (index size()-1 executes on
+  /// the calling thread) and blocks until all are done. Exceptions in workers
+  /// are rethrown on the caller (first one wins).
+  void run_on_all(const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& shared(size_t threads);
+
+ private:
+  struct Task {
+    const std::function<void(size_t)>* fn = nullptr;
+    uint64_t epoch = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  uint64_t epoch_ = 0;
+  size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace xorec::runtime

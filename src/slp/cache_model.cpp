@@ -1,0 +1,101 @@
+#include "slp/cache_model.hpp"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xorec::slp {
+
+std::vector<Block> touch_sequence(const Program& p, ExecForm form) {
+  std::vector<Block> seq;
+  const Program* prog = &p;
+  Program expanded;
+  if (form == ExecForm::Binary) {
+    expanded = p.binary_expanded();
+    prog = &expanded;
+  }
+  for (const Instruction& ins : prog->body) {
+    for (const Term& t : ins.args) seq.push_back(t);
+    seq.push_back(Term::var(ins.target));
+  }
+  return seq;
+}
+
+CacheSimResult simulate_lru(const Program& p, size_t capacity, ExecForm form) {
+  CacheSimResult res;
+  std::list<Block> lru;  // front = MRU
+  std::unordered_map<uint64_t, std::list<Block>::iterator> pos;
+  std::unordered_set<uint64_t> seen;
+
+  for (const Block& b : touch_sequence(p, form)) {
+    const uint64_t k = b.key();
+    auto it = pos.find(k);
+    if (it != pos.end()) {
+      lru.splice(lru.begin(), lru, it->second);  // refresh to MRU
+      continue;
+    }
+    // Not cached: constants and previously-seen blocks are loaded from
+    // memory; the first touch of a variable is an in-cache allocation.
+    const bool was_seen = seen.count(k) > 0;
+    if (b.is_const() || was_seen) {
+      ++res.loads;
+      if (was_seen) ++res.reloads;
+    }
+    seen.insert(k);
+    if (lru.size() == capacity) {
+      const Block victim = lru.back();
+      lru.pop_back();
+      pos.erase(victim.key());
+      ++res.evictions;
+    }
+    lru.push_front(b);
+    pos[k] = lru.begin();
+  }
+  return res;
+}
+
+size_t io_cost(const Program& p, size_t capacity, ExecForm form) {
+  return simulate_lru(p, capacity, form).io_cost();
+}
+
+size_t ccap(const Program& p, ExecForm form) {
+  // LRU obeys the stack-inclusion property, so "no reload at capacity c" is
+  // monotone in c; the answer is the maximum LRU stack distance over all
+  // re-touches. An instruction additionally needs its whole footprint
+  // {t1..tk, v} cached at once.
+  std::vector<Block> stack;  // front (index 0) = MRU; small programs, O(n²) walk is fine
+  size_t max_dist = 0;
+
+  const Program* prog = &p;
+  Program expanded;
+  if (form == ExecForm::Binary) {
+    expanded = p.binary_expanded();
+    prog = &expanded;
+  }
+
+  for (const Instruction& ins : prog->body) {
+    // Footprint: distinct blocks of this instruction.
+    std::vector<Block> fp;
+    for (const Term& t : ins.args)
+      if (std::find(fp.begin(), fp.end(), t) == fp.end()) fp.push_back(t);
+    const Term tgt = Term::var(ins.target);
+    if (std::find(fp.begin(), fp.end(), tgt) == fp.end()) fp.push_back(tgt);
+    max_dist = std::max(max_dist, fp.size());
+
+    auto touch = [&](const Block& b) {
+      auto it = std::find(stack.begin(), stack.end(), b);
+      if (it != stack.end()) {
+        const size_t dist = static_cast<size_t>(it - stack.begin()) + 1;
+        max_dist = std::max(max_dist, dist);
+        stack.erase(it);
+      }
+      stack.insert(stack.begin(), b);
+    };
+    for (const Term& t : ins.args) touch(t);
+    touch(tgt);
+  }
+  return max_dist;
+}
+
+}  // namespace xorec::slp

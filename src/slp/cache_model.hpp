@@ -1,0 +1,48 @@
+// SLP augmented with an abstract LRU cache (§6.2).
+//
+// The cache is an ordered sequence of blocks (constants and variables).
+// Executing v <- ⊕(t1, ..., tk) touches t1..tk in order (loading absent
+// blocks / refreshing present ones) and then touches v (allocating it on
+// first assignment). A full cache evicts the LRU block; every eviction and
+// every load is one I/O transfer.
+//
+// Measures:
+//  - CCap(P):       minimum capacity that avoids any *reload* (loading a
+//                   block that was previously evicted). Computed via LRU
+//                   stack distances (LRU's inclusion property makes misses
+//                   monotone in capacity), and never below the largest
+//                   single-instruction footprint (an instruction requires
+//                   {t1..tk, v} ⊆ C simultaneously).
+//  - IOcost(P, c):  loads + evictions when running with capacity c.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "slp/metrics.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+/// Block identity in the abstract cache: constants and variables.
+/// (Same shape as Term; aliased for readability in cache-model code.)
+using Block = Term;
+
+/// The exact sequence of block touches the execution form produces; the
+/// common input to both measures, exposed for tests.
+std::vector<Block> touch_sequence(const Program& p, ExecForm form);
+
+struct CacheSimResult {
+  size_t loads = 0;      // memory -> cache transfers
+  size_t evictions = 0;  // cache -> memory transfers
+  size_t reloads = 0;    // loads of blocks that were evicted earlier
+  size_t io_cost() const { return loads + evictions; }
+};
+
+CacheSimResult simulate_lru(const Program& p, size_t capacity, ExecForm form);
+
+size_t io_cost(const Program& p, size_t capacity, ExecForm form);
+
+size_t ccap(const Program& p, ExecForm form);
+
+}  // namespace xorec::slp

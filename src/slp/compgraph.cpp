@@ -1,0 +1,39 @@
+#include "slp/compgraph.hpp"
+
+#include <stdexcept>
+
+namespace xorec::slp {
+
+CompGraph build_compgraph(const Program& p) {
+  if (!p.is_ssa()) throw std::invalid_argument("build_compgraph: program must be SSA");
+  CompGraph g;
+  g.num_consts = p.num_consts;
+  g.nodes.resize(p.body.size());
+
+  std::vector<uint32_t> node_of_var(p.num_vars, UINT32_MAX);
+  for (uint32_t i = 0; i < p.body.size(); ++i) node_of_var[p.body[i].target] = i;
+
+  for (uint32_t i = 0; i < p.body.size(); ++i) {
+    CompGraph::Node& n = g.nodes[i];
+    n.children.reserve(p.body[i].args.size());
+    for (const Term& t : p.body[i].args) {
+      if (t.is_const()) {
+        n.children.push_back(t);
+      } else {
+        const uint32_t c = node_of_var[t.id];
+        if (c == UINT32_MAX) throw std::invalid_argument("build_compgraph: undefined var");
+        n.children.push_back(Term::var(c));
+        ++g.nodes[c].n_parents;
+      }
+    }
+  }
+  for (uint32_t o : p.outputs) {
+    const uint32_t n = node_of_var[o];
+    if (n == UINT32_MAX) throw std::invalid_argument("build_compgraph: undefined output");
+    g.nodes[n].is_goal = true;
+    g.goals.push_back(n);
+  }
+  return g;
+}
+
+}  // namespace xorec::slp

@@ -1,0 +1,28 @@
+// Computation graphs (§6.4): the DAG of value dependencies of a fused SSA
+// SLP. Inner nodes are instructions (one per variable), leaves are constants,
+// goal nodes are the returned values. Arena for the pebble game.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+struct CompGraph {
+  struct Node {
+    std::vector<Term> children;  // Term::var ids are *node indices*
+    bool is_goal = false;
+    uint32_t n_parents = 0;  // uses of this node's value by other nodes
+  };
+
+  std::vector<Node> nodes;      // topologically ordered (definition order)
+  std::vector<uint32_t> goals;  // node indices in return order
+  uint32_t num_consts = 0;
+};
+
+/// Requires SSA (fused-pipeline position); node i corresponds to body[i].
+CompGraph build_compgraph(const Program& p);
+
+}  // namespace xorec::slp

@@ -1,0 +1,33 @@
+#include "slp/dump.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace xorec::slp {
+
+std::string to_dot(const CompGraph& g, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=BT;\n";
+
+  std::set<uint32_t> used_consts;
+  for (const auto& n : g.nodes)
+    for (const Term& c : n.children)
+      if (c.is_const()) used_consts.insert(c.id);
+  for (uint32_t c : used_consts)
+    os << "  c" << c << " [shape=box, label=\"c" << c << "\"];\n";
+
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    os << "  v" << i << " [shape=" << (g.nodes[i].is_goal ? "doublecircle" : "circle")
+       << ", label=\"v" << i << "\"];\n";
+  }
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    for (const Term& c : g.nodes[i].children) {
+      os << "  " << (c.is_const() ? "c" : "v") << c.id << " -> v" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xorec::slp

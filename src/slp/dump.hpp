@@ -1,0 +1,15 @@
+// Debug/visualization helpers: Graphviz export of computation graphs (§6.4)
+// so optimizer output can be inspected with `dot -Tsvg`.
+#pragma once
+
+#include <string>
+
+#include "slp/compgraph.hpp"
+
+namespace xorec::slp {
+
+/// DOT source: leaves (constants) as boxes, inner nodes as circles, goals
+/// double-circled — the paper's Figure notation for G_eg.
+std::string to_dot(const CompGraph& g, const std::string& graph_name = "slp");
+
+}  // namespace xorec::slp

@@ -1,0 +1,133 @@
+#include "slp/fusion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace xorec::slp {
+
+Program fuse(const Program& p) {
+  if (!p.is_ssa()) throw std::invalid_argument("fuse: program must be SSA");
+
+  // Working copy of definitions, indexed by variable id.
+  std::vector<std::vector<Term>> def(p.num_vars);
+  std::vector<bool> defined(p.num_vars, false);
+  std::vector<uint32_t> order;  // definition order (var ids)
+  order.reserve(p.body.size());
+  for (const Instruction& ins : p.body) {
+    def[ins.target] = ins.args;
+    defined[ins.target] = true;
+    order.push_back(ins.target);
+  }
+
+  std::vector<uint32_t> use_count(p.num_vars, 0);
+  for (const Instruction& ins : p.body)
+    for (const Term& t : ins.args)
+      if (t.is_var()) ++use_count[t.id];
+
+  std::vector<bool> is_output(p.num_vars, false);
+  for (uint32_t o : p.outputs) is_output[o] = true;
+
+  // Position of each var's definition in `order`, to find hosts quickly.
+  std::vector<uint32_t> def_pos(p.num_vars, UINT32_MAX);
+  for (uint32_t i = 0; i < order.size(); ++i) def_pos[order[i]] = i;
+
+  std::vector<bool> erased(p.num_vars, false);
+
+  // A variable defined after v that references v; SSA order means scanning
+  // forward from v's definition finds the unique user when use_count == 1.
+  auto find_single_user = [&](uint32_t v) -> uint32_t {
+    for (uint32_t i = def_pos[v] + 1; i < order.size(); ++i) {
+      const uint32_t w = order[i];
+      if (erased[w]) continue;
+      if (std::find(def[w].begin(), def[w].end(), Term::var(v)) != def[w].end()) return w;
+    }
+    return UINT32_MAX;
+  };
+
+  // Worklist of fusion candidates: used exactly once and not returned.
+  std::vector<uint32_t> work;
+  for (uint32_t v = 0; v < p.num_vars; ++v)
+    if (defined[v] && use_count[v] == 1 && !is_output[v]) work.push_back(v);
+
+  while (!work.empty()) {
+    const uint32_t v = work.back();
+    work.pop_back();
+    if (erased[v] || use_count[v] != 1 || is_output[v]) continue;
+    const uint32_t host = find_single_user(v);
+    assert(host != UINT32_MAX);
+
+    // Splice def[v] into def[host] at v's position, cancelling duplicates.
+    std::vector<Term>& h = def[host];
+    auto pos = std::find(h.begin(), h.end(), Term::var(v));
+    assert(pos != h.end());
+    size_t insert_at = static_cast<size_t>(pos - h.begin());
+    h.erase(pos);
+    for (const Term& t : def[v]) {
+      auto dup = std::find(h.begin(), h.end(), t);
+      if (dup != h.end()) {
+        // t ⊕ t = 0: drop both occurrences.
+        const size_t dup_idx = static_cast<size_t>(dup - h.begin());
+        h.erase(dup);
+        if (dup_idx < insert_at) --insert_at;
+        if (t.is_var()) {
+          use_count[t.id] -= 2;  // both the inlined and the host use vanish
+          if (use_count[t.id] == 1 && !is_output[t.id]) work.push_back(t.id);
+        }
+      } else {
+        h.insert(h.begin() + static_cast<long>(insert_at), t);
+        ++insert_at;
+      }
+    }
+    if (h.empty())
+      throw std::logic_error("fuse: instruction cancelled to zero (inconsistent program)");
+    erased[v] = true;
+    use_count[v] = 0;
+  }
+
+  // Cancellations can leave unreferenced definitions behind: sweep liveness
+  // from the outputs before assembling.
+  std::vector<bool> live(p.num_vars, false);
+  std::vector<uint32_t> stack;
+  for (uint32_t o : p.outputs)
+    if (!live[o]) {
+      live[o] = true;
+      stack.push_back(o);
+    }
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    for (const Term& t : def[v]) {
+      if (t.is_var() && !live[t.id]) {
+        live[t.id] = true;
+        stack.push_back(t.id);
+      }
+    }
+  }
+
+  Program out;
+  out.num_consts = p.num_consts;
+  out.name = p.name.empty() ? p.name : p.name + "+fuse";
+
+  std::vector<uint32_t> new_id(p.num_vars, UINT32_MAX);
+  for (uint32_t v : order) {
+    if (erased[v] || !live[v]) continue;
+    new_id[v] = out.num_vars++;
+  }
+  for (uint32_t v : order) {
+    if (erased[v] || !live[v]) continue;
+    Instruction ins;
+    ins.target = new_id[v];
+    for (const Term& t : def[v])
+      ins.args.push_back(t.is_var() ? Term::var(new_id[t.id]) : t);
+    out.body.push_back(std::move(ins));
+  }
+  for (uint32_t o : p.outputs) {
+    assert(new_id[o] != UINT32_MAX);
+    out.outputs.push_back(new_id[o]);
+  }
+  return out;
+}
+
+}  // namespace xorec::slp

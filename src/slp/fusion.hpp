@@ -1,0 +1,22 @@
+// XOR fusion (§5.2) — deforestation for SLP⊕.
+//
+// Repeatedly unfolds every variable that is used exactly once (as an
+// argument, and is not returned) into its single use site, eliminating the
+// intermediate array. Theorem 2: each unfolding strictly decreases #M.
+//
+// Variables used more than once are deliberately kept (§5.2's B-vs-C
+// example): unfolding them would *uncompress* the program and raise #M.
+//
+// Unfolding applies ⊕-cancellation syntactically: if the inlined definition
+// shares a term with the host instruction, the duplicated pair XORs to zero
+// and both occurrences are dropped.
+#pragma once
+
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+/// Input must be SSA (every pipeline stage before scheduling is).
+Program fuse(const Program& p);
+
+}  // namespace xorec::slp

@@ -1,0 +1,42 @@
+// Multilevel extension of the §6.2 abstract cache — the §8 future-work item
+// ("we are thinking about using the multilevel pebble game introduced by
+// Savage to accommodate the L2 and L3").
+//
+// Model (Savage's memory-hierarchy game specialized to inclusive LRU): a
+// stack of LRU levels with growing capacities. A touch searches levels
+// top-down; a hit at level i refreshes the block in levels 0..i (inclusion);
+// a miss at every level loads from memory into all levels. A block evicted
+// from level i falls to level i+1 (from the last level, to memory). The
+// reported cost weights transfers by the level they cross.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "slp/metrics.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+struct LevelStats {
+  size_t hits = 0;
+  size_t misses = 0;  // touches that had to go past this level
+};
+
+struct MultilevelResult {
+  std::vector<LevelStats> levels;   // one per cache level
+  size_t memory_loads = 0;          // misses at every level
+  /// Weighted cost: sum over levels of misses * latency[i] + memory loads *
+  /// latency.back() when latencies are supplied, else plain miss counts.
+  double weighted_cost = 0;
+};
+
+/// capacities must be strictly increasing (e.g. {512, 8192} blocks for
+/// 32 KB L1 / 512 KB L2 with 64-byte blocks). latencies, if non-empty, has
+/// one entry per level plus one for memory (e.g. {4, 12, 150} cycles).
+MultilevelResult simulate_multilevel(const Program& p,
+                                     const std::vector<size_t>& capacities,
+                                     ExecForm form,
+                                     const std::vector<double>& latencies = {});
+
+}  // namespace xorec::slp

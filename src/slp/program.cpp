@@ -1,0 +1,112 @@
+#include "slp/program.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace xorec::slp {
+
+void Program::validate() const {
+  std::vector<bool> assigned(num_vars, false);
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Instruction& ins = body[i];
+    if (ins.args.empty())
+      throw std::invalid_argument("Program: instruction " + std::to_string(i) + " has no args");
+    if (ins.target >= num_vars)
+      throw std::invalid_argument("Program: target var out of range");
+    for (const Term& t : ins.args) {
+      if (t.is_const()) {
+        if (t.id >= num_consts) throw std::invalid_argument("Program: const out of range");
+      } else {
+        if (t.id >= num_vars) throw std::invalid_argument("Program: var out of range");
+        if (!assigned[t.id])
+          throw std::invalid_argument("Program: var v" + std::to_string(t.id) +
+                                      " used before assignment");
+      }
+    }
+    assigned[ins.target] = true;
+  }
+  for (uint32_t o : outputs) {
+    if (o >= num_vars || !assigned[o])
+      throw std::invalid_argument("Program: output var never assigned");
+  }
+}
+
+bool Program::is_ssa() const {
+  std::vector<bool> assigned(num_vars, false);
+  for (const Instruction& ins : body) {
+    if (assigned[ins.target]) return false;
+    assigned[ins.target] = true;
+  }
+  return true;
+}
+
+bool Program::is_flat() const {
+  for (const Instruction& ins : body)
+    for (const Term& t : ins.args)
+      if (t.is_var()) return false;
+  return true;
+}
+
+Program Program::binary_expanded() const {
+  Program out;
+  out.num_consts = num_consts;
+  out.num_vars = num_vars;
+  out.outputs = outputs;
+  out.name = name.empty() ? name : name + "+bin";
+  for (const Instruction& ins : body) {
+    if (ins.args.size() <= 2) {
+      out.body.push_back(ins);
+      continue;
+    }
+    out.body.push_back({ins.target, {ins.args[0], ins.args[1]}});
+    for (size_t i = 2; i < ins.args.size(); ++i) {
+      out.body.push_back({ins.target, {Term::var(ins.target), ins.args[i]}});
+    }
+  }
+  return out;
+}
+
+std::string Program::to_string() const {
+  std::string s;
+  auto term_str = [](const Term& t) {
+    return (t.is_const() ? "c" : "v") + std::to_string(t.id);
+  };
+  for (const Instruction& ins : body) {
+    s += "v" + std::to_string(ins.target) + " <- ";
+    for (size_t i = 0; i < ins.args.size(); ++i) {
+      if (i) s += " ^ ";
+      s += term_str(ins.args[i]);
+    }
+    s += ";\n";
+  }
+  s += "ret(";
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (i) s += ", ";
+    s += "v" + std::to_string(outputs[i]);
+  }
+  s += ")\n";
+  return s;
+}
+
+Program from_bitmatrix(const bitmatrix::BitMatrix& m, std::string name) {
+  Program p;
+  p.name = std::move(name);
+  p.num_consts = static_cast<uint32_t>(m.cols());
+  p.num_vars = static_cast<uint32_t>(m.rows());
+  p.body.reserve(m.rows());
+  p.outputs.reserve(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const auto ones = m.row(r).ones();
+    if (ones.empty())
+      throw std::invalid_argument("from_bitmatrix: zero row " + std::to_string(r));
+    Instruction ins;
+    ins.target = static_cast<uint32_t>(r);
+    ins.args.reserve(ones.size());
+    for (uint32_t c : ones) ins.args.push_back(Term::constant(c));
+    p.body.push_back(std::move(ins));
+    p.outputs.push_back(static_cast<uint32_t>(r));
+  }
+  return p;
+}
+
+}  // namespace xorec::slp

@@ -1,0 +1,60 @@
+// The SLP program representation (§4.1, §5.1).
+//
+// One `Program` type covers every stage of the paper's pipeline:
+//  - flat matrix form: one n-ary instruction per output row (the "Base" SLP);
+//  - binary SLP⊕ after (Xor)RePair: every instruction has 2 args;
+//  - fused SLP®⊕: variadic instructions, SSA;
+//  - scheduled pebble programs: variadic, variables (pebbles) reassigned.
+//
+// Instructions execute in order; an instruction XORs its argument values
+// (values *before* this instruction, so in-place updates are well-defined)
+// and stores into the target variable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitmatrix/bitmatrix.hpp"
+#include "slp/term.hpp"
+
+namespace xorec::slp {
+
+struct Instruction {
+  uint32_t target = 0;      // variable id
+  std::vector<Term> args;   // ≥ 1 terms
+};
+
+struct Program {
+  uint32_t num_consts = 0;
+  uint32_t num_vars = 0;
+  std::vector<Instruction> body;
+  std::vector<uint32_t> outputs;  // variable ids, in return order
+  std::string name;
+
+  /// Throws std::invalid_argument when ids are out of range, an argument
+  /// variable is used before any assignment, an instruction has no args, or
+  /// an output variable is never assigned.
+  void validate() const;
+
+  /// True when every variable is assigned exactly once (pre-scheduling form).
+  bool is_ssa() const;
+
+  /// True when instruction args are constants only (fresh-from-matrix form).
+  bool is_flat() const;
+
+  /// Rewrites every k-ary instruction (k > 2) into the accumulate chain
+  ///   v <- t1 ⊕ t2 ; v <- v ⊕ t3 ; ... ; v <- v ⊕ tk
+  /// i.e. the execution form of the paper's "Base"/compressed stages where
+  /// each XOR costs 3 memory accesses (§7.5 accounting).
+  Program binary_expanded() const;
+
+  std::string to_string() const;
+};
+
+/// Flat SLP of a bitmatrix (§2): output r <- XOR of the constants whose bit
+/// is set in row r. Rows with a single 1 become unary copy instructions;
+/// zero rows are rejected (a coding matrix never produces the zero strip).
+Program from_bitmatrix(const bitmatrix::BitMatrix& m, std::string name = {});
+
+}  // namespace xorec::slp

@@ -1,0 +1,115 @@
+#include "slp/schedule_dfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace xorec::slp {
+namespace {
+
+/// Child visitation order: variables (by node index) before constants (by
+/// index) — the ≺ of §4.3 lifted to graph children.
+std::vector<Term> sorted_children(const CompGraph::Node& n) {
+  std::vector<Term> c = n.children;
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+}  // namespace
+
+Program schedule_dfs(const CompGraph& g, const std::string& name) {
+  const uint32_t n_nodes = static_cast<uint32_t>(g.nodes.size());
+
+  std::vector<uint32_t> pebble_of(n_nodes, UINT32_MAX);
+  std::vector<uint32_t> uses_left(n_nodes);
+  for (uint32_t i = 0; i < n_nodes; ++i) uses_left[i] = g.nodes[i].n_parents;
+
+  // Min-heap of reusable pebbles for deterministic ≺-smallest reuse.
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> free_pebbles;
+  uint32_t next_pebble = 0;
+
+  Program out;
+  out.num_consts = g.num_consts;
+  out.name = name;
+
+  std::vector<bool> emitted(n_nodes, false);
+
+  auto emit = [&](uint32_t node) {
+    const CompGraph::Node& n = g.nodes[node];
+    Instruction ins;
+    ins.args.reserve(n.children.size());
+    for (const Term& c : sorted_children(n)) {
+      if (c.is_const()) {
+        ins.args.push_back(c);
+      } else {
+        assert(pebble_of[c.id] != UINT32_MAX);
+        ins.args.push_back(Term::var(pebble_of[c.id]));
+      }
+    }
+    // Consume this instruction's uses, freeing dead non-goal pebbles so that
+    // the target may be one of this instruction's own arguments.
+    for (const Term& c : n.children) {
+      if (!c.is_var()) continue;
+      assert(uses_left[c.id] > 0);
+      if (--uses_left[c.id] == 0 && !g.nodes[c.id].is_goal)
+        free_pebbles.push(pebble_of[c.id]);
+    }
+    uint32_t target;
+    if (!free_pebbles.empty()) {
+      target = free_pebbles.top();
+      free_pebbles.pop();
+    } else {
+      target = next_pebble++;
+    }
+    pebble_of[node] = target;
+    ins.target = target;
+    out.body.push_back(std::move(ins));
+    emitted[node] = true;
+  };
+
+  // Iterative postorder from the roots (nodes with no parents), in ≺ order.
+  struct Frame {
+    uint32_t node;
+    std::vector<uint32_t> kids;  // sorted variable children
+    size_t cur = 0;
+  };
+  auto make_frame = [&](uint32_t node) {
+    Frame f{node, {}, 0};
+    for (const Term& c : sorted_children(g.nodes[node]))
+      if (c.is_var()) f.kids.push_back(c.id);
+    return f;
+  };
+  for (uint32_t root = 0; root < n_nodes; ++root) {
+    if (g.nodes[root].n_parents != 0 || emitted[root]) continue;
+    std::vector<Frame> stack;
+    stack.push_back(make_frame(root));
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.cur < f.kids.size()) {
+        const uint32_t child = f.kids[f.cur++];
+        if (!emitted[child]) stack.push_back(make_frame(child));
+        continue;
+      }
+      if (!emitted[f.node]) emit(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Every goal must be pebbled (roots cover the whole live graph).
+  out.num_vars = next_pebble;
+  for (uint32_t goal : g.goals) {
+    if (pebble_of[goal] == UINT32_MAX)
+      throw std::logic_error("schedule_dfs: goal not reachable from any root");
+    out.outputs.push_back(pebble_of[goal]);
+  }
+  return out;
+}
+
+Program schedule_dfs(const Program& fused_ssa) {
+  Program out = schedule_dfs(build_compgraph(fused_ssa),
+                             fused_ssa.name.empty() ? fused_ssa.name : fused_ssa.name + "+dfs");
+  return out;
+}
+
+}  // namespace xorec::slp

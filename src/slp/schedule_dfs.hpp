@@ -1,0 +1,20 @@
+// DFS (postorder) scheduling heuristic (§6.6).
+//
+// Visits the computation graph's root nodes in ≺ order, children in ≺ order
+// (variables before constants), and emits one instruction per node in
+// postorder. Pebbles (physical buffers) are reused as soon as a non-goal
+// value is dead — uses consumed by the instruction being emitted count as
+// consumed, so an instruction may reuse one of its own argument pebbles
+// in place.
+#pragma once
+
+#include "slp/compgraph.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+/// Returns the pebble program (non-SSA; NVar == pebbles used).
+Program schedule_dfs(const Program& fused_ssa);
+Program schedule_dfs(const CompGraph& g, const std::string& name = {});
+
+}  // namespace xorec::slp

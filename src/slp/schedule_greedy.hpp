@@ -1,0 +1,20 @@
+// Bottom-up greedy scheduling heuristic (§6.6).
+//
+// Takes the abstract-cache capacity as a parameter. At each step it picks,
+// among the computable nodes, the one maximizing |H| / |C| where C are the
+// node's children and H the children whose block is currently cached; it
+// accesses cached children first, then the rest, then places the result on a
+// movable cached pebble / any movable pebble / a fresh pebble, in that
+// preference order. Ties break by ≺ (node index, pebble id).
+#pragma once
+
+#include "slp/compgraph.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+Program schedule_greedy(const Program& fused_ssa, size_t cache_capacity);
+Program schedule_greedy(const CompGraph& g, size_t cache_capacity,
+                        const std::string& name = {});
+
+}  // namespace xorec::slp

@@ -1,0 +1,41 @@
+#include "slp/semantics.hpp"
+
+namespace xorec::slp {
+
+std::vector<Value> evaluate_vars(const Program& p) {
+  std::vector<Value> vals(p.num_vars, Value(p.num_consts));
+  for (const Instruction& ins : p.body) {
+    Value acc(p.num_consts);
+    for (const Term& t : ins.args) {
+      if (t.is_const()) {
+        acc.flip(t.id);
+      } else {
+        acc ^= vals[t.id];
+      }
+    }
+    vals[ins.target] = std::move(acc);
+  }
+  return vals;
+}
+
+std::vector<Value> denotation(const Program& p) {
+  const std::vector<Value> vals = evaluate_vars(p);
+  std::vector<Value> out;
+  out.reserve(p.outputs.size());
+  for (uint32_t o : p.outputs) out.push_back(vals[o]);
+  return out;
+}
+
+bool equivalent(const Program& p, const Program& q) {
+  if (p.num_consts != q.num_consts) return false;
+  return denotation(p) == denotation(q);
+}
+
+bitmatrix::BitMatrix denotation_matrix(const Program& p) {
+  const std::vector<Value> out = denotation(p);
+  bitmatrix::BitMatrix m(out.size(), p.num_consts);
+  for (size_t i = 0; i < out.size(); ++i) m.row(i) = out[i];
+  return m;
+}
+
+}  // namespace xorec::slp

@@ -1,0 +1,29 @@
+// Set-based semantics of SLP⊕ (§4.1): the value of a term is a set of
+// constants; ⊕ is symmetric difference. Values are packed BitRows over the
+// constants, which makes the semantics exact for erasure coding (the input
+// strips are linearly independent) and cheap to compare.
+#pragma once
+
+#include <vector>
+
+#include "bitmatrix/bitmatrix.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+using Value = bitmatrix::BitRow;  // one bit per constant
+
+/// Values of all variables after running the program (final assignment wins).
+std::vector<Value> evaluate_vars(const Program& p);
+
+/// J P K of §4.1: the values of the returned variables, in return order.
+std::vector<Value> denotation(const Program& p);
+
+/// J P K == J Q K — the correctness statement every optimizer pass preserves.
+bool equivalent(const Program& p, const Program& q);
+
+/// The denotation as a bitmatrix (row per output) — inverse of
+/// `from_bitmatrix` up to optimization.
+bitmatrix::BitMatrix denotation_matrix(const Program& p);
+
+}  // namespace xorec::slp

@@ -1,0 +1,64 @@
+// Terms of SLP⊕ / SLP®⊕ (§4.1): constants are program inputs (byte-array
+// strips), variables are arrays allocated at runtime.
+//
+// The total order ≺ (§4.3) places (temporal) variables before constants,
+// variables by generation order, constants by index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace xorec::slp {
+
+struct Term {
+  enum class Kind : uint8_t { Var = 0, Const = 1 };
+
+  Kind kind = Kind::Const;
+  uint32_t id = 0;
+
+  static Term var(uint32_t id) { return Term{Kind::Var, id}; }
+  static Term constant(uint32_t id) { return Term{Kind::Const, id}; }
+
+  bool is_var() const { return kind == Kind::Var; }
+  bool is_const() const { return kind == Kind::Const; }
+
+  friend bool operator==(const Term&, const Term&) = default;
+
+  /// The paper's ≺: variables (by generation order) precede constants
+  /// (by index). Kind::Var == 0 makes the pair compare do exactly that.
+  friend auto operator<=>(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return a.kind <=> b.kind;
+    return a.id <=> b.id;
+  }
+
+  /// Dense key for hash maps: low bit = kind.
+  uint64_t key() const { return (static_cast<uint64_t>(id) << 1) | static_cast<uint64_t>(kind); }
+  static Term from_key(uint64_t k) {
+    return Term{static_cast<Kind>(k & 1), static_cast<uint32_t>(k >> 1)};
+  }
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return std::hash<uint64_t>{}(t.key()); }
+};
+
+/// Unordered pair of terms with the lexicographic ⊏ ordering of §4.3.
+struct TermPair {
+  Term lo, hi;  // lo ≺ hi (or equal never happens: pairs are of distinct terms)
+
+  static TermPair make(Term a, Term b) { return (a < b) ? TermPair{a, b} : TermPair{b, a}; }
+
+  friend bool operator==(const TermPair&, const TermPair&) = default;
+  friend auto operator<=>(const TermPair& a, const TermPair& b) {
+    if (auto c = a.lo <=> b.lo; c != 0) return c;
+    return a.hi <=> b.hi;
+  }
+
+  uint64_t key() const { return (lo.key() << 32) | hi.key(); }
+};
+
+struct TermPairHash {
+  size_t operator()(const TermPair& p) const { return std::hash<uint64_t>{}(p.key()); }
+};
+
+}  // namespace xorec::slp

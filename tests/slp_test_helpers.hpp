@@ -1,0 +1,78 @@
+// Shared builders for SLP tests: the paper's worked examples and random
+// flat programs (bitmatrix SLPs) for property sweeps.
+#pragma once
+
+#include <random>
+
+#include "slp/program.hpp"
+
+namespace xorec::slp::testing {
+
+inline Term C(uint32_t id) { return Term::constant(id); }
+inline Term V(uint32_t id) { return Term::var(id); }
+
+/// §6.2's running example P_eg over constants A..G = c0..c6:
+///   v0 <- A ^ B;  v1 <- C ^ D;  v2 <- (v0, E, F);
+///   v3 <- (v2, G, A);  v4 <- (v0, v2, v3);  ret(v1, v3, v4)
+inline Program make_peg() {
+  Program p;
+  p.num_consts = 7;
+  p.num_vars = 5;
+  p.body = {
+      {0, {C(0), C(1)}},
+      {1, {C(2), C(3)}},
+      {2, {V(0), C(4), C(5)}},
+      {3, {V(2), C(6), C(0)}},
+      {4, {V(0), V(2), V(3)}},
+  };
+  p.outputs = {1, 3, 4};
+  p.name = "peg";
+  return p;
+}
+
+/// §6.3's register-assigned variant P_reg: instruction 5 stores into v0.
+inline Program make_preg() {
+  Program p = make_peg();
+  p.body[4].target = 0;
+  p.outputs = {1, 3, 0};
+  p.name = "preg";
+  return p;
+}
+
+/// §4.2's P0 (the RePair/XorRePair running example) over a..d = c0..c3.
+inline Program make_p0() {
+  Program p;
+  p.num_consts = 4;
+  p.num_vars = 4;
+  p.body = {
+      {0, {C(0), C(1)}},
+      {1, {C(0), C(1), C(2)}},
+      {2, {C(0), C(1), C(2), C(3)}},
+      {3, {C(1), C(2), C(3)}},
+  };
+  p.outputs = {0, 1, 2, 3};
+  p.name = "p0";
+  return p;
+}
+
+/// Random flat SLP: `rows` outputs over `consts` inputs, each row a random
+/// nonzero subset (density ~1/2) — the shape bitmatrix coding produces.
+inline Program random_flat(uint32_t consts, uint32_t rows, uint32_t seed) {
+  std::mt19937 rng(seed);
+  Program p;
+  p.num_consts = consts;
+  p.num_vars = rows;
+  for (uint32_t r = 0; r < rows; ++r) {
+    Instruction ins;
+    ins.target = r;
+    for (uint32_t c = 0; c < consts; ++c)
+      if (rng() & 1) ins.args.push_back(C(c));
+    if (ins.args.empty()) ins.args.push_back(C(rng() % consts));
+    p.body.push_back(std::move(ins));
+    p.outputs.push_back(r);
+  }
+  p.name = "rand" + std::to_string(seed);
+  return p;
+}
+
+}  // namespace xorec::slp::testing

@@ -1,0 +1,159 @@
+// BitRow/BitMatrix mechanics and the GF(2^8) -> F2 expansion (§1's ˜V):
+// the homomorphism  companion(x) · bits(y) == bits(x·y)  is the correctness
+// core of XOR-based EC, checked exhaustively.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitmatrix/bitmatrix.hpp"
+
+namespace bm = xorec::bitmatrix;
+namespace gf = xorec::gf;
+
+namespace {
+
+bm::BitRow bits_of_byte(uint8_t b) {
+  bm::BitRow r(8);
+  for (int i = 0; i < 8; ++i)
+    if ((b >> i) & 1) r.set(i, true);
+  return r;
+}
+
+uint8_t byte_of_bits(const bm::BitRow& r) {
+  uint8_t b = 0;
+  for (int i = 0; i < 8; ++i)
+    if (r.get(i)) b |= static_cast<uint8_t>(1u << i);
+  return b;
+}
+
+}  // namespace
+
+TEST(BitRow, SetGetFlip) {
+  bm::BitRow r(130);
+  EXPECT_EQ(r.size(), 130u);
+  r.set(0, true);
+  r.set(64, true);
+  r.set(129, true);
+  EXPECT_TRUE(r.get(0));
+  EXPECT_TRUE(r.get(64));
+  EXPECT_TRUE(r.get(129));
+  EXPECT_FALSE(r.get(1));
+  r.flip(129);
+  EXPECT_FALSE(r.get(129));
+  EXPECT_EQ(r.popcount(), 2u);
+}
+
+TEST(BitRow, XorIsSymmetricDifference) {
+  bm::BitRow a(100), b(100);
+  a.set(3, true);
+  a.set(50, true);
+  b.set(50, true);
+  b.set(99, true);
+  const bm::BitRow c = a ^ b;
+  EXPECT_TRUE(c.get(3));
+  EXPECT_FALSE(c.get(50));
+  EXPECT_TRUE(c.get(99));
+  EXPECT_EQ(c.popcount(), 2u);
+  EXPECT_EQ(a.xor_popcount(b), 2u);
+}
+
+TEST(BitRow, OnesEnumeratesAscending) {
+  bm::BitRow r(200);
+  const std::vector<uint32_t> want{0, 63, 64, 127, 128, 199};
+  for (uint32_t i : want) r.set(i, true);
+  EXPECT_EQ(r.ones(), want);
+}
+
+TEST(BitRow, XorPopcountMatchesMaterialized) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    bm::BitRow a(173), b(173);
+    for (int i = 0; i < 173; ++i) {
+      if (rng() & 1) a.flip(i);
+      if (rng() & 1) b.flip(i);
+    }
+    EXPECT_EQ(a.xor_popcount(b), (a ^ b).popcount());
+  }
+}
+
+TEST(BitMatrix, IdentityApply) {
+  const bm::BitMatrix i = bm::BitMatrix::identity(40);
+  bm::BitRow x(40);
+  x.set(0, true);
+  x.set(39, true);
+  EXPECT_EQ(i.apply(x), x);
+}
+
+TEST(BitMatrix, MultiplyMatchesApplyComposition) {
+  std::mt19937 rng(13);
+  bm::BitMatrix a(9, 12), b(12, 7);
+  for (size_t i = 0; i < 9; ++i)
+    for (size_t j = 0; j < 12; ++j) a.set(i, j, rng() & 1);
+  for (size_t i = 0; i < 12; ++i)
+    for (size_t j = 0; j < 7; ++j) b.set(i, j, rng() & 1);
+  bm::BitRow x(7);
+  for (size_t j = 0; j < 7; ++j) x.set(j, rng() & 1);
+  EXPECT_EQ((a * b).apply(x), a.apply(b.apply(x)));
+}
+
+TEST(BitMatrix, CompanionHomomorphismExhaustive) {
+  // companion(x) * bits(y) == bits(x*y) for all 65536 pairs (§1 property ii).
+  for (int x = 0; x < 256; ++x) {
+    const bm::BitMatrix m = bm::companion(static_cast<uint8_t>(x));
+    for (int y = 0; y < 256; ++y) {
+      const uint8_t want = gf::mul(static_cast<uint8_t>(x), static_cast<uint8_t>(y));
+      ASSERT_EQ(byte_of_bits(m.apply(bits_of_byte(static_cast<uint8_t>(y)))), want)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(BitMatrix, CompanionOfOneIsIdentity) {
+  EXPECT_EQ(bm::companion(1), bm::BitMatrix::identity(8));
+}
+
+TEST(BitMatrix, CompanionIsMultiplicative) {
+  // companion(a)*companion(b) == companion(a*b): ˜· is a ring homomorphism.
+  for (int a = 1; a < 256; a += 37)
+    for (int b = 1; b < 256; b += 41)
+      ASSERT_EQ(bm::companion(a) * bm::companion(b),
+                bm::companion(gf::mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b))));
+}
+
+TEST(BitMatrix, ExpandAgreesWithGfApply) {
+  // ˜V · bits(D) == bits(V ·_{F2^8} D) on random data (§1's key equation).
+  std::mt19937 rng(17);
+  const gf::Matrix v = gf::rs_parity_matrix(6, 3);
+  const bm::BitMatrix ve = bm::expand(v);
+  EXPECT_EQ(ve.rows(), 3u * 8);
+  EXPECT_EQ(ve.cols(), 6u * 8);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<uint8_t> d(6);
+    for (auto& x : d) x = static_cast<uint8_t>(rng());
+    const std::vector<uint8_t> coded = v.apply(d);
+    const bm::BitRow coded_bits = ve.apply(bm::pack_bytes(d));
+    EXPECT_EQ(bm::unpack_bytes(coded_bits), coded);
+  }
+}
+
+TEST(BitMatrix, PackUnpackRoundTrip) {
+  std::vector<uint8_t> bytes{0x00, 0xff, 0x5a, 0x01, 0x80};
+  EXPECT_EQ(bm::unpack_bytes(bm::pack_bytes(bytes)), bytes);
+}
+
+TEST(BitMatrix, XorCostCountsChainXors) {
+  bm::BitMatrix m(3, 8);
+  m.set(0, 0, true);  // 1 one  -> 0 xors
+  m.set(1, 0, true);
+  m.set(1, 3, true);
+  m.set(1, 7, true);  // 3 ones -> 2 xors
+  EXPECT_EQ(m.xor_cost(), 2u);
+  EXPECT_EQ(m.total_ones(), 4u);
+}
+
+TEST(BitMatrix, ToStringRendersRows) {
+  bm::BitMatrix m(2, 3);
+  m.set(0, 0, true);
+  m.set(1, 2, true);
+  EXPECT_EQ(m.to_string(), "100\n001\n");
+}

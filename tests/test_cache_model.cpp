@@ -1,0 +1,118 @@
+// The abstract LRU cache model (§6.2): CCap and IOcost, validated against
+// the paper's fully worked P_eg / P_reg traces and LRU stack properties.
+#include <gtest/gtest.h>
+
+#include "slp/cache_model.hpp"
+#include "slp_test_helpers.hpp"
+
+using namespace xorec::slp;
+using namespace xorec::slp::testing;
+
+TEST(CacheModel, PegCCapIs10) {
+  // §6.2: "We can confirm CCap(P_eg) = 10."
+  EXPECT_EQ(ccap(make_peg(), ExecForm::Fused), 10u);
+}
+
+TEST(CacheModel, PegIoCostAtCapacity10Is9) {
+  // §6.2: 7 loads + 2 evictions.
+  const CacheSimResult r = simulate_lru(make_peg(), 10, ExecForm::Fused);
+  EXPECT_EQ(r.loads, 7u);
+  EXPECT_EQ(r.evictions, 2u);
+  EXPECT_EQ(r.io_cost(), 9u);
+  EXPECT_EQ(r.reloads, 0u);
+}
+
+TEST(CacheModel, PegIoCostAtCapacity8Is13) {
+  // §6.2: "We can easily check IOcost(P_eg, 8) = 13."
+  EXPECT_EQ(io_cost(make_peg(), 8, ExecForm::Fused), 13u);
+}
+
+TEST(CacheModel, PregRegisterAssignmentReducesIoCostTo12) {
+  // §6.3: IOcost(P_reg, 8) = 12 but CCap unchanged at 10.
+  EXPECT_EQ(io_cost(make_preg(), 8, ExecForm::Fused), 12u);
+  EXPECT_EQ(ccap(make_preg(), ExecForm::Fused), 10u);
+}
+
+TEST(CacheModel, ReloadHappensBelowCCap) {
+  const Program p = make_peg();
+  const size_t cc = ccap(p, ExecForm::Fused);
+  EXPECT_EQ(simulate_lru(p, cc, ExecForm::Fused).reloads, 0u);
+  EXPECT_GT(simulate_lru(p, cc - 1, ExecForm::Fused).reloads, 0u);
+}
+
+TEST(CacheModel, CCapIsMinimalReloadFreeCapacityOnRandomPrograms) {
+  // Cross-check the stack-distance CCap against direct simulation.
+  for (uint32_t seed = 0; seed < 8; ++seed) {
+    const Program p = random_flat(24, 10, seed);
+    for (ExecForm form : {ExecForm::Binary, ExecForm::Fused}) {
+      const size_t cc = ccap(p, form);
+      EXPECT_EQ(simulate_lru(p, cc, form).reloads, 0u) << "seed " << seed;
+      if (cc > 1) {
+        EXPECT_GT(simulate_lru(p, cc - 1, form).reloads, 0u) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(CacheModel, IoCostIsMonotoneInCapacity) {
+  // LRU's stack-inclusion property: more cache never hurts.
+  for (uint32_t seed = 0; seed < 6; ++seed) {
+    const Program p = random_flat(30, 12, 100 + seed);
+    size_t prev = SIZE_MAX;
+    for (size_t cap = 4; cap <= 48; ++cap) {
+      const size_t cost = io_cost(p, cap, ExecForm::Fused);
+      EXPECT_LE(cost, prev) << "seed " << seed << " cap " << cap;
+      prev = cost;
+    }
+  }
+}
+
+TEST(CacheModel, LargeCapacityCostIsColdMissesOnly) {
+  // With capacity >= CCap there are no reloads and no evictions of blocks
+  // that are touched again, so IOcost = distinct constants + evictions; at
+  // capacity >= total blocks, IOcost = distinct constants exactly.
+  const Program p = make_peg();
+  const CacheSimResult r = simulate_lru(p, 1000, ExecForm::Fused);
+  EXPECT_EQ(r.loads, 7u);  // A..G
+  EXPECT_EQ(r.evictions, 0u);
+}
+
+TEST(CacheModel, BinaryFormTouchesMoreThanFused) {
+  const Program p = make_peg();
+  EXPECT_GT(touch_sequence(p, ExecForm::Binary).size(),
+            touch_sequence(p, ExecForm::Fused).size());
+}
+
+TEST(CacheModel, TouchSequenceOrderIsArgsThenTarget) {
+  Program p;
+  p.num_consts = 3;
+  p.num_vars = 1;
+  p.body = {{0, {Term::constant(2), Term::constant(0), Term::constant(1)}}};
+  p.outputs = {0};
+  const auto seq = touch_sequence(p, ExecForm::Fused);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], Term::constant(2));
+  EXPECT_EQ(seq[1], Term::constant(0));
+  EXPECT_EQ(seq[2], Term::constant(1));
+  EXPECT_EQ(seq[3], Term::var(0));
+}
+
+TEST(CacheModel, CCapAtLeastInstructionFootprint) {
+  // One wide instruction: needs all args + target cached at once.
+  Program p;
+  p.num_consts = 9;
+  p.num_vars = 1;
+  Instruction ins;
+  ins.target = 0;
+  for (uint32_t c = 0; c < 9; ++c) ins.args.push_back(Term::constant(c));
+  p.body = {ins};
+  p.outputs = {0};
+  EXPECT_EQ(ccap(p, ExecForm::Fused), 10u);
+}
+
+TEST(CacheModel, EvictionsCountEvenForCleanConstants) {
+  // Tiny capacity: constants get evicted and each eviction is one transfer.
+  const CacheSimResult r = simulate_lru(make_peg(), 3, ExecForm::Fused);
+  EXPECT_GT(r.evictions, 0u);
+  EXPECT_GT(r.reloads, 0u);
+}

@@ -1,0 +1,116 @@
+// XOR fusion (§5.2): semantic preservation, Theorem 2 (#M strictly
+// decreases), the single-use fixpoint, and the §5.2 compress-vs-fuse example.
+#include <gtest/gtest.h>
+
+#include "slp/fusion.hpp"
+#include "slp/metrics.hpp"
+#include "slp/repair.hpp"
+#include "slp/semantics.hpp"
+#include "slp_test_helpers.hpp"
+
+using namespace xorec::slp;
+using namespace xorec::slp::testing;
+
+TEST(Fusion, ChainCollapsesToOneInstruction) {
+  // §5's example: ((a^b)^c)^d becomes Xor4(a,b,c,d).
+  Program p;
+  p.num_consts = 4;
+  p.num_vars = 3;
+  p.body = {{0, {C(0), C(1)}}, {1, {V(0), C(2)}}, {2, {V(1), C(3)}}};
+  p.outputs = {2};
+  const Program q = fuse(p);
+  q.validate();
+  EXPECT_TRUE(equivalent(p, q));
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.body[0].args.size(), 4u);
+  EXPECT_EQ(mem_accesses(q, ExecForm::Fused), 5u);
+}
+
+TEST(Fusion, SharedVariableIsKept) {
+  // §5.2's B program: v0 used twice must NOT unfold (it would raise #M).
+  Program b;
+  b.num_consts = 7;
+  b.num_vars = 3;
+  b.body = {{0, {C(0), C(1), C(2), C(3), C(4)}}, {1, {V(0), C(5)}}, {2, {V(0), C(6)}}};
+  b.outputs = {1, 2};
+  const Program q = fuse(b);
+  EXPECT_TRUE(equivalent(b, q));
+  EXPECT_EQ(q.body.size(), 3u);  // unchanged
+  EXPECT_EQ(mem_accesses(q, ExecForm::Fused), 12u);
+}
+
+TEST(Fusion, OutputVariablesAreNeverInlined) {
+  // v0 is used once by v1 but also returned: it must survive.
+  Program p;
+  p.num_consts = 3;
+  p.num_vars = 2;
+  p.body = {{0, {C(0), C(1)}}, {1, {V(0), C(2)}}};
+  p.outputs = {0, 1};
+  const Program q = fuse(p);
+  EXPECT_TRUE(equivalent(p, q));
+  EXPECT_EQ(q.body.size(), 2u);
+}
+
+TEST(Fusion, Theorem2MemAccessStrictlyDecreases) {
+  // Whenever fusion fires at least once, #M strictly drops (Theorem 2).
+  for (uint32_t seed = 0; seed < 12; ++seed) {
+    const Program flat = random_flat(32, 12, 200 + seed);
+    const Program co = xor_repair_compress(flat);
+    const Program fu = fuse(co);
+    fu.validate();
+    ASSERT_TRUE(equivalent(co, fu)) << "seed " << seed;
+    if (fu.body.size() < co.body.size()) {
+      EXPECT_LT(mem_accesses(fu, ExecForm::Fused), mem_accesses(co, ExecForm::Fused))
+          << "seed " << seed;
+    }
+    EXPECT_EQ(xor_ops(fu), xor_ops(co)) << "fusion must not change XOR work";
+  }
+}
+
+TEST(Fusion, FixpointHasNoSingleUseTemporaries) {
+  const Program fu = fuse(xor_repair_compress(random_flat(48, 20, 77)));
+  std::vector<uint32_t> uses(fu.num_vars, 0);
+  for (const Instruction& ins : fu.body)
+    for (const Term& t : ins.args)
+      if (t.is_var()) ++uses[t.id];
+  std::vector<bool> is_out(fu.num_vars, false);
+  for (uint32_t o : fu.outputs) is_out[o] = true;
+  for (uint32_t v = 0; v < fu.num_vars; ++v) {
+    if (!is_out[v]) {
+      EXPECT_NE(uses[v], 1u) << "v" << v << " should have been inlined";
+    }
+  }
+}
+
+TEST(Fusion, CancellationOnInline) {
+  // v0 = a^b; v1 = v0^a (single use): inlining cancels `a`, leaving v1 = b.
+  Program p;
+  p.num_consts = 2;
+  p.num_vars = 2;
+  p.body = {{0, {C(0), C(1)}}, {1, {V(0), C(0)}}};
+  p.outputs = {1};
+  const Program q = fuse(p);
+  EXPECT_TRUE(equivalent(p, q));
+  ASSERT_EQ(q.body.size(), 1u);
+  ASSERT_EQ(q.body[0].args.size(), 1u);
+  EXPECT_EQ(q.body[0].args[0], C(1));
+}
+
+TEST(Fusion, FlatProgramsAreAlreadyFixpoints) {
+  const Program flat = random_flat(20, 8, 31);
+  const Program q = fuse(flat);
+  EXPECT_EQ(q.body.size(), flat.body.size());
+  EXPECT_TRUE(equivalent(flat, q));
+}
+
+TEST(Fusion, RejectsNonSsa) {
+  EXPECT_THROW(fuse(make_preg()), std::invalid_argument);
+}
+
+TEST(Fusion, PegFusesV1IntoNothingButKeepsShared) {
+  // In P_eg, v0 and v2 are used twice (kept); nothing is single-use except
+  // none — the program is already a fixpoint.
+  const Program q = fuse(make_peg());
+  EXPECT_EQ(q.body.size(), 5u);
+  EXPECT_TRUE(equivalent(make_peg(), q));
+}

@@ -1,0 +1,164 @@
+// Matrices over GF(2^8): algebra, inversion, the paper's systematic
+// Vandermonde construction (§7.1), and the MDS property decoding relies on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf/gfmat.hpp"
+
+namespace gf = xorec::gf;
+
+namespace {
+
+gf::Matrix random_matrix(size_t r, size_t c, uint32_t seed) {
+  std::mt19937 rng(seed);
+  gf::Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i)
+    for (size_t j = 0; j < c; ++j) m.at(i, j) = static_cast<uint8_t>(rng());
+  return m;
+}
+
+}  // namespace
+
+TEST(GfMat, IdentityIsNeutral) {
+  const gf::Matrix a = random_matrix(6, 6, 1);
+  const gf::Matrix i = gf::Matrix::identity(6);
+  EXPECT_EQ(a * i, a);
+  EXPECT_EQ(i * a, a);
+}
+
+TEST(GfMat, MultiplicationAssociates) {
+  const gf::Matrix a = random_matrix(4, 5, 2);
+  const gf::Matrix b = random_matrix(5, 3, 3);
+  const gf::Matrix c = random_matrix(3, 6, 4);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(GfMat, ShapeMismatchThrows) {
+  const gf::Matrix a = random_matrix(4, 5, 5);
+  const gf::Matrix b = random_matrix(4, 5, 6);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(a.apply(std::vector<uint8_t>(4)), std::invalid_argument);
+}
+
+TEST(GfMat, ApplyMatchesMatrixProduct) {
+  const gf::Matrix a = random_matrix(7, 5, 7);
+  std::vector<uint8_t> x{1, 22, 133, 0, 250};
+  gf::Matrix xm(5, 1);
+  for (size_t i = 0; i < 5; ++i) xm.at(i, 0) = x[i];
+  const gf::Matrix y = a * xm;
+  const std::vector<uint8_t> ya = a.apply(x);
+  for (size_t i = 0; i < 7; ++i) EXPECT_EQ(y.at(i, 0), ya[i]);
+}
+
+TEST(GfMat, InverseRoundTrip) {
+  for (uint32_t seed = 0; seed < 20; ++seed) {
+    gf::Matrix a = random_matrix(8, 8, 100 + seed);
+    const auto inv = a.inverse();
+    if (!inv) continue;  // singular random matrix: rare but legal
+    EXPECT_EQ(a * *inv, gf::Matrix::identity(8));
+    EXPECT_EQ(*inv * a, gf::Matrix::identity(8));
+  }
+}
+
+TEST(GfMat, SingularMatrixHasNoInverse) {
+  gf::Matrix a(3, 3);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 1;  // duplicate rows
+  a.at(0, 1) = 7;
+  a.at(1, 1) = 7;
+  EXPECT_FALSE(a.inverse().has_value());
+  EXPECT_LT(a.rank(), 3u);
+}
+
+TEST(GfMat, RankOfProducts) {
+  const gf::Matrix a = random_matrix(6, 4, 42);
+  EXPECT_LE(a.rank(), 4u);
+  EXPECT_EQ(gf::Matrix::identity(9).rank(), 9u);
+}
+
+TEST(GfMat, VandermondeShapeAndFirstColumn) {
+  const gf::Matrix v = gf::vandermonde(14, 10);
+  EXPECT_EQ(v.rows(), 14u);
+  EXPECT_EQ(v.cols(), 10u);
+  for (size_t i = 0; i < 14; ++i) EXPECT_EQ(v.at(i, 0), 1);  // x^0
+  // Row i is powers of alpha^(i+1).
+  EXPECT_EQ(v.at(0, 1), gf::kAlpha);
+  EXPECT_EQ(v.at(1, 1), gf::alpha_pow(2));
+  EXPECT_EQ(v.at(0, 2), gf::mul(gf::kAlpha, gf::kAlpha));
+}
+
+TEST(GfMat, SystematicMatrixHasIdentityTop) {
+  const gf::Matrix v = gf::rs_systematic_matrix(10, 4);
+  EXPECT_EQ(v.rows(), 14u);
+  EXPECT_EQ(v.cols(), 10u);
+  for (size_t i = 0; i < 10; ++i)
+    for (size_t j = 0; j < 10; ++j)
+      EXPECT_EQ(v.at(i, j), (i == j) ? 1 : 0) << i << "," << j;
+}
+
+TEST(GfMat, ParityMatrixIsBottomOfSystematic) {
+  const gf::Matrix v = gf::rs_systematic_matrix(10, 4);
+  const gf::Matrix parity = gf::rs_parity_matrix(10, 4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 10; ++j) EXPECT_EQ(parity.at(i, j), v.at(10 + i, j));
+}
+
+// The decoding guarantee: every n-row submatrix of the systematic matrix is
+// invertible (MDS). Exhaustive over all C(14,4) = 1001 survivor patterns.
+TEST(GfMat, SystematicVandermondeIsMdsForRs10_4) {
+  const gf::Matrix v = gf::rs_systematic_matrix(10, 4);
+  std::vector<size_t> erased(4);
+  size_t checked = 0;
+  for (size_t a = 0; a < 14; ++a)
+    for (size_t b = a + 1; b < 14; ++b)
+      for (size_t c = b + 1; c < 14; ++c)
+        for (size_t d = c + 1; d < 14; ++d) {
+          std::vector<size_t> survivors;
+          for (size_t r = 0; r < 14; ++r)
+            if (r != a && r != b && r != c && r != d) survivors.push_back(r);
+          ASSERT_TRUE(gf::decode_matrix(v, survivors).has_value())
+              << "erased {" << a << "," << b << "," << c << "," << d << "}";
+          ++checked;
+        }
+  EXPECT_EQ(checked, 1001u);
+}
+
+TEST(GfMat, CauchyIsMdsSampled) {
+  const gf::Matrix v = gf::rs_cauchy_matrix(8, 3);
+  for (size_t a = 0; a < 11; ++a)
+    for (size_t b = a + 1; b < 11; ++b)
+      for (size_t c = b + 1; c < 11; ++c) {
+        std::vector<size_t> survivors;
+        for (size_t r = 0; r < 11; ++r)
+          if (r != a && r != b && r != c) survivors.push_back(r);
+        ASSERT_TRUE(gf::decode_matrix(v, survivors).has_value());
+      }
+}
+
+TEST(GfMat, DecodeMatrixRecoversData) {
+  const gf::Matrix v = gf::rs_systematic_matrix(6, 3);
+  std::vector<uint8_t> data{10, 200, 3, 44, 0, 255};
+  const std::vector<uint8_t> coded = v.apply(data);
+  const std::vector<size_t> survivors{0, 2, 4, 6, 7, 8};  // lose rows 1,3,5
+  const auto minv = gf::decode_matrix(v, survivors);
+  ASSERT_TRUE(minv.has_value());
+  std::vector<uint8_t> gathered;
+  for (size_t s : survivors) gathered.push_back(coded[s]);
+  EXPECT_EQ(minv->apply(gathered), data);
+}
+
+TEST(GfMat, BadParametersThrow) {
+  EXPECT_THROW(gf::rs_systematic_matrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(gf::rs_systematic_matrix(10, 0), std::invalid_argument);
+  EXPECT_THROW(gf::rs_systematic_matrix(200, 100), std::invalid_argument);
+  EXPECT_THROW(gf::rs_cauchy_matrix(250, 20), std::invalid_argument);
+}
+
+TEST(GfMat, SelectRowsAndVstack) {
+  const gf::Matrix a = random_matrix(5, 3, 9);
+  const gf::Matrix top = a.select_rows({0, 1});
+  const gf::Matrix rest = a.select_rows({2, 3, 4});
+  EXPECT_EQ(top.vstack(rest), a);
+  EXPECT_THROW(a.select_rows({99}), std::out_of_range);
+}

@@ -1,0 +1,141 @@
+// ObjectCodec: blob-level encode/decode with headers, padding, arbitrary
+// sizes, shuffled/partial fragment sets, and corruption rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "ec/object_codec.hpp"
+
+using namespace xorec;
+
+namespace {
+
+std::vector<uint8_t> random_blob(size_t size, uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint8_t> b(size);
+  for (auto& x : b) x = static_cast<uint8_t>(rng());
+  return b;
+}
+
+}  // namespace
+
+class ObjectCodecSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ObjectCodecSizes, RoundTripsWithNoLoss) {
+  const size_t size = GetParam();
+  ec::ObjectCodec codec(10, 4);
+  const auto blob = random_blob(size, static_cast<uint32_t>(size));
+  const auto enc = codec.encode(blob.data(), blob.size());
+  ASSERT_EQ(enc.fragments.size(), 14u);
+  const auto dec = codec.decode(enc.fragments);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ObjectCodecSizes,
+                         ::testing::Values<size_t>(0, 1, 7, 8, 79, 80, 81, 1000, 4096,
+                                                   65536, 1 << 20, (1 << 20) + 13),
+                         [](const auto& info) { return "s" + std::to_string(info.param); });
+
+TEST(ObjectCodec, SurvivesMaximumErasures) {
+  ec::ObjectCodec codec(6, 3);
+  const auto blob = random_blob(100000, 9);
+  auto enc = codec.encode(blob.data(), blob.size());
+
+  // Keep only 6 of 9 fragments: drop two data + one parity.
+  std::vector<std::vector<uint8_t>> survivors;
+  for (size_t id : {1, 3, 4, 5, 7, 8}) survivors.push_back(enc.fragments[id]);
+  const auto dec = codec.decode(survivors);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+}
+
+TEST(ObjectCodec, ParityOnlySurvivorsStillDecode) {
+  ec::ObjectCodec codec(4, 4);
+  const auto blob = random_blob(5000, 11);
+  auto enc = codec.encode(blob.data(), blob.size());
+  std::vector<std::vector<uint8_t>> survivors(enc.fragments.begin() + 4,
+                                              enc.fragments.end());
+  const auto dec = codec.decode(survivors);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+}
+
+TEST(ObjectCodec, FragmentOrderDoesNotMatter) {
+  ec::ObjectCodec codec(5, 2);
+  const auto blob = random_blob(12345, 3);
+  auto enc = codec.encode(blob.data(), blob.size());
+  std::mt19937 rng(5);
+  std::shuffle(enc.fragments.begin(), enc.fragments.end(), rng);
+  const auto dec = codec.decode(enc.fragments);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+}
+
+TEST(ObjectCodec, TooFewFragmentsFails) {
+  ec::ObjectCodec codec(8, 2);
+  const auto blob = random_blob(999, 4);
+  auto enc = codec.encode(blob.data(), blob.size());
+  enc.fragments.resize(7);  // below n = 8
+  EXPECT_EQ(codec.decode(enc.fragments), std::nullopt);
+}
+
+TEST(ObjectCodec, CorruptHeadersAreSkipped) {
+  ec::ObjectCodec codec(4, 2);
+  const auto blob = random_blob(777, 8);
+  auto enc = codec.encode(blob.data(), blob.size());
+  enc.fragments[0][0] ^= 0xFF;  // break magic of one fragment
+  const auto dec = codec.decode(enc.fragments);  // still 5 healthy fragments
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+}
+
+TEST(ObjectCodec, MixedObjectsRejected) {
+  ec::ObjectCodec codec(4, 2);
+  const auto blob_a = random_blob(1000, 1);
+  const auto blob_b = random_blob(2000, 2);
+  auto enc_a = codec.encode(blob_a.data(), blob_a.size());
+  auto enc_b = codec.encode(blob_b.data(), blob_b.size());
+  std::vector<std::vector<uint8_t>> mixed;
+  for (size_t i = 0; i < 3; ++i) mixed.push_back(enc_a.fragments[i]);
+  for (size_t i = 3; i < 6; ++i) mixed.push_back(enc_b.fragments[i]);
+  EXPECT_EQ(codec.decode(mixed), std::nullopt);
+}
+
+TEST(ObjectCodec, TruncatedFragmentIsIgnored) {
+  ec::ObjectCodec codec(4, 2);
+  const auto blob = random_blob(888, 6);
+  auto enc = codec.encode(blob.data(), blob.size());
+  enc.fragments[2].resize(enc.fragments[2].size() / 2);
+  const auto dec = codec.decode(enc.fragments);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+}
+
+TEST(ObjectCodec, RebuildAllRegeneratesIdenticalFragments) {
+  ec::ObjectCodec codec(6, 2);
+  const auto blob = random_blob(50000, 13);
+  auto enc = codec.encode(blob.data(), blob.size());
+  // Lose two fragments, rebuild the full set.
+  std::vector<std::vector<uint8_t>> partial;
+  for (size_t id = 0; id < 8; ++id)
+    if (id != 1 && id != 6) partial.push_back(enc.fragments[id]);
+  const auto rebuilt = codec.rebuild_all(partial);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->fragments, enc.fragments);
+}
+
+TEST(ObjectCodec, HeaderGeometryIsSelfDescribing) {
+  ec::ObjectCodec codec(10, 4);
+  const auto blob = random_blob(10000, 21);
+  const auto enc = codec.encode(blob.data(), blob.size());
+  // Each fragment carries "XSLP" + geometry.
+  for (const auto& f : enc.fragments) {
+    ASSERT_GE(f.size(), ec::ObjectCodec::kHeaderSize);
+    EXPECT_EQ(f[0], 'X');
+    EXPECT_EQ(f[1], 'S');
+    EXPECT_EQ(f[2], 'L');
+    EXPECT_EQ(f[3], 'P');
+  }
+}

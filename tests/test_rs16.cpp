@@ -1,0 +1,114 @@
+// GF(2^16) field and the wide-symbol RS codec (w = 16 strips) built on the
+// generic XOR-code machinery.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "altcodes/rs16.hpp"
+#include "bitmatrix/f2solve.hpp"
+#include "gf/gf65536.hpp"
+
+using namespace xorec;
+
+TEST(Gf65536, MulMatchesSlowOracleSampled) {
+  std::mt19937 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const uint16_t a = static_cast<uint16_t>(rng());
+    const uint16_t b = static_cast<uint16_t>(rng());
+    ASSERT_EQ(gf16::mul(a, b), gf16::mul_slow(a, b)) << a << "*" << b;
+  }
+}
+
+TEST(Gf65536, FieldAxiomsSampled) {
+  std::mt19937 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const uint16_t a = static_cast<uint16_t>(rng());
+    const uint16_t b = static_cast<uint16_t>(rng());
+    const uint16_t c = static_cast<uint16_t>(rng());
+    ASSERT_EQ(gf16::mul(a, b), gf16::mul(b, a));
+    ASSERT_EQ(gf16::mul(gf16::mul(a, b), c), gf16::mul(a, gf16::mul(b, c)));
+    ASSERT_EQ(gf16::mul(a, static_cast<uint16_t>(b ^ c)),
+              gf16::mul(a, b) ^ gf16::mul(a, c));
+  }
+}
+
+TEST(Gf65536, InverseRoundTripsSampled) {
+  std::mt19937 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    uint16_t a = static_cast<uint16_t>(rng());
+    if (a == 0) a = 1;
+    ASSERT_EQ(gf16::mul(a, gf16::inv(a)), 1u);
+  }
+  EXPECT_THROW(gf16::inv(0), std::domain_error);
+}
+
+TEST(Gf65536, AlphaHasFullOrder) {
+  // alpha^65535 == 1 and alpha^k != 1 for proper divisors of 65535
+  // (3 * 5 * 17 * 257): checking the maximal proper divisors suffices.
+  EXPECT_EQ(gf16::alpha_pow(65535), 1u);
+  for (unsigned d : {21845u, 13107u, 3855u, 255u}) EXPECT_NE(gf16::alpha_pow(d), 1u);
+}
+
+TEST(Rs16, SpecIsSystematicAndWellFormed) {
+  const auto spec = altcodes::rs16_spec(6, 3);
+  EXPECT_EQ(spec.strips_per_block, 16u);
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_THROW(altcodes::rs16_spec(0, 3), std::invalid_argument);
+}
+
+TEST(Rs16, CompanionBlocksAreNonsingular) {
+  // Every parity coefficient is nonzero in a Cauchy matrix, so each 16x16
+  // companion block must have full F2 rank.
+  const auto spec = altcodes::rs16_spec(4, 2);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      bitmatrix::BitMatrix block(16, 16);
+      for (size_t r = 0; r < 16; ++r)
+        for (size_t c = 0; c < 16; ++c)
+          block.set(r, c, spec.code.get((4 + i) * 16 + r, j * 16 + c));
+      EXPECT_EQ(bitmatrix::f2_rank(block), 16u) << "block " << i << "," << j;
+    }
+  }
+}
+
+TEST(Rs16, EncodeDecodeRoundTripAllMaxErasures) {
+  altcodes::XorCodec codec(altcodes::rs16_spec(5, 2));
+  const size_t frag_len = 16 * 64;
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<uint8_t>> frags(7, std::vector<uint8_t>(frag_len));
+  for (size_t i = 0; i < 5; ++i)
+    for (auto& b : frags[i]) b = static_cast<uint8_t>(rng());
+  {
+    std::vector<const uint8_t*> data;
+    std::vector<uint8_t*> parity;
+    for (size_t i = 0; i < 5; ++i) data.push_back(frags[i].data());
+    for (size_t i = 0; i < 2; ++i) parity.push_back(frags[5 + i].data());
+    codec.encode(data.data(), parity.data(), frag_len);
+  }
+  for (uint32_t a = 0; a < 7; ++a) {
+    for (uint32_t b = a + 1; b < 7; ++b) {
+      std::vector<uint32_t> erased{a, b};
+      std::vector<uint32_t> available;
+      std::vector<const uint8_t*> avail;
+      for (uint32_t id = 0; id < 7; ++id)
+        if (id != a && id != b) {
+          available.push_back(id);
+          avail.push_back(frags[id].data());
+        }
+      std::vector<std::vector<uint8_t>> out(2, std::vector<uint8_t>(frag_len));
+      std::vector<uint8_t*> outs{out[0].data(), out[1].data()};
+      codec.reconstruct(available, avail.data(), erased, outs.data(), frag_len);
+      ASSERT_EQ(out[0], frags[a]) << a << "," << b;
+      ASSERT_EQ(out[1], frags[b]) << a << "," << b;
+    }
+  }
+}
+
+TEST(Rs16, OptimizerShrinksWideSymbolPrograms) {
+  // The 16x16 companions are denser than 8x8 ones; XorRePair should still
+  // find heavy sharing.
+  altcodes::XorCodec codec(altcodes::rs16_spec(6, 3));
+  const auto& pipe = codec.encode_pipeline();
+  ASSERT_TRUE(pipe.compressed.has_value());
+  EXPECT_LT(slp::xor_ops(*pipe.compressed), slp::xor_ops(pipe.base));
+}

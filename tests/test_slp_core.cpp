@@ -1,0 +1,198 @@
+// SLP representation, set-based semantics (§4.1) and the static metrics
+// (#⊕, #M, NVar) with the paper's §7.5 accounting.
+#include <gtest/gtest.h>
+
+#include "slp/metrics.hpp"
+#include "slp/semantics.hpp"
+#include "slp_test_helpers.hpp"
+
+using namespace xorec::slp;
+using namespace xorec::slp::testing;
+namespace bm = xorec::bitmatrix;
+
+TEST(SlpProgram, ValidateAcceptsPaperExamples) {
+  EXPECT_NO_THROW(make_peg().validate());
+  EXPECT_NO_THROW(make_preg().validate());
+  EXPECT_NO_THROW(make_p0().validate());
+}
+
+TEST(SlpProgram, ValidateRejectsUseBeforeDef) {
+  Program p;
+  p.num_consts = 2;
+  p.num_vars = 2;
+  p.body = {{0, {V(1), C(0)}}};  // v1 never assigned yet
+  p.outputs = {0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(SlpProgram, ValidateRejectsEmptyArgsAndBadIds) {
+  Program p;
+  p.num_consts = 1;
+  p.num_vars = 1;
+  p.body = {{0, {}}};
+  p.outputs = {0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  Program q;
+  q.num_consts = 1;
+  q.num_vars = 1;
+  q.body = {{0, {C(5)}}};
+  q.outputs = {0};
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+
+  Program r;
+  r.num_consts = 1;
+  r.num_vars = 2;
+  r.body = {{0, {C(0)}}};
+  r.outputs = {1};  // never assigned
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(SlpProgram, SsaAndFlatPredicates) {
+  EXPECT_TRUE(make_peg().is_ssa());
+  EXPECT_FALSE(make_peg().is_flat());
+  EXPECT_TRUE(make_p0().is_flat());
+  EXPECT_FALSE(make_preg().is_ssa());  // v0 assigned twice
+}
+
+TEST(SlpSemantics, PaperSection41Example) {
+  // v0 <- a^b; v1 <- b^c^d; v2 <- v0^v1; ret(v1, v2, v0)
+  Program p;
+  p.num_consts = 4;
+  p.num_vars = 3;
+  p.body = {{0, {C(0), C(1)}}, {1, {C(1), C(2), C(3)}}, {2, {V(0), V(1)}}};
+  p.outputs = {1, 2, 0};
+  const auto out = denotation(p);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].ones(), (std::vector<uint32_t>{1, 2, 3}));  // {b,c,d}
+  EXPECT_EQ(out[1].ones(), (std::vector<uint32_t>{0, 2, 3}));  // {a,c,d}
+  EXPECT_EQ(out[2].ones(), (std::vector<uint32_t>{0, 1}));     // {a,b}
+}
+
+TEST(SlpSemantics, InPlaceAccumulateReadsOldValue) {
+  // v0 <- a^b; v0 <- v0^c  ==> {a,b,c}
+  Program p;
+  p.num_consts = 3;
+  p.num_vars = 1;
+  p.body = {{0, {C(0), C(1)}}, {0, {V(0), C(2)}}};
+  p.outputs = {0};
+  EXPECT_EQ(denotation(p)[0].ones(), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(SlpSemantics, CancellativityHolds) {
+  // v0 <- a^b; v1 <- v0^a  ==> {b}
+  Program p;
+  p.num_consts = 2;
+  p.num_vars = 2;
+  p.body = {{0, {C(0), C(1)}}, {1, {V(0), C(0)}}};
+  p.outputs = {1};
+  EXPECT_EQ(denotation(p)[0].ones(), (std::vector<uint32_t>{1}));
+}
+
+TEST(SlpSemantics, EquivalenceIsOrderInsensitiveToArgPermutation) {
+  Program p = make_peg();
+  Program q = make_peg();
+  std::swap(q.body[2].args[0], q.body[2].args[2]);  // commutativity
+  EXPECT_TRUE(equivalent(p, q));
+}
+
+TEST(SlpSemantics, DenotationMatrixRoundTripsFromBitmatrix) {
+  const Program p = random_flat(40, 16, 5);
+  const bm::BitMatrix m = denotation_matrix(p);
+  const Program q = from_bitmatrix(m);
+  EXPECT_TRUE(equivalent(p, q));
+}
+
+TEST(SlpFromBitmatrix, RejectsZeroRows) {
+  bm::BitMatrix m(2, 4);
+  m.set(0, 1, true);  // row 1 stays zero
+  EXPECT_THROW(from_bitmatrix(m), std::invalid_argument);
+}
+
+TEST(SlpFromBitmatrix, UnaryRowBecomesCopy) {
+  bm::BitMatrix m(1, 4);
+  m.set(0, 2, true);
+  const Program p = from_bitmatrix(m);
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0].args.size(), 1u);
+  EXPECT_EQ(xor_ops(p), 0u);
+}
+
+TEST(SlpBinaryExpand, PreservesSemanticsAndXorCount) {
+  const Program p = make_peg();
+  const Program b = p.binary_expanded();
+  EXPECT_TRUE(equivalent(p, b));
+  EXPECT_EQ(xor_ops(p), xor_ops(b));
+  for (const Instruction& ins : b.body) EXPECT_LE(ins.args.size(), 2u);
+}
+
+TEST(SlpMetrics, XorOpsAndMemAccesses) {
+  const Program p = make_peg();  // arities 2,2,3,3,3
+  EXPECT_EQ(xor_ops(p), 8u);     // 1+1+2+2+2
+  // Fused: sum(arity+1) = 3+3+4+4+4 = 18. Binary: 3 per XOR = 24.
+  EXPECT_EQ(mem_accesses(p, ExecForm::Fused), 18u);
+  EXPECT_EQ(mem_accesses(p, ExecForm::Binary), 24u);
+}
+
+TEST(SlpMetrics, Section5MemAccessExample) {
+  // §5: ((a^b)^c)^d as 3 binary XORs = 9N accesses; fused Xor4 = 5N.
+  Program chain;
+  chain.num_consts = 4;
+  chain.num_vars = 3;
+  chain.body = {{0, {C(0), C(1)}}, {1, {V(0), C(2)}}, {2, {V(1), C(3)}}};
+  chain.outputs = {2};
+  EXPECT_EQ(mem_accesses(chain, ExecForm::Binary), 9u);
+
+  Program fused;
+  fused.num_consts = 4;
+  fused.num_vars = 1;
+  fused.body = {{0, {C(0), C(1), C(2), C(3)}}};
+  fused.outputs = {0};
+  EXPECT_EQ(mem_accesses(fused, ExecForm::Fused), 5u);
+}
+
+TEST(SlpMetrics, Section52FusionTradeoffExample) {
+  // §5.2: A (two 6-term rows, binary) vs B (compressed+fused) vs C (fused).
+  Program a;
+  a.num_consts = 7;  // a..g
+  a.num_vars = 2;
+  a.body = {{0, {C(0), C(1), C(2), C(3), C(4), C(5)}},
+            {1, {C(0), C(1), C(2), C(3), C(4), C(6)}}};
+  a.outputs = {0, 1};
+  EXPECT_EQ(mem_accesses(a, ExecForm::Binary), 30u);
+
+  Program b;
+  b.num_consts = 7;
+  b.num_vars = 3;
+  b.body = {{0, {C(0), C(1), C(2), C(3), C(4)}}, {1, {V(0), C(5)}}, {2, {V(0), C(6)}}};
+  b.outputs = {1, 2};
+  EXPECT_EQ(mem_accesses(b, ExecForm::Fused), 12u);
+
+  Program c;
+  c.num_consts = 7;
+  c.num_vars = 2;
+  c.body = {{0, {C(0), C(1), C(2), C(3), C(4), C(5)}},
+            {1, {C(0), C(1), C(2), C(3), C(4), C(6)}}};
+  c.outputs = {0, 1};
+  EXPECT_EQ(mem_accesses(c, ExecForm::Fused), 14u);
+}
+
+TEST(SlpMetrics, NVarCountsDistinctTargets) {
+  EXPECT_EQ(nvar(make_peg()), 5u);
+  EXPECT_EQ(nvar(make_preg()), 4u);  // v0 reused
+}
+
+TEST(SlpMetrics, MeasureBundlesAllStats) {
+  const StageMetrics m = measure(make_peg(), ExecForm::Fused);
+  EXPECT_EQ(m.xor_ops, 8u);
+  EXPECT_EQ(m.instructions, 5u);
+  EXPECT_EQ(m.mem_accesses, 18u);
+  EXPECT_EQ(m.nvar, 5u);
+  EXPECT_GT(m.ccap, 0u);
+}
+
+TEST(SlpProgram, ToStringIsReadable) {
+  const std::string s = make_p0().to_string();
+  EXPECT_NE(s.find("v0 <- c0 ^ c1;"), std::string::npos);
+  EXPECT_NE(s.find("ret(v0, v1, v2, v3)"), std::string::npos);
+}
