@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       auto codec = std::make_shared<ec::RsCodec>(n, p, full_options(block, sched));
       if (!printed) {
         const auto m =
-            slp::measure(codec->encode_pipeline().final_program(), slp::ExecForm::Fused);
+            slp::measure(codec->encode_pipeline()->final_program(), slp::ExecForm::Fused);
         std::printf("P_Full_enc (%s) static measures: NVar=%zu CCap=%zu "
                     "(paper: NVar~90 CCap~170)\n",
                     sched_name, m.nvar, m.ccap);

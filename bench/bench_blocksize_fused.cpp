@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   for (size_t block : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
     auto codec = std::make_shared<ec::RsCodec>(n, p, fused_uncompressed_options(block));
     if (!printed) {
-      const auto& pipe = codec->encode_pipeline();
+      const auto& pipe = *codec->encode_pipeline();
       const auto m = slp::measure(pipe.final_program(), slp::ExecForm::Fused);
       std::printf("P+F_enc static measures: NVar=%zu CCap=%zu #xor=%zu #M=%zu "
                   "(paper: NVar=32 CCap=88)\n",

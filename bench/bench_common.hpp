@@ -1,21 +1,23 @@
-// Shared machinery for the paper-table benchmarks: codec construction
-// presets, random cluster setup, and throughput registration helpers.
+// Shared machinery for the paper-table benchmarks, written against the
+// unified xorec::Codec interface: any registered codec — selected by spec
+// string or constructed directly — benches through the same helpers.
 //
 // Conventions (matching §7): data size is 10 MB per coding call (n fragments
-// of 10MB/n each, rounded to a multiple of 8); throughput is data bytes per
-// second of coding time, reported through google-benchmark's bytes counter
-// (console column "bytes_per_second", GB/s = value / 1e9... benchmark prints
-// human units).
+// of 10MB/n each, rounded to the codec's strip geometry); throughput is data
+// bytes per second of coding time, reported through google-benchmark's bytes
+// counter (console column "bytes_per_second", GB/s = value / 1e9...
+// benchmark prints human units).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <random>
 #include <vector>
 
-#include "baseline/isal_style.hpp"
+#include "api/xorec.hpp"
 #include "baseline/naive_xor.hpp"
 #include "ec/rs_codec.hpp"
 
@@ -23,19 +25,24 @@ namespace xorec::bench {
 
 inline constexpr size_t kDataBytes = 10u << 20;  // the paper's 10 MB objects
 
-inline size_t frag_len_for(size_t n) {
+/// Fragment length for an n-way split of the 10 MB object, rounded down to
+/// whole 8-byte words per strip. `fragment_multiple` is the codec's strip
+/// count (Codec::fragment_multiple()); the historical `% 64` was the w = 8
+/// special case.
+inline size_t frag_len_for(size_t n, size_t fragment_multiple = 8) {
+  const size_t unit = fragment_multiple * 8;
   const size_t raw = kDataBytes / n;
-  return raw - raw % 64;  // multiple of 8 strips x 8-byte words
+  return std::max(unit, raw - raw % unit);
 }
 
-/// One encoded RS cluster with owned buffers.
-struct RsCluster {
+/// One encoded fragment cluster with owned buffers, for any codec geometry.
+struct Cluster {
   size_t n, p, frag_len;
   std::vector<std::vector<uint8_t>> frags;
   std::vector<const uint8_t*> data_ptrs;
   std::vector<uint8_t*> parity_ptrs;
 
-  RsCluster(size_t n_, size_t p_, size_t frag_len_, uint32_t seed = 1)
+  Cluster(size_t n_, size_t p_, size_t frag_len_, uint32_t seed = 1)
       : n(n_), p(p_), frag_len(frag_len_) {
     std::mt19937_64 rng(seed);
     frags.assign(n + p, std::vector<uint8_t>(frag_len));
@@ -48,7 +55,20 @@ struct RsCluster {
     for (size_t i = 0; i < n; ++i) data_ptrs.push_back(frags[i].data());
     for (size_t i = 0; i < p; ++i) parity_ptrs.push_back(frags[n + i].data());
   }
+
+  /// Geometry (n, p, frag_len) straight from a codec.
+  Cluster(const Codec& codec, uint32_t seed = 1)
+      : Cluster(codec.data_fragments(), codec.parity_fragments(),
+                frag_len_for(codec.data_fragments(), codec.fragment_multiple()), seed) {}
 };
+
+/// Historical name (all paper benches started as RS); same struct.
+using RsCluster = Cluster;
+
+/// Registry spec -> shared codec, the way benches select codecs.
+inline std::shared_ptr<const Codec> codec_for(const std::string& spec) {
+  return std::shared_ptr<const Codec>(make_codec(spec));
+}
 
 /// Pipeline presets for the paper's four stages.
 inline ec::CodecOptions stage_options(slp::CompressKind compress, bool fuse,
@@ -82,8 +102,8 @@ inline ec::CodecOptions full_options(size_t block,
 }
 
 /// Registers an encode-throughput benchmark over a shared codec/cluster.
-inline void register_encode(const std::string& name, std::shared_ptr<ec::RsCodec> codec,
-                            std::shared_ptr<RsCluster> cluster) {
+inline void register_encode(const std::string& name, std::shared_ptr<const Codec> codec,
+                            std::shared_ptr<Cluster> cluster) {
   benchmark::RegisterBenchmark(name.c_str(), [codec, cluster](benchmark::State& state) {
     for (auto _ : state) {
       codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(),
@@ -96,8 +116,8 @@ inline void register_encode(const std::string& name, std::shared_ptr<ec::RsCodec
 }
 
 /// Decode benchmark: reconstruct `erased` (pre-encoded cluster required).
-inline void register_decode(const std::string& name, std::shared_ptr<ec::RsCodec> codec,
-                            std::shared_ptr<RsCluster> cluster,
+inline void register_decode(const std::string& name, std::shared_ptr<const Codec> codec,
+                            std::shared_ptr<Cluster> cluster,
                             std::vector<uint32_t> erased) {
   // Pre-encode once so the survivors are valid.
   codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(), cluster->frag_len);

@@ -1,7 +1,7 @@
 // E12 — §7.6 low-parity comparison: RS(d,3) and RS(d,2) (ours vs ISA-L
 // style), plus the specialized array codes the paper's table cites — STAR
-// (3 parities), EVENODD and RDP (2 parities) — all running through the same
-// SLP pipeline via the generic XorCodec.
+// (3 parities), EVENODD and RDP (2 parities) — all selected from the codec
+// registry by spec string and run through the same SLP pipeline.
 //
 // Paper (intel, B=1K, GB/s, ours enc/dec):
 //   RS(8,3) 12.32/8.82   RS(9,3) 11.97/8.27   RS(10,3) 11.78/8.89
@@ -10,83 +10,22 @@
 // throughput; generic RS competitive with the specialized codes.
 #include "bench_common.hpp"
 
-#include "altcodes/evenodd.hpp"
-#include "altcodes/rdp.hpp"
-#include "altcodes/star.hpp"
-
 using namespace xorec;
 using namespace xorec::bench;
 
 namespace {
 
-/// Array-code cluster (w strips per block instead of 8).
-struct ArrayCluster {
-  size_t k, m, frag_len;
-  std::vector<std::vector<uint8_t>> frags;
-  std::vector<const uint8_t*> data_ptrs;
-  std::vector<uint8_t*> parity_ptrs;
-
-  ArrayCluster(const altcodes::XorCodec& codec, uint32_t seed)
-      : k(codec.data_blocks()), m(codec.parity_blocks()) {
-    const size_t w = codec.fragment_multiple();
-    const size_t raw = kDataBytes / k;
-    frag_len = raw - raw % (w * 64);
-    std::mt19937_64 rng(seed);
-    frags.assign(k + m, std::vector<uint8_t>(frag_len));
-    for (size_t i = 0; i < k; ++i)
-      for (size_t b = 0; b + 8 <= frag_len; b += 8) {
-        const uint64_t v = rng();
-        std::memcpy(frags[i].data() + b, &v, 8);
-      }
-    for (size_t i = 0; i < k; ++i) data_ptrs.push_back(frags[i].data());
-    for (size_t i = 0; i < m; ++i) parity_ptrs.push_back(frags[k + i].data());
-  }
-};
-
-void register_array_encode(const std::string& name,
-                           std::shared_ptr<altcodes::XorCodec> codec,
-                           std::shared_ptr<ArrayCluster> cluster) {
-  benchmark::RegisterBenchmark(name.c_str(), [codec, cluster](benchmark::State& state) {
-    for (auto _ : state) {
-      codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(),
-                    cluster->frag_len);
-      benchmark::ClobberMemory();
-    }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(cluster->k * cluster->frag_len));
-  });
-}
-
-void register_array_decode(const std::string& name,
-                           std::shared_ptr<altcodes::XorCodec> codec,
-                           std::shared_ptr<ArrayCluster> cluster,
-                           std::vector<uint32_t> erased) {
-  codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(), cluster->frag_len);
-  auto available = std::make_shared<std::vector<uint32_t>>();
-  auto avail_ptrs = std::make_shared<std::vector<const uint8_t*>>();
-  for (uint32_t id = 0; id < cluster->k + cluster->m; ++id)
-    if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
-      available->push_back(id);
-      avail_ptrs->push_back(cluster->frags[id].data());
-    }
-  auto out = std::make_shared<std::vector<std::vector<uint8_t>>>(
-      erased.size(), std::vector<uint8_t>(cluster->frag_len));
-  auto out_ptrs = std::make_shared<std::vector<uint8_t*>>();
-  for (auto& o : *out) out_ptrs->push_back(o.data());
-  auto er = std::make_shared<std::vector<uint32_t>>(std::move(erased));
-  benchmark::RegisterBenchmark(
-      name.c_str(), [codec, cluster, available, avail_ptrs, er, out, out_ptrs](
-                        benchmark::State& state) {
-        codec->reconstruct(*available, avail_ptrs->data(), *er, out_ptrs->data(),
-                           cluster->frag_len);  // warm program cache
-        for (auto _ : state) {
-          codec->reconstruct(*available, avail_ptrs->data(), *er, out_ptrs->data(),
-                             cluster->frag_len);
-          benchmark::ClobberMemory();
-        }
-        state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                                static_cast<int64_t>(cluster->k * cluster->frag_len));
-      });
+/// Codec by spec; cluster sized from its geometry; encode + decode benches.
+void register_spec(const std::string& spec, const std::string& tag,
+                   std::vector<uint32_t> erased, uint32_t seed) {
+  auto codec = codec_for(spec);
+  auto cluster = std::make_shared<Cluster>(*codec, seed);
+  register_encode(tag + "_encode/k" + std::to_string(cluster->n) + "_p" +
+                      std::to_string(cluster->p),
+                  codec, cluster);
+  register_decode(tag + "_decode/k" + std::to_string(cluster->n) + "_p" +
+                      std::to_string(cluster->p),
+                  codec, cluster, std::move(erased));
 }
 
 }  // namespace
@@ -94,46 +33,23 @@ void register_array_decode(const std::string& name,
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
 
-  const size_t block = 1024;
+  const std::string tuning = "@block=1024,passes=full";
 
   for (size_t p : {3, 2}) {
     for (size_t d : {8, 9, 10}) {
-      const std::string tag = "rs" + std::to_string(d) + "_" + std::to_string(p);
-      auto cluster = std::make_shared<RsCluster>(d, p, frag_len_for(d));
       std::vector<uint32_t> erased{2, 4, 5, 6};
       erased.resize(p);
-
-      auto ours = std::make_shared<ec::RsCodec>(d, p, full_options(block));
-      register_encode("ours_encode/" + tag, ours, cluster);
-      register_decode("ours_decode/" + tag, ours, cluster, erased);
+      register_spec(
+          "rs(" + std::to_string(d) + "," + std::to_string(p) + ")" + tuning,
+          "ours_rs" + std::to_string(d) + "_" + std::to_string(p), erased,
+          static_cast<uint32_t>(d * 10 + p));
     }
   }
 
-  // Specialized array codes through the same pipeline.
-  ec::CodecOptions array_opt;
-  array_opt.pipeline.compress = slp::CompressKind::XorRePair;
-  array_opt.pipeline.fuse = true;
-  array_opt.pipeline.schedule = slp::ScheduleKind::Dfs;
-  array_opt.exec.block_size = block;
-
-  {
-    auto codec = std::make_shared<altcodes::XorCodec>(altcodes::evenodd_spec(11), array_opt);
-    auto cluster = std::make_shared<ArrayCluster>(*codec, 3);
-    register_array_encode("evenodd11_encode/k11_p2", codec, cluster);
-    register_array_decode("evenodd11_decode/k11_p2", codec, cluster, {2, 4});
-  }
-  {
-    auto codec = std::make_shared<altcodes::XorCodec>(altcodes::rdp_spec(11), array_opt);
-    auto cluster = std::make_shared<ArrayCluster>(*codec, 4);
-    register_array_encode("rdp11_encode/k10_p2", codec, cluster);
-    register_array_decode("rdp11_decode/k10_p2", codec, cluster, {2, 4});
-  }
-  {
-    auto codec = std::make_shared<altcodes::XorCodec>(altcodes::star_spec(11), array_opt);
-    auto cluster = std::make_shared<ArrayCluster>(*codec, 5);
-    register_array_encode("star11_encode/k11_p3", codec, cluster);
-    register_array_decode("star11_decode/k11_p3", codec, cluster, {2, 4, 5});
-  }
+  // Specialized array codes through the same pipeline (native prime layouts).
+  register_spec("evenodd(11)" + tuning, "evenodd11", {2, 4}, 3);
+  register_spec("rdp(10)" + tuning, "rdp11", {2, 4}, 4);
+  register_spec("star(11)" + tuning, "star11", {2, 4, 5}, 5);
 
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

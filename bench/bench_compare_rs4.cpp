@@ -1,6 +1,8 @@
 // E11 — §7.6 four-parity comparison: our fully optimized XOR-SLP codec vs
 // the ISA-L-style GF-table baseline vs the unoptimized XOR base, RS(d,4)
-// encode and decode for d = 8, 9, 10.
+// encode and decode for d = 8, 9, 10. All three engines are selected from
+// the codec registry by spec string and run through the same generic
+// harness.
 //
 // Paper (intel, B=1K, GB/s):            Ours Enc/Dec   ISA-L Enc/Dec
 //   RS(8,4)                             8.86 / 6.78     7.18 / 7.04
@@ -13,72 +15,32 @@
 using namespace xorec;
 using namespace xorec::bench;
 
-namespace {
-
-void register_isal(const std::string& name, std::shared_ptr<baseline::IsalStyleCodec> codec,
-                   std::shared_ptr<RsCluster> cluster) {
-  benchmark::RegisterBenchmark(name.c_str(), [codec, cluster](benchmark::State& state) {
-    for (auto _ : state) {
-      codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(),
-                    cluster->frag_len);
-      benchmark::ClobberMemory();
-    }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(cluster->n * cluster->frag_len));
-  });
-}
-
-void register_isal_decode(const std::string& name,
-                          std::shared_ptr<baseline::IsalStyleCodec> codec,
-                          std::shared_ptr<RsCluster> cluster, std::vector<uint32_t> erased) {
-  codec->encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(), cluster->frag_len);
-  auto available = std::make_shared<std::vector<uint32_t>>();
-  auto avail_ptrs = std::make_shared<std::vector<const uint8_t*>>();
-  for (uint32_t id = 0; id < cluster->n + cluster->p; ++id)
-    if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
-      available->push_back(id);
-      avail_ptrs->push_back(cluster->frags[id].data());
-    }
-  auto out = std::make_shared<std::vector<std::vector<uint8_t>>>(
-      erased.size(), std::vector<uint8_t>(cluster->frag_len));
-  auto out_ptrs = std::make_shared<std::vector<uint8_t*>>();
-  for (auto& o : *out) out_ptrs->push_back(o.data());
-  auto er = std::make_shared<std::vector<uint32_t>>(std::move(erased));
-  benchmark::RegisterBenchmark(
-      name.c_str(), [codec, cluster, available, avail_ptrs, er, out, out_ptrs](
-                        benchmark::State& state) {
-        for (auto _ : state) {
-          codec->reconstruct(*available, avail_ptrs->data(), *er, out_ptrs->data(),
-                             cluster->frag_len);
-          benchmark::ClobberMemory();
-        }
-        state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                                static_cast<int64_t>(cluster->n * cluster->frag_len));
-      });
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
 
-  const size_t block = 1024;
+  const std::string tuning = "@block=1024";
   const std::vector<uint32_t> erased{2, 4, 5, 6};
 
   for (size_t d : {8, 9, 10}) {
+    const std::string dims = "(" + std::to_string(d) + ",4)";
     const std::string tag = "rs" + std::to_string(d) + "_4";
-    auto cluster = std::make_shared<RsCluster>(d, 4, frag_len_for(d));
+    // One cluster per engine (same seed, same data): the engines' parity
+    // layouts differ, so sharing buffers would leave a decode bench running
+    // against the other engine's parity bytes.
+    const auto fresh_cluster = [&] {
+      return std::make_shared<Cluster>(d, 4, frag_len_for(d));
+    };
 
-    auto ours = std::make_shared<ec::RsCodec>(d, 4, full_options(block));
-    register_encode("ours_encode/" + tag, ours, cluster);
-    register_decode("ours_decode/" + tag, ours, cluster, erased);
+    auto ours = codec_for("rs" + dims + tuning + ",passes=full");
+    register_encode("ours_encode/" + tag, ours, fresh_cluster());
+    register_decode("ours_decode/" + tag, ours, fresh_cluster(), erased);
 
-    auto isal = std::make_shared<baseline::IsalStyleCodec>(d, 4);
-    register_isal("isal_style_encode/" + tag, isal, cluster);
-    register_isal_decode("isal_style_decode/" + tag, isal, cluster, erased);
+    auto isal = codec_for("isal" + dims);
+    register_encode("isal_style_encode/" + tag, isal, fresh_cluster());
+    register_decode("isal_style_decode/" + tag, isal, fresh_cluster(), erased);
 
-    auto naive = std::make_shared<ec::RsCodec>(d, 4, base_options(block));
-    register_encode("naive_xor_encode/" + tag, naive, cluster);
+    auto naive = codec_for("naive_xor" + dims + tuning);
+    register_encode("naive_xor_encode/" + tag, naive, fresh_cluster());
   }
 
   benchmark::RunSpecifiedBenchmarks();

@@ -31,7 +31,7 @@ int main() {
       ec::CodecOptions opt;
       opt.exec.block_size = 1024;
       ec::RsCodec codec(d, p, opt);
-      const auto& enc = codec.encode_pipeline();
+      const auto& enc = *codec.encode_pipeline();
       const auto em = slp::measure(*enc.scheduled, slp::ExecForm::Fused);
 
       std::vector<uint32_t> erased{2, 4, 5, 6};

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     ec::RsCodec codec(n, p, full_options(block));
     print_stage_table("P_enc (paper: 755/385/146; 2265/1155/677; 32/385/146/88; "
                       "92/447/224/167)",
-                      codec.encode_pipeline());
+                      *codec.encode_pipeline());
     const auto dec = codec.decode_program({2, 4, 5, 6});
     print_stage_table("P_dec (paper: 1368/511/206; 4104/1533/923; 32/511/206/125; "
                       "89/585/283/205)",

@@ -1,23 +1,38 @@
 // block_tuner: §7.4 as a utility — measure encode throughput for a range of
-// block sizes on *this* machine and report the best configuration. The paper
+// block sizes on *this* machine and report the best spec string. The paper
 // picked B=1K on its intel box and B=2K on amd; your hardware may differ.
 //
-//   ./build/examples/block_tuner [n] [p]
+//   ./build/examples/block_tuner [n] [p] [family]
+//   ./build/examples/block_tuner 11 2 evenodd
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <cstdlib>
 #include <random>
+#include <string>
 #include <vector>
 
-#include "ec/rs_codec.hpp"
+#include "api/xorec.hpp"
 
 int main(int argc, char** argv) {
-  using namespace xorec;
   using Clock = std::chrono::steady_clock;
 
   const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
   const size_t p = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
-  const size_t frag_len = (10u << 20) / n / 64 * 64;
+  const std::string family = argc > 3 ? argv[3] : "rs";
+  const std::string dims =
+      family + "(" + std::to_string(n) + "," + std::to_string(p) + ")";
+
+  // Geometry probe (block size does not change the layout).
+  std::unique_ptr<xorec::Codec> probe;
+  try {
+    probe = xorec::make_codec(dims);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const size_t unit = probe->fragment_multiple() * 8;
+  const size_t frag_len = (10u << 20) / n / unit * unit;
 
   std::mt19937_64 rng(1);
   std::vector<std::vector<uint8_t>> frags(n + p, std::vector<uint8_t>(frag_len));
@@ -28,24 +43,22 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < n; ++i) data.push_back(frags[i].data());
   for (size_t i = 0; i < p; ++i) parity.push_back(frags[n + i].data());
 
-  std::printf("tuning RS(%zu,%zu), %zu-byte fragments\n", n, p, frag_len);
+  std::printf("tuning %s, %zu-byte fragments\n", probe->name().c_str(), frag_len);
   std::printf("%8s  %10s\n", "block", "GB/s");
 
   size_t best_block = 0;
   double best_gbps = 0;
   for (size_t block : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
-    ec::CodecOptions opt;
-    opt.exec.block_size = block;
-    ec::RsCodec codec(n, p, opt);
+    const auto codec = xorec::make_codec(dims + "@block=" + std::to_string(block));
 
     // Warm up, then time enough repetitions for ~0.5 s.
-    codec.encode(data.data(), parity.data(), frag_len);
+    codec->encode(data.data(), parity.data(), frag_len);
     size_t reps = 1;
     double elapsed = 0;
     for (;;) {
       const auto t0 = Clock::now();
       for (size_t r = 0; r < reps; ++r)
-        codec.encode(data.data(), parity.data(), frag_len);
+        codec->encode(data.data(), parity.data(), frag_len);
       elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
       if (elapsed > 0.4) break;
       reps *= 2;
@@ -58,6 +71,6 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nbest block size on this machine: %zu (%.2f GB/s)\n", best_block, best_gbps);
-  std::printf("use: CodecOptions opt; opt.exec.block_size = %zu;\n", best_block);
+  std::printf("use: xorec::make_codec(\"%s@block=%zu\")\n", dims.c_str(), best_block);
   return 0;
 }

@@ -1,44 +1,55 @@
-// Quickstart: RS(10,4) — encode an object, lose 4 fragments, reconstruct.
+// Quickstart: pick any codec from the registry by spec string, encode an
+// object, lose fragments, reconstruct. Try "evenodd(6,2)", "star(9)",
+// "cauchy(12,3)", ... — the flow is identical for every family.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [spec]
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <vector>
 
-#include "ec/rs_codec.hpp"
+#include "api/xorec.hpp"
 
-int main() {
-  using namespace xorec;
+int main(int argc, char** argv) {
+  // A codec compiles its optimized encode SLP once; reuse it.
+  std::unique_ptr<xorec::Codec> codec;
+  try {
+    codec = xorec::make_codec(argc > 1 ? argv[1] : "rs(10,4)");
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const size_t n = codec->data_fragments();
+  const size_t p = codec->parity_fragments();
+  // Fragment lengths must be multiples of the codec's strip count.
+  const size_t frag_len = codec->fragment_multiple() * (1 << 14);
 
-  constexpr size_t kData = 10, kParity = 4;
-  constexpr size_t kFragLen = 1 << 20;  // 1 MiB per fragment -> 10 MiB object
-
-  // A codec object compiles the optimized encode SLP once; reuse it.
-  ec::RsCodec codec(kData, kParity);
-
-  // The object: 10 data fragments of random bytes.
+  // The object: n data fragments of random bytes.
   std::mt19937_64 rng(42);
-  std::vector<std::vector<uint8_t>> frags(kData + kParity,
-                                          std::vector<uint8_t>(kFragLen));
-  for (size_t i = 0; i < kData; ++i)
+  std::vector<std::vector<uint8_t>> frags(n + p, std::vector<uint8_t>(frag_len));
+  for (size_t i = 0; i < n; ++i)
     for (auto& b : frags[i]) b = static_cast<uint8_t>(rng());
 
-  // Encode: fills the 4 parity fragments.
+  // Encode: fills the p parity fragments.
   std::vector<const uint8_t*> data;
   std::vector<uint8_t*> parity;
-  for (size_t i = 0; i < kData; ++i) data.push_back(frags[i].data());
-  for (size_t i = 0; i < kParity; ++i) parity.push_back(frags[kData + i].data());
-  codec.encode(data.data(), parity.data(), kFragLen);
-  std::printf("encoded %zu MiB into %zu data + %zu parity fragments\n",
-              kData * kFragLen >> 20, kData, kParity);
+  for (size_t i = 0; i < n; ++i) data.push_back(frags[i].data());
+  for (size_t i = 0; i < p; ++i) parity.push_back(frags[n + i].data());
+  codec->encode(data.data(), parity.data(), frag_len);
+  std::printf("%s: encoded %zu KiB into %zu data + %zu parity fragments\n",
+              codec->name().c_str(), n * frag_len >> 10, n, p);
 
-  // Disaster: fragments 2, 4, 5 and 12 are gone.
-  const std::vector<uint32_t> erased{2, 4, 5, 12};
+  // Disaster: lose p fragments (the last parity plus the p-1 lowest ids —
+  // distinct and in range for any geometry).
+  std::vector<uint32_t> erased;
+  for (uint32_t i = 0; i + 1 < p; ++i) erased.push_back(i);
+  erased.push_back(static_cast<uint32_t>(n + p - 1));
   std::vector<uint32_t> available;
   std::vector<const uint8_t*> avail_ptrs;
-  for (uint32_t id = 0; id < kData + kParity; ++id) {
+  for (uint32_t id = 0; id < n + p; ++id) {
     if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
       available.push_back(id);
       avail_ptrs.push_back(frags[id].data());
@@ -47,10 +58,10 @@ int main() {
 
   // Reconstruct the lost fragments into fresh buffers.
   std::vector<std::vector<uint8_t>> rebuilt(erased.size(),
-                                            std::vector<uint8_t>(kFragLen));
+                                            std::vector<uint8_t>(frag_len));
   std::vector<uint8_t*> out_ptrs;
   for (auto& r : rebuilt) out_ptrs.push_back(r.data());
-  codec.reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), kFragLen);
+  codec->reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), frag_len);
 
   for (size_t i = 0; i < erased.size(); ++i) {
     if (rebuilt[i] != frags[erased[i]]) {
@@ -58,6 +69,8 @@ int main() {
       return 1;
     }
   }
-  std::printf("reconstructed fragments 2, 4, 5, 12 — byte-identical. OK\n");
+  std::printf("reconstructed");
+  for (uint32_t id : erased) std::printf(" %u", id);
+  std::printf(" — byte-identical. OK\n");
   return 0;
 }

@@ -1,17 +1,19 @@
-// storage_cluster: a miniature HDFS-style object store on RS(10,4) — the
-// workload §1 motivates. 14 simulated nodes hold one fragment each; objects
-// are written, nodes fail at random, and a repair process reconstructs the
-// lost fragments, tracking repair bandwidth.
+// storage_cluster: a miniature HDFS-style object store — the workload §1
+// motivates — over ANY registered codec. n+p simulated nodes hold one
+// fragment each; objects are written, up to p nodes fail at random, and a
+// repair process reconstructs the lost fragments, tracking bandwidth.
 //
-//   ./build/examples/storage_cluster [objects] [object_mib]
+//   ./build/examples/storage_cluster [objects] [object_mib] [spec]
+//   ./build/examples/storage_cluster 16 8 "evenodd(11)"
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <cstdlib>
-#include <map>
 #include <random>
 #include <vector>
 
-#include "ec/rs_codec.hpp"
+#include "api/xorec.hpp"
 
 namespace {
 
@@ -29,16 +31,26 @@ struct Object {
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace xorec;
-
   const size_t n_objects = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
   const size_t object_mib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
-  constexpr size_t kData = 10, kParity = 4, kNodes = kData + kParity;
-  const size_t frag_len = object_mib * (1u << 20) / kData / 64 * 64;
+  const char* spec = argc > 3 ? argv[3] : "rs(10,4)@block=1024";
 
-  ec::CodecOptions opt;
-  opt.exec.block_size = 1024;
-  ec::RsCodec codec(kData, kParity, opt);
+  std::unique_ptr<xorec::Codec> codec;
+  try {
+    codec = xorec::make_codec(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const size_t k_data = codec->data_fragments();
+  const size_t k_parity = codec->parity_fragments();
+  const size_t k_nodes = k_data + k_parity;
+  const size_t unit = codec->fragment_multiple() * 8;
+  const size_t frag_len =
+      std::max(unit, object_mib * (1u << 20) / k_data / unit * unit);
+
+  std::printf("cluster: %zu nodes, codec %s, %zu-byte fragments\n", k_nodes,
+              codec->name().c_str(), frag_len);
   std::mt19937_64 rng(7);
 
   // ---- ingest ---------------------------------------------------------------
@@ -46,24 +58,25 @@ int main(int argc, char** argv) {
   auto t0 = Clock::now();
   for (Object& obj : store) {
     obj.frag_len = frag_len;
-    obj.fragments.assign(kNodes, std::vector<uint8_t>(frag_len));
-    for (size_t i = 0; i < kData; ++i)
+    obj.fragments.assign(k_nodes, std::vector<uint8_t>(frag_len));
+    for (size_t i = 0; i < k_data; ++i)
       for (auto& b : obj.fragments[i]) b = static_cast<uint8_t>(rng());
     std::vector<const uint8_t*> data;
     std::vector<uint8_t*> parity;
-    for (size_t i = 0; i < kData; ++i) data.push_back(obj.fragments[i].data());
-    for (size_t i = 0; i < kParity; ++i) parity.push_back(obj.fragments[kData + i].data());
-    codec.encode(data.data(), parity.data(), frag_len);
+    for (size_t i = 0; i < k_data; ++i) data.push_back(obj.fragments[i].data());
+    for (size_t i = 0; i < k_parity; ++i)
+      parity.push_back(obj.fragments[k_data + i].data());
+    codec->encode(data.data(), parity.data(), frag_len);
   }
   const double ingest_s = seconds_since(t0);
-  const double ingest_gb = n_objects * kData * frag_len / 1e9;
+  const double ingest_gb = n_objects * k_data * frag_len / 1e9;
   std::printf("ingested %zu objects (%.2f GB data) in %.3f s  ->  %.2f GB/s encode\n",
               n_objects, ingest_gb, ingest_s, ingest_gb / ingest_s);
 
-  // ---- fail 4 random nodes ---------------------------------------------------
+  // ---- fail up to p random nodes --------------------------------------------
   std::vector<uint32_t> failed;
-  while (failed.size() < kParity) {
-    const uint32_t node = static_cast<uint32_t>(rng() % kNodes);
+  while (failed.size() < k_parity) {
+    const uint32_t node = static_cast<uint32_t>(rng() % k_nodes);
     if (std::find(failed.begin(), failed.end(), node) == failed.end())
       failed.push_back(node);
   }
@@ -80,7 +93,7 @@ int main(int argc, char** argv) {
   for (Object& obj : store) {
     std::vector<uint32_t> available;
     std::vector<const uint8_t*> avail_ptrs;
-    for (uint32_t id = 0; id < kNodes; ++id) {
+    for (uint32_t id = 0; id < k_nodes; ++id) {
       if (!obj.fragments[id].empty()) {
         available.push_back(id);
         avail_ptrs.push_back(obj.fragments[id].data());
@@ -90,7 +103,8 @@ int main(int argc, char** argv) {
                                               std::vector<uint8_t>(obj.frag_len));
     std::vector<uint8_t*> out_ptrs;
     for (auto& r : rebuilt) out_ptrs.push_back(r.data());
-    codec.reconstruct(available, avail_ptrs.data(), failed, out_ptrs.data(), obj.frag_len);
+    codec->reconstruct(available, avail_ptrs.data(), failed, out_ptrs.data(),
+                       obj.frag_len);
     for (size_t i = 0; i < failed.size(); ++i)
       obj.fragments[failed[i]] = std::move(rebuilt[i]);
     repaired += failed.size();
@@ -105,13 +119,14 @@ int main(int argc, char** argv) {
   size_t verified = 0;
   for (const Object& obj : store) {
     std::vector<const uint8_t*> data;
-    for (size_t i = 0; i < kData; ++i) data.push_back(obj.fragments[i].data());
-    std::vector<std::vector<uint8_t>> parity(kParity, std::vector<uint8_t>(obj.frag_len));
+    for (size_t i = 0; i < k_data; ++i) data.push_back(obj.fragments[i].data());
+    std::vector<std::vector<uint8_t>> parity(k_parity,
+                                             std::vector<uint8_t>(obj.frag_len));
     std::vector<uint8_t*> pptr;
     for (auto& p : parity) pptr.push_back(p.data());
-    codec.encode(data.data(), pptr.data(), obj.frag_len);
-    for (size_t i = 0; i < kParity; ++i) {
-      if (parity[i] != obj.fragments[kData + i]) {
+    codec->encode(data.data(), pptr.data(), obj.frag_len);
+    for (size_t i = 0; i < k_parity; ++i) {
+      if (parity[i] != obj.fragments[k_data + i]) {
         std::printf("VERIFY FAILED on parity %zu\n", i);
         return 1;
       }

@@ -1,6 +1,5 @@
 #include "altcodes/xor_code.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "bitmatrix/f2solve.hpp"
@@ -22,144 +21,106 @@ void XorCodeSpec::validate() const {
     if (!code.row(r).any()) throw std::invalid_argument(name + ": zero parity row");
 }
 
+XorCodeSpec shorten_spec(const XorCodeSpec& full, size_t k) {
+  full.validate();
+  if (k == 0 || k > full.data_blocks)
+    throw std::invalid_argument(full.name + ": cannot shorten to " + std::to_string(k) +
+                                " of " + std::to_string(full.data_blocks) + " data blocks");
+  if (k == full.data_blocks) return full;
+
+  const size_t w = full.strips_per_block, m = full.parity_blocks;
+  XorCodeSpec s;
+  s.name = full.name + "[k=" + std::to_string(k) + "]";
+  s.data_blocks = k;
+  s.parity_blocks = m;
+  s.strips_per_block = w;
+  s.code = BitMatrix((k + m) * w, k * w);
+  for (size_t r = 0; r < k * w; ++r) s.code.set(r, r, true);
+  // Parity rows keep only the columns of the surviving data blocks; the
+  // dropped blocks are identically zero, so their terms vanish.
+  for (size_t r = 0; r < m * w; ++r) {
+    const BitRow& src = full.code.row(full.data_blocks * w + r);
+    for (size_t c = 0; c < k * w; ++c)
+      if (src.get(c)) s.code.set(k * w + r, c, true);
+  }
+  s.validate();
+  return s;
+}
+
 namespace {
 
-template <typename Byte>
-std::vector<Byte*> strips_of(Byte* const* frags, size_t count, size_t w, size_t frag_len) {
-  const size_t strip_len = frag_len / w;
-  std::vector<Byte*> out(count * w);
-  for (size_t f = 0; f < count; ++f)
-    for (size_t s = 0; s < w; ++s) out[f * w + s] = frags[f] + s * strip_len;
-  return out;
+XorCodeSpec checked(XorCodeSpec spec) {
+  spec.validate();
+  return spec;
+}
+
+/// The bottom m·w rows: the encoding bitmatrix.
+BitMatrix parity_of(const XorCodeSpec& spec) {
+  const size_t kw = spec.data_blocks * spec.strips_per_block;
+  const size_t mw = spec.parity_blocks * spec.strips_per_block;
+  BitMatrix parity(mw, kw);
+  for (size_t r = 0; r < mw; ++r) parity.row(r) = spec.code.row(kw + r);
+  return parity;
 }
 
 }  // namespace
 
 XorCodec::XorCodec(XorCodeSpec spec, ec::CodecOptions opt)
-    : spec_(std::move(spec)), opt_(std::move(opt)) {
-  spec_.validate();
-  const size_t kw = spec_.data_blocks * spec_.strips_per_block;
-  const size_t mw = spec_.parity_blocks * spec_.strips_per_block;
-  BitMatrix parity(mw, kw);
-  for (size_t r = 0; r < mw; ++r) parity.row(r) = spec_.code.row(kw + r);
-  enc_ = std::make_shared<ec::CompiledProgram>(
-      slp::optimize(parity, opt_.pipeline, spec_.name + "-enc"), opt_.exec);
-  cache_ = std::make_unique<ec::detail::DecodeCache>(opt_.decode_cache_capacity);
-}
+    : spec_(checked(std::move(spec))),
+      core_(spec_.data_blocks, spec_.parity_blocks, spec_.strips_per_block,
+            parity_of(spec_), std::move(opt), spec_.name) {}
 
-void XorCodec::encode(const uint8_t* const* data, uint8_t* const* parity,
-                      size_t frag_len) const {
-  const size_t w = spec_.strips_per_block;
-  if (frag_len == 0 || frag_len % w != 0)
-    throw std::invalid_argument(spec_.name + ": frag_len must be a multiple of " +
-                                std::to_string(w));
-  const auto in = strips_of<const uint8_t>(data, spec_.data_blocks, w, frag_len);
-  const auto out = strips_of<uint8_t>(parity, spec_.parity_blocks, w, frag_len);
-  enc_->exec.run(in.data(), out.data(), frag_len / w);
+void XorCodec::encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                           size_t frag_len) const {
+  core_.encode(data, parity, frag_len);
 }
 
 std::shared_ptr<ec::CompiledProgram> XorCodec::recovery_program(
     const std::vector<uint32_t>& available_blocks,
     const std::vector<uint32_t>& erased_data_blocks) const {
-  std::vector<uint32_t> key = erased_data_blocks;
-  key.push_back(UINT32_MAX);
-  key.insert(key.end(), available_blocks.begin(), available_blocks.end());
-  return cache_->get_or_build(key, [&]() -> std::shared_ptr<ec::CompiledProgram> {
-    const size_t w = spec_.strips_per_block;
-    std::vector<uint32_t> erased_strips, avail_strips;
-    for (uint32_t b : erased_data_blocks)
-      for (size_t s = 0; s < w; ++s) erased_strips.push_back(static_cast<uint32_t>(b * w + s));
-    for (uint32_t b : available_blocks)
-      for (size_t s = 0; s < w; ++s) avail_strips.push_back(static_cast<uint32_t>(b * w + s));
+  return core_.cached(
+      ec::BitmatrixCodecCore::decode_key(erased_data_blocks, available_blocks),
+      [&]() -> std::shared_ptr<ec::CompiledProgram> {
+        const size_t w = spec_.strips_per_block;
+        std::vector<uint32_t> erased_strips, avail_strips;
+        for (uint32_t b : erased_data_blocks)
+          for (size_t s = 0; s < w; ++s)
+            erased_strips.push_back(static_cast<uint32_t>(b * w + s));
+        for (uint32_t b : available_blocks)
+          for (size_t s = 0; s < w; ++s)
+            avail_strips.push_back(static_cast<uint32_t>(b * w + s));
 
-    auto rows = bitmatrix::f2_solve_erasures(spec_.code, erased_strips, avail_strips);
-    if (!rows)
-      throw std::invalid_argument(spec_.name + ": erasure pattern exceeds code tolerance");
-    BitMatrix recovery(rows->size(), avail_strips.size());
-    for (size_t r = 0; r < rows->size(); ++r) recovery.row(r) = (*rows)[r];
-    return std::make_shared<ec::CompiledProgram>(
-        slp::optimize(recovery, opt_.pipeline, spec_.name + "-dec"), opt_.exec);
-  });
+        auto rows = bitmatrix::f2_solve_erasures(spec_.code, erased_strips, avail_strips);
+        if (!rows)
+          throw std::invalid_argument(spec_.name + ": erasure pattern exceeds code tolerance");
+        BitMatrix recovery(rows->size(), avail_strips.size());
+        for (size_t r = 0; r < rows->size(); ++r) recovery.row(r) = (*rows)[r];
+        return core_.compile(recovery, "dec");
+      });
 }
 
-void XorCodec::reconstruct(const std::vector<uint32_t>& available,
-                           const uint8_t* const* available_frags,
-                           const std::vector<uint32_t>& erased, uint8_t* const* out,
-                           size_t frag_len) const {
-  const size_t w = spec_.strips_per_block;
-  const size_t k = spec_.data_blocks, m = spec_.parity_blocks;
-  if (frag_len == 0 || frag_len % w != 0)
-    throw std::invalid_argument(spec_.name + ": frag_len must be a multiple of " +
-                                std::to_string(w));
-  const size_t strip_len = frag_len / w;
-
-  std::vector<const uint8_t*> frag_by_id(k + m, nullptr);
-  for (size_t i = 0; i < available.size(); ++i) {
-    if (available[i] >= k + m) throw std::out_of_range(spec_.name + ": available id");
-    frag_by_id[available[i]] = available_frags[i];
-  }
-  std::vector<uint32_t> erased_data, erased_parity;
-  std::vector<uint8_t*> out_data, out_parity;
-  for (size_t i = 0; i < erased.size(); ++i) {
-    if (erased[i] >= k + m) throw std::out_of_range(spec_.name + ": erased id");
-    if (erased[i] < k) {
-      erased_data.push_back(erased[i]);
-      out_data.push_back(out[i]);
-    } else {
-      erased_parity.push_back(erased[i]);
-      out_parity.push_back(out[i]);
-    }
-  }
-
-  std::vector<uint32_t> avail_sorted = available;
-  std::sort(avail_sorted.begin(), avail_sorted.end());
-
-  if (!erased_data.empty()) {
-    // Canonical order for the cache key and output mapping.
-    std::vector<size_t> perm(erased_data.size());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    std::sort(perm.begin(), perm.end(),
-              [&](size_t a, size_t b) { return erased_data[a] < erased_data[b]; });
-    std::vector<uint32_t> erased_sorted(perm.size());
-    std::vector<uint8_t*> out_sorted(perm.size());
-    for (size_t i = 0; i < perm.size(); ++i) {
-      erased_sorted[i] = erased_data[perm[i]];
-      out_sorted[i] = out_data[perm[i]];
-    }
-    const auto prog = recovery_program(avail_sorted, erased_sorted);
-
-    std::vector<const uint8_t*> in_frags(avail_sorted.size());
-    for (size_t i = 0; i < avail_sorted.size(); ++i) in_frags[i] = frag_by_id[avail_sorted[i]];
-    const auto in = strips_of<const uint8_t>(in_frags.data(), in_frags.size(), w, frag_len);
-    const auto outs = strips_of<uint8_t>(out_sorted.data(), out_sorted.size(), w, frag_len);
-    prog->exec.run(in.data(), outs.data(), strip_len);
-
-    for (size_t i = 0; i < erased_sorted.size(); ++i)
-      frag_by_id[erased_sorted[i]] = out_sorted[i];
-  }
-
-  if (!erased_parity.empty()) {
-    std::vector<uint32_t> key = erased_parity;
-    key.push_back(UINT32_MAX);
-    key.push_back(UINT32_MAX);
-    const auto prog = cache_->get_or_build(key, [&]() -> std::shared_ptr<ec::CompiledProgram> {
-      BitMatrix rows(erased_parity.size() * w, k * w);
-      for (size_t i = 0; i < erased_parity.size(); ++i)
-        for (size_t s = 0; s < w; ++s)
-          rows.row(i * w + s) = spec_.code.row(erased_parity[i] * w + s);
-      return std::make_shared<ec::CompiledProgram>(
-          slp::optimize(rows, opt_.pipeline, spec_.name + "-parity"), opt_.exec);
-    });
-    std::vector<const uint8_t*> data_frags(k);
-    for (size_t d = 0; d < k; ++d) {
-      if (frag_by_id[d] == nullptr)
-        throw std::logic_error(spec_.name + ": data fragment unavailable for parity repair");
-      data_frags[d] = frag_by_id[d];
-    }
-    const auto in = strips_of<const uint8_t>(data_frags.data(), k, w, frag_len);
-    const auto outs = strips_of<uint8_t>(out_parity.data(), out_parity.size(), w, frag_len);
-    prog->exec.run(in.data(), outs.data(), strip_len);
-  }
+void XorCodec::reconstruct_impl(const std::vector<uint32_t>& available,
+                                const uint8_t* const* available_frags,
+                                const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                size_t frag_len) const {
+  core_.reconstruct(
+      available, available_frags, erased, out, frag_len,
+      [&](const std::vector<uint32_t>& avail_sorted,
+          const std::vector<uint32_t>& erased_data) -> ec::BitmatrixCodecCore::RecoveryPlan {
+        return {recovery_program(avail_sorted, erased_data), avail_sorted};
+      },
+      [&](const std::vector<uint32_t>& erased_parity) {
+        return core_.cached(
+            ec::BitmatrixCodecCore::parity_key(erased_parity),
+            [&]() -> std::shared_ptr<ec::CompiledProgram> {
+              const size_t w = spec_.strips_per_block, k = spec_.data_blocks;
+              BitMatrix rows(erased_parity.size() * w, k * w);
+              for (size_t i = 0; i < erased_parity.size(); ++i)
+                for (size_t s = 0; s < w; ++s)
+                  rows.row(i * w + s) = spec_.code.row(erased_parity[i] * w + s);
+              return core_.compile(rows, "parity-subset");
+            });
+      });
 }
 
 }  // namespace xorec::altcodes

@@ -1,6 +1,7 @@
 // Generic XOR-code codec: any systematic parity bitmatrix over block strips
 // (EVENODD, RDP, STAR, or user-defined codes) runs through the same SLP
-// optimizer and blocked executor as RS — the library's generality claim.
+// optimizer and blocked executor as RS — the library's generality claim —
+// behind the unified xorec::Codec interface.
 //
 // A code over k data blocks + m parity blocks with w strips per block is a
 // ((k+m)·w) x (k·w) bitmatrix whose top k·w rows are the identity. Block i's
@@ -12,8 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "api/codec.hpp"
 #include "bitmatrix/bitmatrix.hpp"
-#include "ec/rs_codec.hpp"
+#include "ec/bitmatrix_codec_core.hpp"
 
 namespace xorec::altcodes {
 
@@ -27,26 +29,37 @@ struct XorCodeSpec {
   void validate() const;  // shape + systematic top; throws on violation
 };
 
-class XorCodec {
+/// Shortened code: keep only the first k data blocks, treating the dropped
+/// ones as all-zero (the standard way array codes run at non-native widths —
+/// EVENODD/RDP/STAR layouts need a prime parameter, deployments rarely have
+/// a prime number of disks). Erasure tolerance is preserved.
+XorCodeSpec shorten_spec(const XorCodeSpec& full, size_t k);
+
+class XorCodec : public Codec {
  public:
   explicit XorCodec(XorCodeSpec spec, ec::CodecOptions opt = {});
 
   const XorCodeSpec& spec() const { return spec_; }
   size_t data_blocks() const { return spec_.data_blocks; }
   size_t parity_blocks() const { return spec_.parity_blocks; }
+
+  size_t data_fragments() const override { return spec_.data_blocks; }
+  size_t parity_fragments() const override { return spec_.parity_blocks; }
   /// Fragment lengths must be positive multiples of this.
-  size_t fragment_multiple() const { return spec_.strips_per_block; }
+  size_t fragment_multiple() const override { return spec_.strips_per_block; }
+  std::string name() const override { return spec_.name; }
 
-  const slp::PipelineResult& encode_pipeline() const { return enc_->pipeline; }
+  const slp::PipelineResult* encode_pipeline() const override {
+    return &core_.encoder().pipeline;
+  }
 
-  void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
-
-  /// Rebuild erased blocks (data and/or parity) from available blocks.
-  /// Same calling convention as RsCodec::reconstruct.
-  void reconstruct(const std::vector<uint32_t>& available,
-                   const uint8_t* const* available_frags,
-                   const std::vector<uint32_t>& erased, uint8_t* const* out,
-                   size_t frag_len) const;
+ protected:
+  void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                   size_t frag_len) const override;
+  void reconstruct_impl(const std::vector<uint32_t>& available,
+                        const uint8_t* const* available_frags,
+                        const std::vector<uint32_t>& erased, uint8_t* const* out,
+                        size_t frag_len) const override;
 
  private:
   std::shared_ptr<ec::CompiledProgram> recovery_program(
@@ -54,9 +67,7 @@ class XorCodec {
       const std::vector<uint32_t>& erased_blocks) const;
 
   XorCodeSpec spec_;
-  ec::CodecOptions opt_;
-  std::shared_ptr<ec::CompiledProgram> enc_;
-  std::unique_ptr<ec::detail::DecodeCache> cache_;
+  ec::BitmatrixCodecCore core_;
 };
 
 }  // namespace xorec::altcodes

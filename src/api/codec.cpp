@@ -1,0 +1,83 @@
+#include "api/codec.hpp"
+
+#include <stdexcept>
+
+namespace xorec {
+
+void Codec::check_frag_len(size_t frag_len) const {
+  const size_t m = fragment_multiple();
+  if (frag_len == 0 || frag_len % m != 0)
+    throw std::invalid_argument(name() + ": frag_len " + std::to_string(frag_len) +
+                                " is not a positive multiple of " + std::to_string(m));
+}
+
+void Codec::check_id_sets(const std::vector<uint32_t>& available,
+                          const std::vector<uint32_t>& erased) const {
+  const size_t total = total_fragments();
+  // 0 = unseen, 1 = available, 2 = erased.
+  std::vector<uint8_t> seen(total, 0);
+  for (uint32_t id : available) {
+    if (id >= total)
+      throw std::out_of_range(name() + ": available id " + std::to_string(id) +
+                              " out of range [0, " + std::to_string(total) + ")");
+    if (seen[id] != 0)
+      throw std::invalid_argument(name() + ": duplicate available id " + std::to_string(id));
+    seen[id] = 1;
+  }
+  for (uint32_t id : erased) {
+    if (id >= total)
+      throw std::out_of_range(name() + ": erased id " + std::to_string(id) +
+                              " out of range [0, " + std::to_string(total) + ")");
+    if (seen[id] == 1)
+      throw std::invalid_argument(name() + ": fragment " + std::to_string(id) +
+                                  " both available and erased");
+    if (seen[id] == 2)
+      throw std::invalid_argument(name() + ": duplicate erased id " + std::to_string(id));
+    seen[id] = 2;
+  }
+  // No survivor-count check here: MDS codecs need data_fragments() survivors
+  // and enforce that themselves, but non-MDS XOR codes can recover solvable
+  // patterns from fewer (their F2 solver is the authority).
+}
+
+void Codec::encode(const uint8_t* const* data, uint8_t* const* parity,
+                   size_t frag_len) const {
+  check_frag_len(frag_len);
+  encode_impl(data, parity, frag_len);
+}
+
+void Codec::reconstruct(const std::vector<uint32_t>& available,
+                        const uint8_t* const* available_frags,
+                        const std::vector<uint32_t>& erased, uint8_t* const* out,
+                        size_t frag_len) const {
+  check_frag_len(frag_len);
+  check_id_sets(available, erased);
+  if (erased.empty()) return;
+  reconstruct_impl(available, available_frags, erased, out, frag_len);
+}
+
+void Codec::encode(std::span<const uint8_t* const> data, std::span<uint8_t* const> parity,
+                   size_t frag_len) const {
+  if (data.size() != data_fragments() || parity.size() != parity_fragments())
+    throw std::invalid_argument(name() + ": encode expects " +
+                                std::to_string(data_fragments()) + " data and " +
+                                std::to_string(parity_fragments()) +
+                                " parity buffers, got " + std::to_string(data.size()) +
+                                " and " + std::to_string(parity.size()));
+  encode(data.data(), parity.data(), frag_len);
+}
+
+void Codec::reconstruct(std::span<const uint32_t> available,
+                        std::span<const uint8_t* const> available_frags,
+                        std::span<const uint32_t> erased, std::span<uint8_t* const> out,
+                        size_t frag_len) const {
+  if (available.size() != available_frags.size())
+    throw std::invalid_argument(name() + ": available ids and buffers differ in length");
+  if (erased.size() != out.size())
+    throw std::invalid_argument(name() + ": erased ids and output buffers differ in length");
+  reconstruct(std::vector<uint32_t>(available.begin(), available.end()),
+              available_frags.data(),
+              std::vector<uint32_t>(erased.begin(), erased.end()), out.data(), frag_len);
+}
+
+}  // namespace xorec

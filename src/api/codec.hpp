@@ -1,0 +1,95 @@
+// The unified erasure-coding interface: every codec in the library — RS as
+// an optimized XOR SLP, the array codes (EVENODD / RDP / STAR), wide-symbol
+// RS over GF(2^16), the GF-table ISA-L-style baseline — implements this one
+// contract, so blob storage, benches and tests are written once against it.
+//
+// Data model: an object is split into data_fragments() equal fragments;
+// encode() fills parity_fragments() parity fragments; reconstruct() rebuilds
+// any erased fragments (data and/or parity) from the survivors. Fragment
+// lengths must be positive multiples of fragment_multiple() — the number of
+// strips a codec slices each fragment into (8 for RS over GF(2^8), p-1 for
+// the array codes, 1 for byte-oriented codecs).
+//
+// Argument validation happens here, at the API boundary: bad fragment
+// lengths, out-of-range ids, and duplicated or overlapping id sets all
+// throw before any codec touches a buffer. Survivor-count policy is the
+// codec's own job (MDS codecs require data_fragments() survivors; XOR codes
+// defer to their F2 solver) — implementations must reject patterns they
+// cannot recover with std::invalid_argument, and may otherwise assume
+// validated inputs in the *_impl hooks.
+//
+// Instances are obtained from the string-spec registry (api/registry.hpp):
+//   auto codec = xorec::make_codec("rs(10,4)");
+// or constructed directly (ec::RsCodec, altcodes::XorCodec, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xorec::slp {
+struct PipelineResult;
+}
+
+namespace xorec {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual size_t data_fragments() const = 0;
+  virtual size_t parity_fragments() const = 0;
+  size_t total_fragments() const { return data_fragments() + parity_fragments(); }
+
+  /// Fragment lengths must be positive multiples of this.
+  virtual size_t fragment_multiple() const = 0;
+
+  /// Normalized spec of this codec, e.g. "rs(10,4)" or "evenodd(p=11)".
+  virtual std::string name() const = 0;
+
+  /// Optimizer artifacts of the encoding SLP, for inspection/benches.
+  /// Null for codecs that do not run through the SLP pipeline.
+  virtual const slp::PipelineResult* encode_pipeline() const { return nullptr; }
+
+  /// data: data_fragments() pointers; parity: parity_fragments() pointers
+  /// (written). frag_len must be a positive multiple of fragment_multiple().
+  void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
+
+  /// Rebuild erased fragments (data and/or parity).
+  ///   available: surviving fragment ids; buffers parallel to it.
+  ///   erased:    fragment ids to rebuild; `out` parallel writable buffers.
+  /// The id sets must be duplicate-free and disjoint. MDS codecs require at
+  /// least data_fragments() survivors; non-MDS XOR codes accept any pattern
+  /// their F2 solver finds solvable. Unrecoverable patterns throw
+  /// std::invalid_argument.
+  void reconstruct(const std::vector<uint32_t>& available,
+                   const uint8_t* const* available_frags,
+                   const std::vector<uint32_t>& erased, uint8_t* const* out,
+                   size_t frag_len) const;
+
+  /// Span views: same semantics, plus the span extents are checked against
+  /// the codec geometry (data/parity counts, parallel id/buffer lists).
+  void encode(std::span<const uint8_t* const> data, std::span<uint8_t* const> parity,
+              size_t frag_len) const;
+  void reconstruct(std::span<const uint32_t> available,
+                   std::span<const uint8_t* const> available_frags,
+                   std::span<const uint32_t> erased, std::span<uint8_t* const> out,
+                   size_t frag_len) const;
+
+ protected:
+  virtual void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                           size_t frag_len) const = 0;
+  virtual void reconstruct_impl(const std::vector<uint32_t>& available,
+                                const uint8_t* const* available_frags,
+                                const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                size_t frag_len) const = 0;
+
+ private:
+  void check_frag_len(size_t frag_len) const;
+  void check_id_sets(const std::vector<uint32_t>& available,
+                     const std::vector<uint32_t>& erased) const;
+};
+
+}  // namespace xorec

@@ -1,0 +1,82 @@
+// The string-spec codec registry: every scenario the library supports is
+// nameable from a flag.
+//
+//   auto codec = xorec::make_codec("rs(10,4)");
+//   auto tuned = xorec::make_codec("cauchy(12,3)@block=1024,threads=4,isa=avx2");
+//   auto array = xorec::make_codec("evenodd(6,2)");
+//
+// Spec grammar (whitespace is ignored):
+//   spec    := family '(' args ')' [ '@' options ]
+//   family  := identifier           e.g. rs, vand, cauchy, evenodd, rdp,
+//                                        star, rs16, naive_xor, isal
+//   args    := unsigned integers, comma-separated (family-specific arity)
+//   options := key '=' value pairs, comma-separated:
+//     block=N        executor block size B in bytes          (default 2048)
+//     threads=N      worker threads                          (default 1)
+//     isa=K          scalar | word64 | avx2 | auto           (default auto)
+//     passes=K       base | compress | fuse | full — optimizer preset
+//     sched=K        none | dfs | greedy — scheduling pass override
+//     cache=N        decode-program LRU capacity, 0 = unbounded (default 256)
+//     matrix=K       isal | vand | cauchy — RS matrix family override
+//     prefetch=0|1   software-prefetch the next block's inputs
+//
+// Built-in families (k data + m parity fragments):
+//   rs(n[,p])        RS over GF(2^8), ISA-L Vandermonde matrix (p default 4)
+//   vand(n[,p])      RS, reduced-Vandermonde matrix
+//   cauchy(n[,p])    RS, systematic Cauchy matrix
+//   rs16(n[,p])      RS over GF(2^16) (w = 16 strips), Cauchy
+//   evenodd(k[,2])   EVENODD array code, shortened to k data disks
+//   rdp(k[,2])       Row-Diagonal Parity, shortened to k data disks
+//   star(k[,3])      STAR (3 parities), shortened to k data disks
+//   naive_xor(n[,p]) RS with every optimizer pass disabled (the "Base")
+//   isal(n[,p])      GF-table ISA-L-style baseline (no SLP pipeline)
+//
+// New families can be registered at runtime (register_codec_family), which
+// is how user-defined XOR codes join the same surface — see
+// examples/custom_code.cpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/codec.hpp"
+#include "ec/bitmatrix_codec_core.hpp"
+
+namespace xorec {
+
+/// A parsed spec string: family, positional arguments, execution options.
+struct CodecSpec {
+  std::string family;
+  std::vector<size_t> args;
+  ec::CodecOptions options;
+  std::vector<std::string> option_keys;  // which '@' keys were given, in order
+  std::string spec;  // the original string, whitespace-stripped
+
+  /// The positional arg at `i`, or `fallback` when fewer were given.
+  size_t arg(size_t i, size_t fallback) const {
+    return i < args.size() ? args[i] : fallback;
+  }
+};
+
+/// Parse a spec string. Throws std::invalid_argument (with the offending
+/// spec quoted) on malformed input, unknown option keys or bad values.
+/// Does not check the family exists — make_codec does that.
+CodecSpec parse_spec(const std::string& spec);
+
+/// Build a codec from a spec string or a parsed spec.
+/// Throws std::invalid_argument for unknown families or bad arguments.
+std::unique_ptr<Codec> make_codec(const std::string& spec);
+std::unique_ptr<Codec> make_codec(const CodecSpec& spec);
+
+/// Builds the codec from a parsed spec; registered per family.
+using CodecBuilder = std::function<std::unique_ptr<Codec>(const CodecSpec&)>;
+
+/// Register (or replace) a codec family under `family`.
+void register_codec_family(const std::string& family, CodecBuilder builder);
+
+/// Sorted names of all registered families.
+std::vector<std::string> registered_families();
+
+}  // namespace xorec

@@ -1,0 +1,9 @@
+// Umbrella public header: the Codec interface plus the string-spec registry.
+// Applications normally need nothing else:
+//
+//   #include "api/xorec.hpp"
+//   auto codec = xorec::make_codec("rs(10,4)");
+#pragma once
+
+#include "api/codec.hpp"      // IWYU pragma: export
+#include "api/registry.hpp"   // IWYU pragma: export

@@ -125,7 +125,7 @@ void gf_dot_prod(const std::vector<uint8_t>& tables, size_t k, size_t m,
 }
 
 IsalStyleCodec::IsalStyleCodec(size_t n, size_t p, ec::MatrixFamily family)
-    : n_(n), p_(p) {
+    : n_(n), p_(p), family_(family) {
   if (n == 0 || p == 0 || n + p > 255)
     throw std::invalid_argument("IsalStyleCodec: bad (n, p)");
   code_ = ec::make_code_matrix(family, n, p);
@@ -135,15 +135,27 @@ IsalStyleCodec::IsalStyleCodec(size_t n, size_t p, ec::MatrixFamily family)
   enc_tables_ = build_gf_tables(parity_);
 }
 
-void IsalStyleCodec::encode(const uint8_t* const* data, uint8_t* const* parity,
-                            size_t frag_len) const {
+std::string IsalStyleCodec::name() const {
+  std::string name = "isal(" + std::to_string(n_) + "," + std::to_string(p_) + ")";
+  // Name the matrix override too, or the name would rebuild a codec with a
+  // different (incompatible) coding matrix.
+  switch (family_) {
+    case ec::MatrixFamily::IsalVandermonde: break;  // the default
+    case ec::MatrixFamily::ReducedVandermonde: name += "@matrix=vand"; break;
+    case ec::MatrixFamily::Cauchy: name += "@matrix=cauchy"; break;
+  }
+  return name;
+}
+
+void IsalStyleCodec::encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                                 size_t frag_len) const {
   gf_dot_prod(enc_tables_, n_, p_, data, parity, frag_len);
 }
 
-void IsalStyleCodec::reconstruct(const std::vector<uint32_t>& available,
-                                 const uint8_t* const* available_frags,
-                                 const std::vector<uint32_t>& erased, uint8_t* const* out,
-                                 size_t frag_len) const {
+void IsalStyleCodec::reconstruct_impl(const std::vector<uint32_t>& available,
+                                      const uint8_t* const* available_frags,
+                                      const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                      size_t frag_len) const {
   std::vector<const uint8_t*> frag_by_id(n_ + p_, nullptr);
   for (size_t i = 0; i < available.size(); ++i) frag_by_id[available[i]] = available_frags[i];
 
@@ -189,7 +201,9 @@ void IsalStyleCodec::reconstruct(const std::vector<uint32_t>& available,
     std::vector<const uint8_t*> data_in(n_);
     for (size_t d = 0; d < n_; ++d) {
       if (frag_by_id[d] == nullptr)
-        throw std::logic_error("IsalStyleCodec: missing data for parity rebuild");
+        throw std::invalid_argument(
+            "IsalStyleCodec: data fragment " + std::to_string(d) +
+            " unavailable for parity repair; list it in erased or provide it");
       data_in[d] = frag_by_id[d];
     }
     gf_dot_prod(tables, n_, erased_parity.size(), data_in.data(), out_parity.data(), frag_len);

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/codec.hpp"
 #include "ec/rs_codec.hpp"
 #include "gf/gfmat.hpp"
 
@@ -32,28 +33,33 @@ void gf_dot_prod(const std::vector<uint8_t>& tables, size_t k, size_t m,
 void gf_dot_prod_scalar(const gf::Matrix& coeffs, const uint8_t* const* src,
                         uint8_t* const* dst, size_t len);
 
-class IsalStyleCodec {
+class IsalStyleCodec : public Codec {
  public:
   /// Defaults to the same coding matrix RsCodec uses, so the two engines are
   /// byte-comparable (after the bit-plane layout transform; see ec/layout.hpp).
   IsalStyleCodec(size_t n, size_t p,
                  ec::MatrixFamily family = ec::MatrixFamily::IsalVandermonde);
 
-  size_t data_fragments() const { return n_; }
-  size_t parity_fragments() const { return p_; }
+  size_t data_fragments() const override { return n_; }
+  size_t parity_fragments() const override { return p_; }
+  /// Byte-oriented: any positive fragment length works.
+  size_t fragment_multiple() const override { return 1; }
+  std::string name() const override;
   const gf::Matrix& code_matrix() const { return code_; }
 
-  void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
-
+ protected:
+  void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                   size_t frag_len) const override;
   /// Same contract as RsCodec::reconstruct (data decoded via the inverse
   /// submatrix, parity re-encoded afterwards).
-  void reconstruct(const std::vector<uint32_t>& available,
-                   const uint8_t* const* available_frags,
-                   const std::vector<uint32_t>& erased, uint8_t* const* out,
-                   size_t frag_len) const;
+  void reconstruct_impl(const std::vector<uint32_t>& available,
+                        const uint8_t* const* available_frags,
+                        const std::vector<uint32_t>& erased, uint8_t* const* out,
+                        size_t frag_len) const override;
 
  private:
   size_t n_, p_;
+  ec::MatrixFamily family_;
   gf::Matrix code_;          // systematic (n+p) x n, same matrix as RsCodec
   gf::Matrix parity_;        // bottom p rows
   std::vector<uint8_t> enc_tables_;

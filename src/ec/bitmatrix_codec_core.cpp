@@ -1,0 +1,153 @@
+#include "ec/bitmatrix_codec_core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xorec::ec {
+
+namespace {
+
+template <typename Byte>
+std::vector<Byte*> strips_of(Byte* const* frags, size_t count, size_t w, size_t frag_len) {
+  const size_t strip_len = frag_len / w;
+  std::vector<Byte*> out(count * w);
+  for (size_t f = 0; f < count; ++f)
+    for (size_t s = 0; s < w; ++s) out[f * w + s] = frags[f] + s * strip_len;
+  return out;
+}
+
+}  // namespace
+
+std::vector<const uint8_t*> BitmatrixCodecCore::strip_pointers(const uint8_t* const* frags,
+                                                               size_t count, size_t w,
+                                                               size_t frag_len) {
+  return strips_of<const uint8_t>(frags, count, w, frag_len);
+}
+
+std::vector<uint8_t*> BitmatrixCodecCore::strip_pointers(uint8_t* const* frags, size_t count,
+                                                         size_t w, size_t frag_len) {
+  return strips_of<uint8_t>(frags, count, w, frag_len);
+}
+
+BitmatrixCodecCore::BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks,
+                                       size_t strips_per_block,
+                                       const bitmatrix::BitMatrix& parity, CodecOptions opt,
+                                       std::string name)
+    : k_(data_blocks),
+      m_(parity_blocks),
+      w_(strips_per_block),
+      opt_(std::move(opt)),
+      name_(std::move(name)) {
+  enc_ = compile(parity, "enc");
+  cache_ = std::make_unique<detail::DecodeCache>(opt_.decode_cache_capacity);
+}
+
+std::shared_ptr<CompiledProgram> BitmatrixCodecCore::compile(const bitmatrix::BitMatrix& m,
+                                                             const std::string& tag) const {
+  return std::make_shared<CompiledProgram>(
+      slp::optimize(m, opt_.pipeline, name_ + "-" + tag), opt_.exec);
+}
+
+std::shared_ptr<CompiledProgram> BitmatrixCodecCore::cached(
+    const std::vector<uint32_t>& key,
+    const std::function<std::shared_ptr<CompiledProgram>()>& build) const {
+  return cache_->get_or_build(key, build);
+}
+
+std::vector<uint32_t> BitmatrixCodecCore::decode_key(const std::vector<uint32_t>& erased,
+                                                     const std::vector<uint32_t>& inputs) {
+  std::vector<uint32_t> key = erased;
+  key.push_back(UINT32_MAX);
+  key.insert(key.end(), inputs.begin(), inputs.end());
+  return key;
+}
+
+std::vector<uint32_t> BitmatrixCodecCore::parity_key(const std::vector<uint32_t>& parity_ids) {
+  std::vector<uint32_t> key = parity_ids;
+  key.push_back(UINT32_MAX);
+  key.push_back(UINT32_MAX);
+  return key;
+}
+
+void BitmatrixCodecCore::encode(const uint8_t* const* data, uint8_t* const* parity,
+                                size_t frag_len) const {
+  const auto in = strip_pointers(data, k_, w_, frag_len);
+  const auto out = strip_pointers(parity, m_, w_, frag_len);
+  enc_->exec.run(in.data(), out.data(), frag_len / w_);
+}
+
+void BitmatrixCodecCore::reconstruct(const std::vector<uint32_t>& available,
+                                     const uint8_t* const* available_frags,
+                                     const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                     size_t frag_len, const DataPlanFn& plan_data,
+                                     const ParityPlanFn& plan_parity) const {
+  const size_t strip_len = frag_len / w_;
+
+  std::vector<const uint8_t*> frag_by_id(k_ + m_, nullptr);
+  for (size_t i = 0; i < available.size(); ++i)
+    frag_by_id[available[i]] = available_frags[i];
+
+  std::vector<uint32_t> erased_data, erased_parity;
+  std::vector<uint8_t*> out_data, out_parity;
+  for (size_t i = 0; i < erased.size(); ++i) {
+    if (erased[i] < k_) {
+      erased_data.push_back(erased[i]);
+      out_data.push_back(out[i]);
+    } else {
+      erased_parity.push_back(erased[i]);
+      out_parity.push_back(out[i]);
+    }
+  }
+
+  if (!erased_data.empty()) {
+    std::vector<uint32_t> avail_sorted = available;
+    std::sort(avail_sorted.begin(), avail_sorted.end());
+
+    // Canonical (sorted) erased order for the cache key and output mapping.
+    std::vector<size_t> perm(erased_data.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(),
+              [&](size_t a, size_t b) { return erased_data[a] < erased_data[b]; });
+    std::vector<uint32_t> erased_sorted(perm.size());
+    std::vector<uint8_t*> out_sorted(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      erased_sorted[i] = erased_data[perm[i]];
+      out_sorted[i] = out_data[perm[i]];
+    }
+
+    const RecoveryPlan plan = plan_data(avail_sorted, erased_sorted);
+    std::vector<const uint8_t*> in_frags(plan.inputs.size());
+    for (size_t i = 0; i < plan.inputs.size(); ++i) {
+      in_frags[i] = frag_by_id[plan.inputs[i]];
+      if (in_frags[i] == nullptr)
+        throw std::logic_error(name_ + ": recovery plan selected unavailable fragment " +
+                               std::to_string(plan.inputs[i]));
+    }
+    const auto in = strip_pointers(in_frags.data(), in_frags.size(), w_, frag_len);
+    const auto outs = strip_pointers(out_sorted.data(), out_sorted.size(), w_, frag_len);
+    plan.program->exec.run(in.data(), outs.data(), strip_len);
+
+    // The rebuilt data is now available for parity repair.
+    for (size_t i = 0; i < erased_sorted.size(); ++i)
+      frag_by_id[erased_sorted[i]] = out_sorted[i];
+  }
+
+  if (!erased_parity.empty()) {
+    const auto prog = plan_parity(erased_parity);
+    std::vector<const uint8_t*> data_frags(k_);
+    for (size_t d = 0; d < k_; ++d) {
+      if (frag_by_id[d] == nullptr)
+        // The contract (api/codec.hpp) promises invalid_argument for
+        // patterns a codec rejects; callers can retry with the fragment
+        // listed in `erased` so it gets decoded first.
+        throw std::invalid_argument(name_ + ": data fragment " + std::to_string(d) +
+                                    " unavailable for parity repair; list it in erased");
+      data_frags[d] = frag_by_id[d];
+    }
+    const auto in = strip_pointers(data_frags.data(), k_, w_, frag_len);
+    const auto outs = strip_pointers(out_parity.data(), out_parity.size(), w_, frag_len);
+    prog->exec.run(in.data(), outs.data(), strip_len);
+  }
+}
+
+}  // namespace xorec::ec

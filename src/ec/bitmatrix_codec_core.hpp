@@ -1,0 +1,134 @@
+// Shared machinery of every bitmatrix-driven SLP codec (ec::RsCodec and
+// altcodes::XorCodec): pipeline options, compiled programs, the bounded
+// decode-program cache, strip-pointer expansion, and the generic
+// reconstruct flow (decode erased data, then re-encode erased parity).
+//
+// The two codecs differ only in how they *derive* matrices for a given
+// erasure pattern (GF(2^8) inverse submatrix vs F2 Gaussian elimination)
+// and which survivors feed the decoder; they inject that via RecoveryPlan
+// callbacks and share everything else here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmatrix/bitmatrix.hpp"
+#include "ec/decode_cache.hpp"
+#include "runtime/executor.hpp"
+#include "slp/pipeline.hpp"
+
+namespace xorec::ec {
+
+enum class MatrixFamily {
+  /// ISA-L's gf_gen_rs_matrix construction — the paper's evaluation matrix
+  /// (verified MDS for RS(8..10, 2..4) and similar small codecs). Default.
+  IsalVandermonde,
+  /// Reduced Vandermonde [I ; M V_top^{-1}] — §7.1's textbook construction,
+  /// provably MDS, denser as a bitmatrix.
+  ReducedVandermonde,
+  /// Systematic Cauchy — provably MDS for any n + p <= 255.
+  Cauchy,
+};
+
+struct CodecOptions {
+  slp::PipelineOptions pipeline;
+  runtime::ExecOptions exec;
+  MatrixFamily family = MatrixFamily::IsalVandermonde;
+  /// Max cached decode programs (distinct erasure patterns); 0 = unbounded.
+  size_t decode_cache_capacity = 256;
+};
+
+/// An optimized SLP ready to run: the pipeline artifacts (for inspection)
+/// plus the blocked executor.
+struct CompiledProgram {
+  slp::PipelineResult pipeline;
+  runtime::Executor exec;
+
+  /// Pre-fusion stages execute as binary XOR chains (the paper's Base/Co
+  /// accounting: 3 memory accesses per XOR); fused/scheduled stages run
+  /// n-ary single-pass kernels.
+  CompiledProgram(slp::PipelineResult pipe, const runtime::ExecOptions& opt)
+      : pipeline(std::move(pipe)),
+        exec(runtime::compile(pipeline.final_form() == slp::ExecForm::Binary
+                                  ? pipeline.final_program().binary_expanded()
+                                  : pipeline.final_program()),
+             opt) {}
+};
+
+namespace detail {
+using DecodeCache = LruCache<CompiledProgram>;
+}
+
+class BitmatrixCodecCore {
+ public:
+  /// `parity` is the (m·w) x (k·w) parity bitmatrix; the encoding SLP is
+  /// compiled through the configured pipeline immediately.
+  BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks, size_t strips_per_block,
+                     const bitmatrix::BitMatrix& parity, CodecOptions opt,
+                     std::string name);
+
+  size_t data_blocks() const { return k_; }
+  size_t parity_blocks() const { return m_; }
+  size_t strips_per_block() const { return w_; }
+  const CodecOptions& options() const { return opt_; }
+  const std::string& name() const { return name_; }
+  const CompiledProgram& encoder() const { return *enc_; }
+
+  /// Compile a bitmatrix through this codec's pipeline/executor options.
+  std::shared_ptr<CompiledProgram> compile(const bitmatrix::BitMatrix& m,
+                                           const std::string& tag) const;
+
+  /// Memoized program lookup (thread-safe, LRU-bounded).
+  std::shared_ptr<CompiledProgram> cached(
+      const std::vector<uint32_t>& key,
+      const std::function<std::shared_ptr<CompiledProgram>()>& build) const;
+  size_t cache_size() const { return cache_->size(); }
+
+  /// Canonical cache keys: {erased ++ SEP ++ inputs} for decoders,
+  /// {parity_ids ++ SEP ++ SEP} for parity re-encode subsets.
+  static std::vector<uint32_t> decode_key(const std::vector<uint32_t>& erased,
+                                          const std::vector<uint32_t>& inputs);
+  static std::vector<uint32_t> parity_key(const std::vector<uint32_t>& parity_ids);
+
+  void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
+
+  /// A compiled recovery step: run `program` over the strips of fragments
+  /// `inputs` (in order) to produce the erased fragments' strips.
+  struct RecoveryPlan {
+    std::shared_ptr<const CompiledProgram> program;
+    std::vector<uint32_t> inputs;
+  };
+  /// Called with the sorted available ids and the sorted erased *data* ids.
+  using DataPlanFn = std::function<RecoveryPlan(const std::vector<uint32_t>& available,
+                                                const std::vector<uint32_t>& erased_data)>;
+  /// Called with the erased *parity* ids; the program reads all k data
+  /// fragments in order.
+  using ParityPlanFn = std::function<std::shared_ptr<const CompiledProgram>(
+      const std::vector<uint32_t>& erased_parity)>;
+
+  /// The generic reconstruct flow. Inputs are assumed validated
+  /// (xorec::Codec does that at the API boundary).
+  void reconstruct(const std::vector<uint32_t>& available,
+                   const uint8_t* const* available_frags,
+                   const std::vector<uint32_t>& erased, uint8_t* const* out,
+                   size_t frag_len, const DataPlanFn& plan_data,
+                   const ParityPlanFn& plan_parity) const;
+
+  /// Strip pointers of `count` fragments, fragment-major: fragment f's strips
+  /// occupy indices w·f .. w·f+w-1 (the constant numbering of the SLPs).
+  static std::vector<const uint8_t*> strip_pointers(const uint8_t* const* frags,
+                                                    size_t count, size_t w, size_t frag_len);
+  static std::vector<uint8_t*> strip_pointers(uint8_t* const* frags, size_t count, size_t w,
+                                              size_t frag_len);
+
+ private:
+  size_t k_, m_, w_;
+  CodecOptions opt_;
+  std::string name_;
+  std::shared_ptr<CompiledProgram> enc_;
+  std::unique_ptr<detail::DecodeCache> cache_;
+};
+
+}  // namespace xorec::ec

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
+
+#include "ec/rs_codec.hpp"
 
 namespace xorec::ec {
 
@@ -10,16 +13,23 @@ constexpr char kMagic[4] = {'X', 'S', 'L', 'P'};
 constexpr uint16_t kVersion = 1;
 }  // namespace
 
+ObjectCodec::ObjectCodec(std::shared_ptr<const Codec> codec) : codec_(std::move(codec)) {
+  if (!codec_) throw std::invalid_argument("ObjectCodec: null codec");
+  if (codec_->total_fragments() > UINT16_MAX)
+    throw std::invalid_argument("ObjectCodec: too many fragments for the wire header");
+}
+
 ObjectCodec::ObjectCodec(size_t n, size_t p, CodecOptions opt)
-    : codec_(n, p, std::move(opt)) {}
+    : ObjectCodec(std::make_shared<RsCodec>(n, p, std::move(opt))) {}
 
 size_t ObjectCodec::payload_len_for(size_t object_size) const {
-  const size_t n = codec_.data_fragments();
-  // ceil(size / n), padded to the 8-strip multiple (minimum one unit so the
-  // runtime always has work even for empty objects).
+  const size_t n = codec_->data_fragments();
+  const size_t mult = codec_->fragment_multiple();
+  // ceil(size / n), padded to the codec's fragment multiple (minimum one
+  // unit so the runtime always has work even for empty objects).
   const size_t per = (object_size + n - 1) / n;
-  const size_t aligned = (per + 7) / 8 * 8;
-  return std::max<size_t>(aligned, 8);
+  const size_t aligned = (per + mult - 1) / mult * mult;
+  return std::max<size_t>(aligned, mult);
 }
 
 void ObjectCodec::write_header(uint8_t* dst, const Header& h) {
@@ -50,8 +60,8 @@ std::optional<ObjectCodec::Header> ObjectCodec::read_header(
 }
 
 EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size) const {
-  const size_t n = codec_.data_fragments();
-  const size_t p = codec_.parity_fragments();
+  const size_t n = codec_->data_fragments();
+  const size_t p = codec_->parity_fragments();
   const size_t payload = payload_len_for(size);
 
   EncodedObject out;
@@ -73,14 +83,14 @@ EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size) const {
   for (size_t i = 0; i < n; ++i) data.push_back(out.fragments[i].data() + kHeaderSize);
   for (size_t i = 0; i < p; ++i)
     parity.push_back(out.fragments[n + i].data() + kHeaderSize);
-  codec_.encode(data.data(), parity.data(), payload);
+  codec_->encode(data.data(), parity.data(), payload);
   return out;
 }
 
 std::optional<std::vector<uint8_t>> ObjectCodec::decode(
     const std::vector<std::vector<uint8_t>>& fragments) const {
-  const size_t n = codec_.data_fragments();
-  const size_t p = codec_.parity_fragments();
+  const size_t n = codec_->data_fragments();
+  const size_t p = codec_->parity_fragments();
 
   // Validate and index the survivors.
   std::optional<Header> geo;
@@ -96,6 +106,10 @@ std::optional<std::vector<uint8_t>> ObjectCodec::decode(
   }
   if (!geo) return std::nullopt;
   const size_t payload = geo->payload_len;
+  if (payload == 0 || payload % codec_->fragment_multiple() != 0)
+    return std::nullopt;  // geometry from a different / corrupted codec
+  if (geo->object_size > n * payload)
+    return std::nullopt;  // header claims more bytes than the fragments hold
 
   std::vector<uint32_t> available;
   std::vector<const uint8_t*> avail_ptrs;
@@ -116,7 +130,13 @@ std::optional<std::vector<uint8_t>> ObjectCodec::decode(
   if (!erased_data.empty()) {
     std::vector<uint8_t*> outs;
     for (auto& r : rebuilt) outs.push_back(r.data());
-    codec_.reconstruct(available, avail_ptrs.data(), erased_data, outs.data(), payload);
+    try {
+      codec_->reconstruct(available, avail_ptrs.data(), erased_data, outs.data(), payload);
+    } catch (const std::invalid_argument&) {
+      // Non-MDS codecs may reject patterns even with >= n survivors; this
+      // API's failure channel is nullopt, not exceptions.
+      return std::nullopt;
+    }
   }
 
   // Gather the object bytes.
@@ -131,8 +151,6 @@ std::optional<std::vector<uint8_t>> ObjectCodec::decode(
     std::memcpy(object.data() + off, src, len);
     if (!by_id[i]) ++rebuilt_idx;
   }
-  // Advance rebuilt_idx correctly for missing fragments beyond the object end
-  // (nothing to copy, but keep the invariant tidy for future readers).
   return object;
 }
 

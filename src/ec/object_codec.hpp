@@ -1,10 +1,13 @@
-// Blob-level convenience API on top of RsCodec.
+// Blob-level convenience API on top of any xorec::Codec.
 //
-// RsCodec works on equal-length fragments the caller manages; real objects
+// Codecs work on equal-length fragments the caller manages; real objects
 // are single buffers of arbitrary size. ObjectCodec handles the bookkeeping:
 // it pads the object to n equal fragments (recording the true length in a
 // small per-fragment header), encodes parity, and reassembles the original
-// bytes from any n surviving fragments.
+// bytes from any n surviving fragments. Works over every registered codec —
+// RS, EVENODD, RDP, STAR, GF(2^16) RS — because it only speaks the generic
+// Codec interface:
+//   ec::ObjectCodec blobs(xorec::make_codec("evenodd(6,2)"));
 //
 // Fragment wire format (self-describing, fixed 32-byte header):
 //   magic "XSLP" | version u16 | fragment id u16 | n u16 | p u16 |
@@ -14,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include "ec/rs_codec.hpp"
+#include "api/codec.hpp"
+#include "ec/bitmatrix_codec_core.hpp"
 
 namespace xorec::ec {
 
@@ -30,10 +35,15 @@ class ObjectCodec {
  public:
   static constexpr size_t kHeaderSize = 32;
 
+  /// Wrap any codec (shared so callers can keep using it directly too).
+  explicit ObjectCodec(std::shared_ptr<const Codec> codec);
+
+  /// Convenience: RS(n, p) over GF(2^8), the default engine.
   ObjectCodec(size_t n, size_t p, CodecOptions opt = {});
 
-  size_t data_fragments() const { return codec_.data_fragments(); }
-  size_t parity_fragments() const { return codec_.parity_fragments(); }
+  size_t data_fragments() const { return codec_->data_fragments(); }
+  size_t parity_fragments() const { return codec_->parity_fragments(); }
+  const Codec& codec() const { return *codec_; }
 
   /// Split + pad + encode. Empty objects are legal (fragments carry only
   /// headers plus minimal padding).
@@ -62,7 +72,7 @@ class ObjectCodec {
 
   size_t payload_len_for(size_t object_size) const;
 
-  RsCodec codec_;
+  std::shared_ptr<const Codec> codec_;
 };
 
 }  // namespace xorec::ec

@@ -9,33 +9,53 @@ namespace xorec::ec {
 
 namespace {
 
-void check_frag_len(size_t frag_len) {
-  if (frag_len == 0 || frag_len % RsCodec::kStripsPerFragment != 0)
-    throw std::invalid_argument("RsCodec: frag_len must be a positive multiple of 8");
+gf::Matrix checked_code_matrix(MatrixFamily family, size_t n, size_t p) {
+  if (n == 0 || p == 0 || n + p > 255)
+    throw std::invalid_argument("RsCodec: need n >= 1, p >= 1, n + p <= 255");
+  return make_code_matrix(family, n, p);
 }
 
-/// Strip pointers for a set of fragments, fragment-major (fragment f's
-/// strips occupy indices 8f..8f+7 — the constant numbering of the SLPs).
-template <typename Byte>
-std::vector<Byte*> strips_of(Byte* const* frags, size_t count, size_t frag_len) {
-  const size_t w = RsCodec::kStripsPerFragment;
-  const size_t strip_len = frag_len / w;
-  std::vector<Byte*> out(count * w);
-  for (size_t f = 0; f < count; ++f)
-    for (size_t s = 0; s < w; ++s) out[f * w + s] = frags[f] + s * strip_len;
-  return out;
+/// Encoding SLP input: the parity rows only (data fragments are stored
+/// verbatim), expanded to the w = 8 bitmatrix view.
+bitmatrix::BitMatrix parity_bitmatrix(const gf::Matrix& code, size_t n, size_t p) {
+  std::vector<size_t> parity_rows(p);
+  for (size_t i = 0; i < p; ++i) parity_rows[i] = n + i;
+  return bitmatrix::expand(code.select_rows(parity_rows));
+}
+
+std::string rs_name(const CodecOptions& opt, size_t n, size_t p) {
+  const char* fam = "rs";
+  switch (opt.family) {
+    case MatrixFamily::IsalVandermonde: fam = "rs"; break;
+    case MatrixFamily::ReducedVandermonde: fam = "vand"; break;
+    case MatrixFamily::Cauchy: fam = "cauchy"; break;
+  }
+  std::string name =
+      std::string(fam) + "(" + std::to_string(n) + "," + std::to_string(p) + ")";
+  // Name the pipeline configuration too, or the name would rebuild a
+  // differently-optimized codec. Non-default shapes with no spec token get
+  // an invalid suffix on purpose: failing loudly in make_codec beats
+  // silently rebuilding the wrong pipeline. Inverse of the passes=/sched=
+  // presets in api/registry.cpp apply_option — keep the two in sync.
+  const auto& pl = opt.pipeline;
+  const bool xrp = pl.compress == slp::CompressKind::XorRePair;
+  if (xrp && pl.fuse && pl.schedule == slp::ScheduleKind::Dfs)
+    ;  // the default full pipeline
+  else if (pl.compress == slp::CompressKind::None && !pl.fuse &&
+           pl.schedule == slp::ScheduleKind::None)
+    name += "@passes=base";
+  else if (xrp && !pl.fuse && pl.schedule == slp::ScheduleKind::None)
+    name += "@passes=compress";
+  else if (xrp && pl.fuse && pl.schedule == slp::ScheduleKind::None)
+    name += "@passes=fuse";
+  else if (xrp && pl.fuse && pl.schedule == slp::ScheduleKind::Greedy)
+    name += "@sched=greedy";
+  else
+    name += "@passes=custom";
+  return name;
 }
 
 }  // namespace
-
-std::vector<const uint8_t*> fragment_strips(const uint8_t* frag, size_t frag_len) {
-  check_frag_len(frag_len);
-  return strips_of<const uint8_t>(&frag, 1, frag_len);
-}
-std::vector<uint8_t*> fragment_strips(uint8_t* frag, size_t frag_len) {
-  check_frag_len(frag_len);
-  return strips_of<uint8_t>(&frag, 1, frag_len);
-}
 
 gf::Matrix make_code_matrix(MatrixFamily family, size_t n, size_t p) {
   switch (family) {
@@ -47,39 +67,26 @@ gf::Matrix make_code_matrix(MatrixFamily family, size_t n, size_t p) {
 }
 
 RsCodec::RsCodec(size_t n, size_t p, CodecOptions opt)
-    : n_(n), p_(p), opt_(std::move(opt)) {
-  if (n == 0 || p == 0 || n + p > 255)
-    throw std::invalid_argument("RsCodec: need n >= 1, p >= 1, n + p <= 255");
-  code_ = make_code_matrix(opt_.family, n, p);
+    : code_(checked_code_matrix(opt.family, n, p)),
+      core_(n, p, kStripsPerFragment, parity_bitmatrix(code_, n, p), opt,
+            rs_name(opt, n, p)) {}
 
-  // Encoding SLP: the parity rows only (data fragments are stored verbatim).
-  std::vector<size_t> parity_rows(p);
-  for (size_t i = 0; i < p; ++i) parity_rows[i] = n + i;
-  const gf::Matrix parity = code_.select_rows(parity_rows);
-  enc_ = std::make_shared<CompiledProgram>(
-      slp::optimize(bitmatrix::expand(parity), opt_.pipeline, "enc"), opt_.exec);
-
-  cache_ = std::make_unique<detail::DecodeCache>(opt_.decode_cache_capacity);
-}
-
-void RsCodec::encode(const uint8_t* const* data, uint8_t* const* parity,
-                     size_t frag_len) const {
-  check_frag_len(frag_len);
-  const auto in = strips_of<const uint8_t>(data, n_, frag_len);
-  const auto out = strips_of<uint8_t>(parity, p_, frag_len);
-  enc_->exec.run(in.data(), out.data(), frag_len / kStripsPerFragment);
+void RsCodec::encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                          size_t frag_len) const {
+  core_.encode(data, parity, frag_len);
 }
 
 std::vector<uint32_t> RsCodec::choose_survivors(const std::vector<uint32_t>& available) const {
+  const size_t n = data_fragments();
   std::vector<uint32_t> sorted = available;
   std::sort(sorted.begin(), sorted.end());
   std::vector<uint32_t> survivors;
-  survivors.reserve(n_);
+  survivors.reserve(n);
   for (uint32_t id : sorted)
-    if (id < n_ && survivors.size() < n_) survivors.push_back(id);
+    if (id < n && survivors.size() < n) survivors.push_back(id);
   for (uint32_t id : sorted)
-    if (id >= n_ && survivors.size() < n_) survivors.push_back(id);
-  if (survivors.size() < n_)
+    if (id >= n && survivors.size() < n) survivors.push_back(id);
+  if (survivors.size() < n)
     throw std::invalid_argument("RsCodec: not enough surviving fragments to decode");
   std::sort(survivors.begin(), survivors.end());
   return survivors;
@@ -87,37 +94,31 @@ std::vector<uint32_t> RsCodec::choose_survivors(const std::vector<uint32_t>& ava
 
 std::shared_ptr<CompiledProgram> RsCodec::decoder_for(
     const std::vector<uint32_t>& survivors, const std::vector<uint32_t>& erased_data) const {
-  std::vector<uint32_t> key = erased_data;
-  key.push_back(UINT32_MAX);
-  key.insert(key.end(), survivors.begin(), survivors.end());
-  return cache_->get_or_build(key, [&]() -> std::shared_ptr<CompiledProgram> {
-    std::vector<size_t> rows(survivors.begin(), survivors.end());
-    auto minv = gf::decode_matrix(code_, rows);
-    if (!minv) throw std::logic_error("RsCodec: singular decode submatrix (non-MDS?)");
-    std::vector<size_t> recover_rows(erased_data.begin(), erased_data.end());
-    const gf::Matrix recovery = minv->select_rows(recover_rows);
-    return std::make_shared<CompiledProgram>(
-        slp::optimize(bitmatrix::expand(recovery), opt_.pipeline, "dec"), opt_.exec);
-  });
+  return core_.cached(
+      BitmatrixCodecCore::decode_key(erased_data, survivors),
+      [&]() -> std::shared_ptr<CompiledProgram> {
+        std::vector<size_t> rows(survivors.begin(), survivors.end());
+        auto minv = gf::decode_matrix(code_, rows);
+        if (!minv) throw std::logic_error("RsCodec: singular decode submatrix (non-MDS?)");
+        std::vector<size_t> recover_rows(erased_data.begin(), erased_data.end());
+        return core_.compile(bitmatrix::expand(minv->select_rows(recover_rows)), "dec");
+      });
 }
 
 std::shared_ptr<CompiledProgram> RsCodec::parity_subset_program(
     const std::vector<uint32_t>& parity_ids) const {
-  std::vector<uint32_t> key = parity_ids;
-  key.push_back(UINT32_MAX);
-  key.push_back(UINT32_MAX);  // distinct key-space from decoders
-  return cache_->get_or_build(key, [&]() -> std::shared_ptr<CompiledProgram> {
-    std::vector<size_t> rows(parity_ids.begin(), parity_ids.end());
-    const gf::Matrix parity = code_.select_rows(rows);
-    return std::make_shared<CompiledProgram>(
-        slp::optimize(bitmatrix::expand(parity), opt_.pipeline, "parity-subset"), opt_.exec);
-  });
+  return core_.cached(BitmatrixCodecCore::parity_key(parity_ids),
+                      [&]() -> std::shared_ptr<CompiledProgram> {
+                        std::vector<size_t> rows(parity_ids.begin(), parity_ids.end());
+                        return core_.compile(bitmatrix::expand(code_.select_rows(rows)),
+                                             "parity-subset");
+                      });
 }
 
 std::shared_ptr<const CompiledProgram> RsCodec::decode_program(
     const std::vector<uint32_t>& erased_data) const {
   std::vector<uint32_t> available;
-  for (uint32_t id = 0; id < n_ + p_; ++id)
+  for (uint32_t id = 0; id < total_fragments(); ++id)
     if (std::find(erased_data.begin(), erased_data.end(), id) == erased_data.end())
       available.push_back(id);
   std::vector<uint32_t> erased_sorted = erased_data;
@@ -125,72 +126,20 @@ std::shared_ptr<const CompiledProgram> RsCodec::decode_program(
   return decoder_for(choose_survivors(available), erased_sorted);
 }
 
-void RsCodec::reconstruct(const std::vector<uint32_t>& available,
-                          const uint8_t* const* available_frags,
-                          const std::vector<uint32_t>& erased, uint8_t* const* out,
-                          size_t frag_len) const {
-  check_frag_len(frag_len);
-  const size_t strip_len = frag_len / kStripsPerFragment;
-
-  // Index the surviving buffers by fragment id.
-  std::vector<const uint8_t*> frag_by_id(n_ + p_, nullptr);
-  for (size_t i = 0; i < available.size(); ++i) {
-    if (available[i] >= n_ + p_) throw std::out_of_range("RsCodec: available id");
-    frag_by_id[available[i]] = available_frags[i];
-  }
-  std::vector<uint32_t> erased_data, erased_parity;
-  std::vector<uint8_t*> out_data, out_parity;
-  for (size_t i = 0; i < erased.size(); ++i) {
-    if (erased[i] >= n_ + p_) throw std::out_of_range("RsCodec: erased id");
-    if (frag_by_id[erased[i]] != nullptr)
-      throw std::invalid_argument("RsCodec: fragment both available and erased");
-    if (erased[i] < n_) {
-      erased_data.push_back(erased[i]);
-      out_data.push_back(out[i]);
-    } else {
-      erased_parity.push_back(erased[i]);
-      out_parity.push_back(out[i]);
-    }
-  }
-
-  if (!erased_data.empty()) {
-    const std::vector<uint32_t> survivors = choose_survivors(available);
-    // Sort erased data ids (with their buffers) for a canonical cache key.
-    std::vector<size_t> perm(erased_data.size());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    std::sort(perm.begin(), perm.end(),
-              [&](size_t a, size_t b) { return erased_data[a] < erased_data[b]; });
-    std::vector<uint32_t> erased_sorted(perm.size());
-    std::vector<uint8_t*> out_sorted(perm.size());
-    for (size_t i = 0; i < perm.size(); ++i) {
-      erased_sorted[i] = erased_data[perm[i]];
-      out_sorted[i] = out_data[perm[i]];
-    }
-    const auto dec = decoder_for(survivors, erased_sorted);
-
-    std::vector<const uint8_t*> surv_frags(survivors.size());
-    for (size_t i = 0; i < survivors.size(); ++i) surv_frags[i] = frag_by_id[survivors[i]];
-    const auto in = strips_of<const uint8_t>(surv_frags.data(), survivors.size(), frag_len);
-    const auto outs = strips_of<uint8_t>(out_sorted.data(), out_sorted.size(), frag_len);
-    dec->exec.run(in.data(), outs.data(), strip_len);
-
-    // The rebuilt data is now available for parity repair.
-    for (size_t i = 0; i < erased_sorted.size(); ++i)
-      frag_by_id[erased_sorted[i]] = out_sorted[i];
-  }
-
-  if (!erased_parity.empty()) {
-    std::vector<const uint8_t*> data_frags(n_);
-    for (size_t d = 0; d < n_; ++d) {
-      if (frag_by_id[d] == nullptr)
-        throw std::logic_error("RsCodec: data fragment unavailable for parity repair");
-      data_frags[d] = frag_by_id[d];
-    }
-    const auto prog = parity_subset_program(erased_parity);
-    const auto in = strips_of<const uint8_t>(data_frags.data(), n_, frag_len);
-    const auto outs = strips_of<uint8_t>(out_parity.data(), out_parity.size(), frag_len);
-    prog->exec.run(in.data(), outs.data(), strip_len);
-  }
+void RsCodec::reconstruct_impl(const std::vector<uint32_t>& available,
+                               const uint8_t* const* available_frags,
+                               const std::vector<uint32_t>& erased, uint8_t* const* out,
+                               size_t frag_len) const {
+  core_.reconstruct(
+      available, available_frags, erased, out, frag_len,
+      [&](const std::vector<uint32_t>& avail_sorted,
+          const std::vector<uint32_t>& erased_data) -> BitmatrixCodecCore::RecoveryPlan {
+        const std::vector<uint32_t> survivors = choose_survivors(avail_sorted);
+        return {decoder_for(survivors, erased_data), survivors};
+      },
+      [&](const std::vector<uint32_t>& erased_parity) {
+        return parity_subset_program(erased_parity);
+      });
 }
 
 }  // namespace xorec::ec

@@ -1,12 +1,12 @@
-// Public erasure-coding API: RS(n, p) over GF(2^8) executed as optimized
-// XOR SLPs (the paper's system, end to end).
+// RS(n, p) over GF(2^8) executed as optimized XOR SLPs (the paper's system,
+// end to end), implementing the unified xorec::Codec interface.
 //
 // Data model (§1): a stored object is split into n data fragments; encode
 // produces p parity fragments; any n surviving fragments reconstruct the
 // data. Each fragment is internally 8 strips (w = 8 bit-planes of the
 // GF(2^8) bitmatrix view), so fragment lengths must be multiples of 8.
 //
-// Usage:
+// Usage (or via the registry: xorec::make_codec("rs(10,4)")):
 //   ec::RsCodec codec(10, 4);
 //   codec.encode(data_ptrs, parity_ptrs, frag_len);
 //   ...
@@ -17,87 +17,34 @@
 #include <memory>
 #include <vector>
 
-#include "ec/decode_cache.hpp"
+#include "api/codec.hpp"
+#include "ec/bitmatrix_codec_core.hpp"
 #include "gf/gfmat.hpp"
-#include "runtime/executor.hpp"
-#include "slp/pipeline.hpp"
 
 namespace xorec::ec {
-
-enum class MatrixFamily {
-  /// ISA-L's gf_gen_rs_matrix construction — the paper's evaluation matrix
-  /// (verified MDS for RS(8..10, 2..4) and similar small codecs). Default.
-  IsalVandermonde,
-  /// Reduced Vandermonde [I ; M V_top^{-1}] — §7.1's textbook construction,
-  /// provably MDS, denser as a bitmatrix.
-  ReducedVandermonde,
-  /// Systematic Cauchy — provably MDS for any n + p <= 255.
-  Cauchy,
-};
 
 /// The systematic coding matrix of a family.
 gf::Matrix make_code_matrix(MatrixFamily family, size_t n, size_t p);
 
-struct CodecOptions {
-  slp::PipelineOptions pipeline;
-  runtime::ExecOptions exec;
-  MatrixFamily family = MatrixFamily::IsalVandermonde;
-  /// Max cached decode programs (distinct erasure patterns); 0 = unbounded.
-  size_t decode_cache_capacity = 256;
-};
-
-/// An optimized SLP ready to run: the pipeline artifacts (for inspection)
-/// plus the blocked executor.
-struct CompiledProgram {
-  slp::PipelineResult pipeline;
-  runtime::Executor exec;
-
-  /// Pre-fusion stages execute as binary XOR chains (the paper's Base/Co
-  /// accounting: 3 memory accesses per XOR); fused/scheduled stages run
-  /// n-ary single-pass kernels.
-  CompiledProgram(slp::PipelineResult pipe, const runtime::ExecOptions& opt)
-      : pipeline(std::move(pipe)),
-        exec(runtime::compile(pipeline.final_form() == slp::ExecForm::Binary
-                                  ? pipeline.final_program().binary_expanded()
-                                  : pipeline.final_program()),
-             opt) {}
-};
-
-namespace detail {
-using DecodeCache = LruCache<CompiledProgram>;
-}
-
-class RsCodec {
+class RsCodec : public Codec {
  public:
   static constexpr size_t kStripsPerFragment = 8;
 
   RsCodec(size_t n, size_t p, CodecOptions opt = {});
 
-  size_t data_fragments() const { return n_; }
-  size_t parity_fragments() const { return p_; }
-  size_t total_fragments() const { return n_ + p_; }
-  const CodecOptions& options() const { return opt_; }
+  size_t data_fragments() const override { return core_.data_blocks(); }
+  size_t parity_fragments() const override { return core_.parity_blocks(); }
+  size_t fragment_multiple() const override { return kStripsPerFragment; }
+  std::string name() const override { return core_.name(); }
+  const CodecOptions& options() const { return core_.options(); }
 
   /// The systematic (n+p) x n coding matrix (rows 0..n-1 are the identity).
   const gf::Matrix& code_matrix() const { return code_; }
 
   /// The optimizer artifacts of the encoding SLP (for inspection/benches).
-  const slp::PipelineResult& encode_pipeline() const { return enc_->pipeline; }
-
-  /// data: n fragment pointers; parity: p fragment pointers (written).
-  /// frag_len must be a positive multiple of 8.
-  void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
-
-  /// Rebuild any erased fragments (data and/or parity).
-  ///   available: surviving fragment ids, ascending; buffers parallel to it.
-  ///   erased:    fragment ids to rebuild; `out` parallel writable buffers.
-  /// Requires |available| >= n and the two id sets to be disjoint. Erased
-  /// data fragments are decoded via the inverse-submatrix SLP; erased parity
-  /// is then re-encoded from the (re)complete data.
-  void reconstruct(const std::vector<uint32_t>& available,
-                   const uint8_t* const* available_frags,
-                   const std::vector<uint32_t>& erased, uint8_t* const* out,
-                   size_t frag_len) const;
+  const slp::PipelineResult* encode_pipeline() const override {
+    return &core_.encoder().pipeline;
+  }
 
   /// Decode-side pipeline for a specific erasure pattern of data fragments,
   /// exposed so benches can measure the paper's P_dec tables offline.
@@ -109,21 +56,22 @@ class RsCodec {
   /// plus the lowest-id surviving parities, n total.
   std::vector<uint32_t> choose_survivors(const std::vector<uint32_t>& available) const;
 
+ protected:
+  void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
+                   size_t frag_len) const override;
+  void reconstruct_impl(const std::vector<uint32_t>& available,
+                        const uint8_t* const* available_frags,
+                        const std::vector<uint32_t>& erased, uint8_t* const* out,
+                        size_t frag_len) const override;
+
  private:
   std::shared_ptr<CompiledProgram> decoder_for(const std::vector<uint32_t>& survivors,
                                                const std::vector<uint32_t>& erased_data) const;
   std::shared_ptr<CompiledProgram> parity_subset_program(
       const std::vector<uint32_t>& parity_ids) const;
 
-  size_t n_ = 0, p_ = 0;
-  CodecOptions opt_;
   gf::Matrix code_;
-  std::shared_ptr<CompiledProgram> enc_;
-  std::unique_ptr<detail::DecodeCache> cache_;
+  BitmatrixCodecCore core_;
 };
-
-/// Helper: the strip pointers of a fragment buffer (8 sub-arrays).
-std::vector<const uint8_t*> fragment_strips(const uint8_t* frag, size_t frag_len);
-std::vector<uint8_t*> fragment_strips(uint8_t* frag, size_t frag_len);
 
 }  // namespace xorec::ec

@@ -159,8 +159,8 @@ TEST(NaiveXor, OptionsDisableEverything) {
   EXPECT_FALSE(opt.pipeline.fuse);
   EXPECT_EQ(opt.pipeline.schedule, slp::ScheduleKind::None);
   const ec::RsCodec codec = baseline::make_naive_codec(6, 2, 512);
-  EXPECT_FALSE(codec.encode_pipeline().compressed.has_value());
-  EXPECT_FALSE(codec.encode_pipeline().fused.has_value());
+  EXPECT_FALSE(codec.encode_pipeline()->compressed.has_value());
+  EXPECT_FALSE(codec.encode_pipeline()->fused.has_value());
 }
 
 TEST(NaiveXor, EncodesIdenticallyToOptimizedCodec) {

@@ -108,7 +108,7 @@ TEST(Rs16, OptimizerShrinksWideSymbolPrograms) {
   // The 16x16 companions are denser than 8x8 ones; XorRePair should still
   // find heavy sharing.
   altcodes::XorCodec codec(altcodes::rs16_spec(6, 3));
-  const auto& pipe = codec.encode_pipeline();
+  const auto& pipe = *codec.encode_pipeline();
   ASSERT_TRUE(pipe.compressed.has_value());
   EXPECT_LT(slp::xor_ops(*pipe.compressed), slp::xor_ops(pipe.base));
 }
