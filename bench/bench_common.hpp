@@ -115,6 +115,136 @@ inline void register_encode(const std::string& name, std::shared_ptr<const Codec
   });
 }
 
+/// One stripe's decode fixture: pre-encoded cluster, survivor pointers and
+/// output buffers for a fixed erasure pattern.
+struct DecodeFixture {
+  std::shared_ptr<Cluster> cluster;
+  std::vector<uint32_t> erased;
+  std::vector<uint32_t> available;
+  std::vector<const uint8_t*> avail_ptrs;
+  std::vector<std::vector<uint8_t>> rebuilt;
+  std::vector<uint8_t*> out_ptrs;
+
+  DecodeFixture(const Codec& codec, std::shared_ptr<Cluster> c,
+                std::vector<uint32_t> erased_ids)
+      : cluster(std::move(c)), erased(std::move(erased_ids)) {
+    codec.encode(cluster->data_ptrs.data(), cluster->parity_ptrs.data(),
+                 cluster->frag_len);
+    for (uint32_t id = 0; id < cluster->n + cluster->p; ++id) {
+      if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
+        available.push_back(id);
+        avail_ptrs.push_back(cluster->frags[id].data());
+      }
+    }
+    rebuilt.assign(erased.size(), std::vector<uint8_t>(cluster->frag_len));
+    for (auto& r : rebuilt) out_ptrs.push_back(r.data());
+  }
+};
+
+/// Shared multi-stripe fixtures, so several batch benches (e.g. a thread
+/// sweep) reuse one allocation instead of one per registration.
+using ClusterSet = std::vector<Cluster>;
+using DecodeSet = std::vector<DecodeFixture>;
+
+inline std::shared_ptr<ClusterSet> make_cluster_set(const Codec& codec, size_t stripes,
+                                                    size_t frag_len = 0,
+                                                    uint32_t seed0 = 100) {
+  const size_t fl = frag_len ? frag_len
+                             : frag_len_for(codec.data_fragments(),
+                                            codec.fragment_multiple());
+  auto set = std::make_shared<ClusterSet>();
+  for (size_t s = 0; s < stripes; ++s)
+    set->emplace_back(codec.data_fragments(), codec.parity_fragments(), fl,
+                      static_cast<uint32_t>(seed0 + s));
+  return set;
+}
+
+inline std::shared_ptr<DecodeSet> make_decode_set(const Codec& codec, size_t stripes,
+                                                  std::vector<uint32_t> erased,
+                                                  size_t frag_len = 0,
+                                                  uint32_t seed0 = 200) {
+  const size_t fl = frag_len ? frag_len
+                             : frag_len_for(codec.data_fragments(),
+                                            codec.fragment_multiple());
+  auto set = std::make_shared<DecodeSet>();
+  for (size_t s = 0; s < stripes; ++s)
+    set->emplace_back(codec,
+                      std::make_shared<Cluster>(codec.data_fragments(),
+                                                codec.parity_fragments(), fl,
+                                                static_cast<uint32_t>(seed0 + s)),
+                      erased);
+  return set;
+}
+
+/// Plan-execute decode benchmark: the erasure pattern is solved ONCE at
+/// registration (Codec::plan_reconstruct); the timed loop only runs
+/// ReconstructPlan::execute — the degraded-read fast path.
+inline void register_decode_plan(const std::string& name,
+                                 std::shared_ptr<const Codec> codec,
+                                 std::shared_ptr<Cluster> cluster,
+                                 std::vector<uint32_t> erased) {
+  auto fix = std::make_shared<DecodeFixture>(*codec, std::move(cluster), erased);
+  auto plan = codec->plan_reconstruct(fix->available, erased);
+  benchmark::RegisterBenchmark(name.c_str(), [codec, fix, plan](benchmark::State& state) {
+    for (auto _ : state) {
+      plan->execute(fix->avail_ptrs.data(), fix->out_ptrs.data(), fix->cluster->frag_len);
+      benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(fix->cluster->n * fix->cluster->frag_len));
+  });
+}
+
+/// Batched encode benchmark: every cluster of the (shared) set is submitted
+/// through one BatchCoder session per iteration; flush() is the barrier.
+/// Register with threads = 1 for the session-overhead baseline, >= 2 for
+/// stripe-level speedup (the session codec should keep threads=1 —
+/// parallelism comes from stripes, not intra-stripe splitting).
+inline void register_encode_batch(const std::string& name,
+                                  std::shared_ptr<const Codec> codec,
+                                  std::shared_ptr<ClusterSet> clusters, size_t threads) {
+  auto batch = std::make_shared<BatchCoder>(codec, threads);
+  benchmark::RegisterBenchmark(
+      name.c_str(), [codec, clusters, batch](benchmark::State& state) {
+        for (auto _ : state) {
+          for (Cluster& c : *clusters)
+            batch->submit_encode(c.data_ptrs.data(), c.parity_ptrs.data(), c.frag_len);
+          batch->flush();
+          benchmark::ClobberMemory();
+        }
+        const Cluster& c0 = clusters->front();
+        state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                                static_cast<int64_t>(clusters->size() * c0.n * c0.frag_len));
+      })
+      // The work happens on session workers; the calling thread mostly
+      // waits in flush() — only wall time is meaningful.
+      ->UseRealTime();
+}
+
+/// Batched decode benchmark: one plan shared by every stripe of the set,
+/// one submit_reconstruct per stripe per iteration.
+inline void register_decode_batch(const std::string& name,
+                                  std::shared_ptr<const Codec> codec,
+                                  std::shared_ptr<DecodeSet> fixtures, size_t threads) {
+  auto plan =
+      codec->plan_reconstruct(fixtures->front().available, fixtures->front().erased);
+  auto batch = std::make_shared<BatchCoder>(codec, threads);
+  benchmark::RegisterBenchmark(
+      name.c_str(), [codec, fixtures, plan, batch](benchmark::State& state) {
+        for (auto _ : state) {
+          for (DecodeFixture& f : *fixtures)
+            batch->submit_reconstruct(plan, f.avail_ptrs.data(), f.out_ptrs.data(),
+                                      f.cluster->frag_len);
+          batch->flush();
+          benchmark::ClobberMemory();
+        }
+        const Cluster& c0 = *fixtures->front().cluster;
+        state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                                static_cast<int64_t>(fixtures->size() * c0.n * c0.frag_len));
+      })
+      ->UseRealTime();
+}
+
 /// Decode benchmark: reconstruct `erased` (pre-encoded cluster required).
 inline void register_decode(const std::string& name, std::shared_ptr<const Codec> codec,
                             std::shared_ptr<Cluster> cluster,

@@ -20,12 +20,13 @@ void register_spec(const std::string& spec, const std::string& tag,
                    std::vector<uint32_t> erased, uint32_t seed) {
   auto codec = codec_for(spec);
   auto cluster = std::make_shared<Cluster>(*codec, seed);
-  register_encode(tag + "_encode/k" + std::to_string(cluster->n) + "_p" +
-                      std::to_string(cluster->p),
-                  codec, cluster);
-  register_decode(tag + "_decode/k" + std::to_string(cluster->n) + "_p" +
-                      std::to_string(cluster->p),
-                  codec, cluster, std::move(erased));
+  const std::string geo =
+      "/k" + std::to_string(cluster->n) + "_p" + std::to_string(cluster->p);
+  register_encode(tag + "_encode" + geo, codec, cluster);
+  register_decode(tag + "_decode" + geo, codec, cluster, erased);
+  // Same pattern through a pre-solved plan (zero re-solving per call).
+  register_decode_plan(tag + "_decode_plan" + geo, codec,
+                       std::make_shared<Cluster>(*codec, seed + 1), std::move(erased));
 }
 
 }  // namespace

@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
     auto ours = codec_for("rs" + dims + tuning + ",passes=full");
     register_encode("ours_encode/" + tag, ours, fresh_cluster());
     register_decode("ours_decode/" + tag, ours, fresh_cluster(), erased);
+    // The plan path: pattern solved once at registration, the loop is pure
+    // execute — what a degraded-read-heavy deployment amortizes to.
+    register_decode_plan("ours_decode_plan/" + tag, ours, fresh_cluster(), erased);
 
     auto isal = codec_for("isal" + dims);
     register_encode("isal_style_encode/" + tag, isal, fresh_cluster());
@@ -41,6 +44,19 @@ int main(int argc, char** argv) {
 
     auto naive = codec_for("naive_xor" + dims + tuning);
     register_encode("naive_xor_encode/" + tag, naive, fresh_cluster());
+  }
+
+  // The batch path at the paper's flagship geometry: 8 stripes per flush,
+  // single-call (batch=1) vs stripe-parallel sessions.
+  {
+    auto ours = codec_for("rs(10,4)" + tuning + ",passes=full");
+    auto enc_set = make_cluster_set(*ours, 8);
+    auto dec_set = make_decode_set(*ours, 8, erased);
+    for (size_t t : {1u, 4u}) {
+      const std::string suffix = "/rs10_4/t" + std::to_string(t);
+      register_encode_batch("ours_encode_batch" + suffix, ours, enc_set, t);
+      register_decode_batch("ours_decode_batch" + suffix, ours, dec_set, t);
+    }
   }
 
   benchmark::RunSpecifiedBenchmarks();

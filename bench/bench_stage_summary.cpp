@@ -47,10 +47,19 @@ int main(int argc, char** argv) {
     print_stage_table("P_enc (paper: 755/385/146; 2265/1155/677; 32/385/146/88; "
                       "92/447/224/167)",
                       *codec.encode_pipeline());
-    const auto dec = codec.decode_program({2, 4, 5, 6});
+    // The generic plan API: every codec (not just RsCodec) exposes the
+    // decode pipeline + cost measures of a solved erasure pattern this way.
+    const std::vector<uint32_t> erased{2, 4, 5, 6};
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < n + p; ++id)
+      if (std::find(erased.begin(), erased.end(), id) == erased.end())
+        available.push_back(id);
+    const auto plan = codec.plan_reconstruct(available, erased);
     print_stage_table("P_dec (paper: 1368/511/206; 4104/1533/923; 32/511/206/125; "
                       "89/585/283/205)",
-                      dec->pipeline);
+                      *plan->decode_pipeline());
+    std::printf("P_dec plan totals: #xor=%zu #M=%zu (xor_count/schedule_stats)\n",
+                plan->xor_count(), plan->schedule_stats().mem_accesses);
   }
 
   // --- throughput per stage ------------------------------------------------
@@ -69,6 +78,20 @@ int main(int argc, char** argv) {
     auto codec = std::make_shared<ec::RsCodec>(n, p, s.opt);
     register_encode(std::string("stage_encode/") + s.name, codec, cluster);
     register_decode(std::string("stage_decode/") + s.name, codec, cluster, {2, 4, 5, 6});
+  }
+
+  // The fully scheduled stage through the batch session (8 stripes/flush):
+  // t1 isolates session overhead, t4 shows stripe-level scaling.
+  {
+    auto codec = std::make_shared<ec::RsCodec>(n, p, full_options(block));
+    auto enc_set = make_cluster_set(*codec, 8);
+    auto dec_set = make_decode_set(*codec, 8, {2, 4, 5, 6});
+    for (size_t t : {1u, 4u}) {
+      register_encode_batch("stage_encode_batch/scheduled/t" + std::to_string(t), codec,
+                            enc_set, t);
+      register_decode_batch("stage_decode_batch/scheduled/t" + std::to_string(t), codec,
+                            dec_set, t);
+    }
   }
 
   benchmark::RunSpecifiedBenchmarks();

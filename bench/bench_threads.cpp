@@ -1,6 +1,10 @@
-// A4 — thread scaling of the blocked executor (the §8 parallelism
-// direction): RS(10,4) full pipeline, strip ranges split across workers,
-// each with private staggered scratch.
+// A4 — thread scaling, both parallelism axes:
+//  - threads_encode/tN: the blocked executor's §8 intra-stripe direction
+//    (strip ranges split across fork-join workers, private scratch), and
+//  - batch_encode/tN:   BatchCoder's stripe-level direction (N session
+//    workers, 8 independent stripes per flush, codec single-threaded).
+// Shape target: batch_encode/tN >= threads_encode/t1 for N >= 2 — whole
+// stripes parallelize at least as well as split strips.
 #include "bench_common.hpp"
 
 #include <thread>
@@ -23,6 +27,19 @@ int main(int argc, char** argv) {
     opt.exec.threads = threads;
     auto codec = std::make_shared<ec::RsCodec>(n, p, opt);
     register_encode("threads_encode/t" + std::to_string(threads), codec, cluster);
+  }
+
+  // Stripe-level scaling: same total bytes per flush across 8 stripes of
+  // 10 MB objects, sessions of 1/2/4/8 workers over a 1-thread codec.
+  auto batch_codec = std::make_shared<ec::RsCodec>(n, p, full_options(block));
+  auto enc_set = make_cluster_set(*batch_codec, 8);
+  auto dec_set = make_decode_set(*batch_codec, 8, {2, 4, 5, 6});
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    if (threads > 2 * hw) break;
+    register_encode_batch("batch_encode/t" + std::to_string(threads), batch_codec,
+                          enc_set, threads);
+    register_decode_batch("batch_decode/t" + std::to_string(threads), batch_codec,
+                          dec_set, threads);
   }
 
   benchmark::RunSpecifiedBenchmarks();

@@ -2,7 +2,7 @@
 // block sizes on *this* machine and report the best spec string. The paper
 // picked B=1K on its intel box and B=2K on amd; your hardware may differ.
 //
-//   ./build/examples/block_tuner [n] [p] [family]
+//   ./build/examples/block_tuner [n] [p] [family]      (or --list-codecs)
 //   ./build/examples/block_tuner 11 2 evenodd
 #include <chrono>
 #include <cstdio>
@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "api/xorec.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
+  if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
 
   const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
   const size_t p = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;

@@ -10,13 +10,14 @@
 // encode/reconstruct, the decode cache and blob storage for free — exactly
 // what every built-in family does.
 //
-//   ./build/examples/custom_code
+//   ./build/examples/custom_code [--list-codecs]
 #include <cstdio>
 #include <random>
 #include <vector>
 
 #include "altcodes/xor_code.hpp"
 #include "api/xorec.hpp"
+#include "example_util.hpp"
 #include "slp/metrics.hpp"
 #include "slp/pipeline.hpp"
 
@@ -43,7 +44,8 @@ bitmatrix::BitMatrix custom_parity() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (examples::handle_list_codecs(argc, argv)) return 0;
   const bitmatrix::BitMatrix code = custom_parity();
 
   std::printf("== part 1: the custom 3x5 parity code through the optimizer ==\n");

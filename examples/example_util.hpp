@@ -1,0 +1,29 @@
+// Shared flag handling for the example binaries: every example answers
+// `--list-codecs` by printing the registered families and the spec grammar
+// pointer, then exiting (ROADMAP "Registry ergonomics" — the registry is
+// runtime-extensible, so the list is computed, not hard-coded).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+
+#include "api/registry.hpp"
+
+namespace xorec::examples {
+
+/// True when --list-codecs was given (caller should return 0 immediately).
+inline bool handle_list_codecs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-codecs") != 0) continue;
+    std::printf("registered codec families:\n");
+    for (const auto& family : registered_families())
+      std::printf("  %s\n", family.c_str());
+    std::printf("spec grammar: family(args)[@key=value,...] — options:");
+    for (const auto& key : spec_option_keys()) std::printf(" %s", key.c_str());
+    std::printf(" (see api/registry.hpp)\n");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xorec::examples

@@ -4,7 +4,7 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [spec]
+//   ./build/examples/quickstart [spec | --list-codecs]
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "api/xorec.hpp"
+#include "example_util.hpp"
 
 int main(int argc, char** argv) {
+  if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
   // A codec compiles its optimized encode SLP once; reuse it.
   std::unique_ptr<xorec::Codec> codec;
   try {

@@ -1,19 +1,25 @@
 // storage_cluster: a miniature HDFS-style object store — the workload §1
-// motivates — over ANY registered codec. n+p simulated nodes hold one
-// fragment each; objects are written, up to p nodes fail at random, and a
-// repair process reconstructs the lost fragments, tracking bandwidth.
+// motivates — over ANY registered codec, driven through the plan/execute
+// batch data plane. n+p simulated nodes hold one fragment each; objects are
+// written through a BatchCoder session (stripe-parallel ingest), up to p
+// nodes fail at random, and the repair process solves the erasure pattern
+// ONCE (Codec::plan_reconstruct), then submits one plan-execute job per
+// object — the degraded-read fast path.
 //
 //   ./build/examples/storage_cluster [objects] [object_mib] [spec]
-//   ./build/examples/storage_cluster 16 8 "evenodd(11)"
+//   ./build/examples/storage_cluster 16 8 "evenodd(11)@batch=4"
+//   ./build/examples/storage_cluster --list-codecs
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <memory>
 #include <cstdlib>
+#include <future>
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "api/xorec.hpp"
+#include "example_util.hpp"
 
 namespace {
 
@@ -31,42 +37,52 @@ struct Object {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
   const size_t n_objects = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
   const size_t object_mib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
   const char* spec = argc > 3 ? argv[3] : "rs(10,4)@block=1024";
 
-  std::unique_ptr<xorec::Codec> codec;
+  // The session owns the codec and the worker group; batch= in the spec
+  // sizes it (default: hardware concurrency).
+  std::unique_ptr<xorec::BatchCoder> batch;
   try {
-    codec = xorec::make_codec(spec);
+    batch = std::make_unique<xorec::BatchCoder>(spec);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  const size_t k_data = codec->data_fragments();
-  const size_t k_parity = codec->parity_fragments();
+  const xorec::Codec& codec = batch->codec();
+  const size_t k_data = codec.data_fragments();
+  const size_t k_parity = codec.parity_fragments();
   const size_t k_nodes = k_data + k_parity;
-  const size_t unit = codec->fragment_multiple() * 8;
+  const size_t unit = codec.fragment_multiple() * 8;
   const size_t frag_len =
       std::max(unit, object_mib * (1u << 20) / k_data / unit * unit);
 
-  std::printf("cluster: %zu nodes, codec %s, %zu-byte fragments\n", k_nodes,
-              codec->name().c_str(), frag_len);
+  std::printf("cluster: %zu nodes, codec %s, %zu-byte fragments, %zu session workers\n",
+              k_nodes, codec.name().c_str(), frag_len, batch->threads());
   std::mt19937_64 rng(7);
 
-  // ---- ingest ---------------------------------------------------------------
+  // ---- ingest: one encode job per object, flush() is the barrier -----------
   std::vector<Object> store(n_objects);
   auto t0 = Clock::now();
-  for (Object& obj : store) {
-    obj.frag_len = frag_len;
-    obj.fragments.assign(k_nodes, std::vector<uint8_t>(frag_len));
-    for (size_t i = 0; i < k_data; ++i)
-      for (auto& b : obj.fragments[i]) b = static_cast<uint8_t>(rng());
-    std::vector<const uint8_t*> data;
-    std::vector<uint8_t*> parity;
-    for (size_t i = 0; i < k_data; ++i) data.push_back(obj.fragments[i].data());
-    for (size_t i = 0; i < k_parity; ++i)
-      parity.push_back(obj.fragments[k_data + i].data());
-    codec->encode(data.data(), parity.data(), frag_len);
+  {
+    std::vector<std::vector<const uint8_t*>> data(n_objects);
+    std::vector<std::vector<uint8_t*>> parity(n_objects);
+    std::vector<std::future<void>> jobs;  // the futures are the error channel
+    for (size_t o = 0; o < n_objects; ++o) {
+      Object& obj = store[o];
+      obj.frag_len = frag_len;
+      obj.fragments.assign(k_nodes, std::vector<uint8_t>(frag_len));
+      for (size_t i = 0; i < k_data; ++i)
+        for (auto& b : obj.fragments[i]) b = static_cast<uint8_t>(rng());
+      for (size_t i = 0; i < k_data; ++i) data[o].push_back(obj.fragments[i].data());
+      for (size_t i = 0; i < k_parity; ++i)
+        parity[o].push_back(obj.fragments[k_data + i].data());
+      jobs.push_back(batch->submit_encode(data[o].data(), parity[o].data(), frag_len));
+    }
+    batch->flush();
+    for (auto& j : jobs) j.get();  // all ready; rethrows any job failure
   }
   const double ingest_s = seconds_since(t0);
   const double ingest_gb = n_objects * k_data * frag_len / 1e9;
@@ -87,27 +103,39 @@ int main(int argc, char** argv) {
   for (Object& obj : store)
     for (uint32_t f : failed) obj.fragments[f].clear();
 
-  // ---- repair ---------------------------------------------------------------
+  // ---- repair: solve the pattern once, execute it per object ----------------
+  std::vector<uint32_t> available;
+  for (uint32_t id = 0; id < k_nodes; ++id)
+    if (std::find(failed.begin(), failed.end(), id) == failed.end())
+      available.push_back(id);
+
   t0 = Clock::now();
+  const auto plan = codec.plan_reconstruct(available, failed);
+  if (plan->xor_count() > 0)
+    std::printf("repair plan: %zu XORs over %zu survivors (compiled once)\n",
+                plan->xor_count(), plan->available().size());
+
   size_t repaired = 0;
-  for (Object& obj : store) {
-    std::vector<uint32_t> available;
-    std::vector<const uint8_t*> avail_ptrs;
-    for (uint32_t id = 0; id < k_nodes; ++id) {
-      if (!obj.fragments[id].empty()) {
-        available.push_back(id);
-        avail_ptrs.push_back(obj.fragments[id].data());
-      }
+  {
+    std::vector<std::vector<const uint8_t*>> avail_ptrs(store.size());
+    std::vector<std::vector<std::vector<uint8_t>>> rebuilt(store.size());
+    std::vector<std::vector<uint8_t*>> out_ptrs(store.size());
+    std::vector<std::future<void>> jobs;
+    for (size_t o = 0; o < store.size(); ++o) {
+      Object& obj = store[o];
+      for (uint32_t id : available) avail_ptrs[o].push_back(obj.fragments[id].data());
+      rebuilt[o].assign(failed.size(), std::vector<uint8_t>(obj.frag_len));
+      for (auto& r : rebuilt[o]) out_ptrs[o].push_back(r.data());
+      jobs.push_back(batch->submit_reconstruct(plan, avail_ptrs[o].data(),
+                                               out_ptrs[o].data(), obj.frag_len));
     }
-    std::vector<std::vector<uint8_t>> rebuilt(failed.size(),
-                                              std::vector<uint8_t>(obj.frag_len));
-    std::vector<uint8_t*> out_ptrs;
-    for (auto& r : rebuilt) out_ptrs.push_back(r.data());
-    codec->reconstruct(available, avail_ptrs.data(), failed, out_ptrs.data(),
-                       obj.frag_len);
-    for (size_t i = 0; i < failed.size(); ++i)
-      obj.fragments[failed[i]] = std::move(rebuilt[i]);
-    repaired += failed.size();
+    batch->flush();
+    for (auto& j : jobs) j.get();
+    for (size_t o = 0; o < store.size(); ++o) {
+      for (size_t i = 0; i < failed.size(); ++i)
+        store[o].fragments[failed[i]] = std::move(rebuilt[o][i]);
+      repaired += failed.size();
+    }
   }
   const double repair_s = seconds_since(t0);
   const double repair_gb = repaired * frag_len / 1e9;
@@ -124,7 +152,7 @@ int main(int argc, char** argv) {
                                              std::vector<uint8_t>(obj.frag_len));
     std::vector<uint8_t*> pptr;
     for (auto& p : parity) pptr.push_back(p.data());
-    codec->encode(data.data(), pptr.data(), obj.frag_len);
+    codec.encode(data.data(), pptr.data(), obj.frag_len);
     for (size_t i = 0; i < k_parity; ++i) {
       if (parity[i] != obj.fragments[k_data + i]) {
         std::printf("VERIFY FAILED on parity %zu\n", i);

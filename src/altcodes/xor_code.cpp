@@ -99,12 +99,10 @@ std::shared_ptr<ec::CompiledProgram> XorCodec::recovery_program(
       });
 }
 
-void XorCodec::reconstruct_impl(const std::vector<uint32_t>& available,
-                                const uint8_t* const* available_frags,
-                                const std::vector<uint32_t>& erased, uint8_t* const* out,
-                                size_t frag_len) const {
-  core_.reconstruct(
-      available, available_frags, erased, out, frag_len,
+std::shared_ptr<const ReconstructPlan> XorCodec::plan_reconstruct_impl(
+    const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const {
+  return core_.make_plan(
+      available, erased,
       [&](const std::vector<uint32_t>& avail_sorted,
           const std::vector<uint32_t>& erased_data) -> ec::BitmatrixCodecCore::RecoveryPlan {
         return {recovery_program(avail_sorted, erased_data), avail_sorted};
@@ -121,6 +119,13 @@ void XorCodec::reconstruct_impl(const std::vector<uint32_t>& available,
               return core_.compile(rows, "parity-subset");
             });
       });
+}
+
+void XorCodec::reconstruct_impl(const std::vector<uint32_t>& available,
+                                const uint8_t* const* available_frags,
+                                const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                size_t frag_len) const {
+  plan_reconstruct_impl(available, erased)->execute(available_frags, out, frag_len);
 }
 
 }  // namespace xorec::altcodes

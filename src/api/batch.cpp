@@ -1,0 +1,80 @@
+#include "api/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "api/registry.hpp"
+
+namespace xorec {
+
+namespace {
+
+size_t resolve_threads(size_t threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::shared_ptr<const Codec> checked(std::shared_ptr<const Codec> codec) {
+  if (!codec) throw std::invalid_argument("BatchCoder: null codec");
+  return codec;
+}
+
+}  // namespace
+
+BatchCoder::BatchCoder(std::shared_ptr<const Codec> codec, size_t threads)
+    : codec_(checked(std::move(codec))), queue_(resolve_threads(threads)) {}
+
+BatchCoder::Session BatchCoder::parse_session(const std::string& spec) {
+  CodecSpec cs = parse_spec(spec);
+  const size_t threads = cs.batch_threads;
+  // batch= belongs to this session, not the codec — strip it so the family
+  // builders (which reject the key) accept the rest of the spec.
+  cs.option_keys.erase(std::remove(cs.option_keys.begin(), cs.option_keys.end(), "batch"),
+                       cs.option_keys.end());
+  return {std::shared_ptr<const Codec>(make_codec(cs)), threads};
+}
+
+BatchCoder::BatchCoder(const std::string& spec) : BatchCoder(parse_session(spec)) {}
+
+std::future<void> BatchCoder::submit_encode(const uint8_t* const* data,
+                                            uint8_t* const* parity, size_t frag_len) {
+  std::vector<const uint8_t*> d(data, data + codec_->data_fragments());
+  std::vector<uint8_t*> p(parity, parity + codec_->parity_fragments());
+  ++submitted_;
+  return queue_.submit(
+      [codec = codec_, d = std::move(d), p = std::move(p), frag_len] {
+        codec->encode(d.data(), p.data(), frag_len);
+      });
+}
+
+std::future<void> BatchCoder::submit_reconstruct(std::shared_ptr<const ReconstructPlan> plan,
+                                                 const uint8_t* const* available_frags,
+                                                 uint8_t* const* out, size_t frag_len) {
+  if (!plan) throw std::invalid_argument("BatchCoder: null plan");
+  std::vector<const uint8_t*> avail(available_frags,
+                                    available_frags + plan->available().size());
+  std::vector<uint8_t*> o(out, out + plan->erased().size());
+  ++submitted_;
+  return queue_.submit(
+      [plan = std::move(plan), avail = std::move(avail), o = std::move(o), frag_len] {
+        plan->execute(avail.data(), o.data(), frag_len);
+      });
+}
+
+std::future<void> BatchCoder::submit_reconstruct(std::vector<uint32_t> available,
+                                                 const uint8_t* const* available_frags,
+                                                 std::vector<uint32_t> erased,
+                                                 uint8_t* const* out, size_t frag_len) {
+  std::vector<const uint8_t*> avail(available_frags, available_frags + available.size());
+  std::vector<uint8_t*> o(out, out + erased.size());
+  ++submitted_;
+  return queue_.submit([codec = codec_, available = std::move(available),
+                        erased = std::move(erased), avail = std::move(avail),
+                        o = std::move(o), frag_len] {
+    codec->reconstruct(available, avail.data(), erased, o.data(), frag_len);
+  });
+}
+
+}  // namespace xorec

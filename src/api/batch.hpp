@@ -1,0 +1,102 @@
+// BatchCoder: an async multi-stripe coding session over one codec.
+//
+// The ROADMAP's scale direction: one-shot encode()/reconstruct() calls
+// cannot express "repair a million stripes"; a session can. Jobs are
+// submitted (returning std::future<void>), run FIFO across a dedicated
+// runtime::TaskQueue worker group — stripe-level parallelism, complementing
+// the executor's §8 intra-stripe block parallelism — and flush() (or the
+// destructor) is the completion barrier.
+//
+//   xorec::BatchCoder batch("rs(10,4)@block=1024,batch=8");
+//   auto plan = batch.codec().plan_reconstruct(available_ids, erased_ids);
+//   for (auto& stripe : stripes)
+//     futures.push_back(batch.submit_reconstruct(plan, stripe.avail, stripe.out,
+//                                                stripe.frag_len));
+//   batch.flush();   // or futures[i].get() individually
+//
+// The `batch=` spec key sizes the session: `batch=auto` (or omitting it)
+// uses the hardware concurrency, `batch=N` uses N workers. Everything else
+// in the spec builds the codec as usual (api/registry.hpp) — plain
+// make_codec() rejects `batch=` so the key can't be silently dropped.
+//
+// Buffer ownership: the pointer ARRAYS passed to submit_* are copied at
+// submission; the fragment BUFFERS they point to stay caller-owned and must
+// outlive the job (future ready / flush() returned). Jobs never touch two
+// stripes' buffers at once, so submitting disjoint stripes is data-race
+// free; submitting overlapping buffers is the caller's race to lose.
+//
+// Exceptions thrown by a job (e.g. unrecoverable pattern on the plan-less
+// reconstruct path) are captured in that job's future; flush() itself never
+// throws for job failures.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/codec.hpp"
+#include "runtime/task_queue.hpp"
+
+namespace xorec {
+
+class BatchCoder {
+ public:
+  /// Session over an existing codec. threads == 0 picks the hardware
+  /// concurrency ("auto").
+  explicit BatchCoder(std::shared_ptr<const Codec> codec, size_t threads = 0);
+
+  /// Spec-string construction: "rs(10,4)@block=1024,batch=8". The batch=
+  /// key (auto | N >= 1) sizes this session; the rest builds the codec.
+  explicit BatchCoder(const std::string& spec);
+
+  /// Destructor is a flush(): blocks until every submitted job has run.
+  ~BatchCoder() = default;
+
+  BatchCoder(const BatchCoder&) = delete;
+  BatchCoder& operator=(const BatchCoder&) = delete;
+
+  const Codec& codec() const { return *codec_; }
+  std::shared_ptr<const Codec> codec_ptr() const { return codec_; }
+  size_t threads() const { return queue_.threads(); }
+  size_t submitted() const { return submitted_; }
+
+  /// Encode one stripe: data_fragments() input pointers, parity_fragments()
+  /// output pointers, frag_len as in Codec::encode.
+  std::future<void> submit_encode(const uint8_t* const* data, uint8_t* const* parity,
+                                  size_t frag_len);
+
+  /// Repair one stripe with a prepared plan (the degraded-read fast path —
+  /// plan once, submit per stripe). available_frags is parallel to
+  /// plan->available(), out to plan->erased().
+  std::future<void> submit_reconstruct(std::shared_ptr<const ReconstructPlan> plan,
+                                       const uint8_t* const* available_frags,
+                                       uint8_t* const* out, size_t frag_len);
+
+  /// Plan-less convenience: the plan lookup happens inside the job (memoized
+  /// per codec); bad ids / unrecoverable patterns surface via the future.
+  std::future<void> submit_reconstruct(std::vector<uint32_t> available,
+                                       const uint8_t* const* available_frags,
+                                       std::vector<uint32_t> erased, uint8_t* const* out,
+                                       size_t frag_len);
+
+  /// Barrier: returns when every job submitted so far has finished.
+  void flush() { queue_.wait_idle(); }
+
+ private:
+  struct Session {
+    std::shared_ptr<const Codec> codec;
+    size_t threads;
+  };
+  explicit BatchCoder(Session s) : BatchCoder(std::move(s.codec), s.threads) {}
+  static Session parse_session(const std::string& spec);
+
+  std::shared_ptr<const Codec> codec_;
+  runtime::TaskQueue queue_;
+  std::atomic<size_t> submitted_{0};
+};
+
+}  // namespace xorec

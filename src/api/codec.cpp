@@ -4,6 +4,58 @@
 
 namespace xorec {
 
+// ---- ReconstructPlan -------------------------------------------------------
+
+ReconstructPlan::ReconstructPlan(std::string codec_name, size_t fragment_multiple,
+                                 std::vector<uint32_t> available,
+                                 std::vector<uint32_t> erased)
+    : codec_name_(std::move(codec_name)),
+      fragment_multiple_(fragment_multiple),
+      available_(std::move(available)),
+      erased_(std::move(erased)) {}
+
+const PlanStats& ReconstructPlan::schedule_stats() const {
+  std::call_once(stats_once_, [&] { stats_ = compute_stats(); });
+  return stats_;
+}
+
+void ReconstructPlan::execute(const uint8_t* const* available_frags, uint8_t* const* out,
+                              size_t frag_len) const {
+  if (frag_len == 0 || frag_len % fragment_multiple_ != 0)
+    throw std::invalid_argument(codec_name_ + " plan: frag_len " +
+                                std::to_string(frag_len) +
+                                " is not a positive multiple of " +
+                                std::to_string(fragment_multiple_));
+  if (erased_.empty()) return;
+  execute_impl(available_frags, out, frag_len);
+}
+
+namespace {
+
+/// The base-class fallback: no compiled program, every execute() re-runs the
+/// codec's one-shot reconstruct. Borrows the codec — see api/codec.hpp.
+class FallbackPlan final : public ReconstructPlan {
+ public:
+  FallbackPlan(const Codec* codec, std::vector<uint32_t> available,
+               std::vector<uint32_t> erased)
+      : ReconstructPlan(codec->name(), codec->fragment_multiple(), std::move(available),
+                        std::move(erased)),
+        codec_(codec) {}
+
+ protected:
+  void execute_impl(const uint8_t* const* available_frags, uint8_t* const* out,
+                    size_t frag_len) const override {
+    codec_->reconstruct(available(), available_frags, erased(), out, frag_len);
+  }
+
+ private:
+  const Codec* codec_;
+};
+
+}  // namespace
+
+// ---- Codec -----------------------------------------------------------------
+
 void Codec::check_frag_len(size_t frag_len) const {
   const size_t m = fragment_multiple();
   if (frag_len == 0 || frag_len % m != 0)
@@ -44,6 +96,17 @@ void Codec::encode(const uint8_t* const* data, uint8_t* const* parity,
                    size_t frag_len) const {
   check_frag_len(frag_len);
   encode_impl(data, parity, frag_len);
+}
+
+std::shared_ptr<const ReconstructPlan> Codec::plan_reconstruct(
+    const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const {
+  check_id_sets(available, erased);
+  return plan_reconstruct_impl(available, erased);
+}
+
+std::shared_ptr<const ReconstructPlan> Codec::plan_reconstruct_impl(
+    const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const {
+  return std::make_shared<FallbackPlan>(this, available, erased);
 }
 
 void Codec::reconstruct(const std::vector<uint32_t>& available,

@@ -10,6 +10,15 @@
 // strips a codec slices each fragment into (8 for RS over GF(2^8), p-1 for
 // the array codes, 1 for byte-oriented codecs).
 //
+// Plan/execute: repair is two phases. plan_reconstruct() solves an erasure
+// pattern ONCE — deriving and compiling the repair program — and returns an
+// immutable, shareable ReconstructPlan; ReconstructPlan::execute() then runs
+// that program over any number of stripes with zero re-solving. The one-shot
+// reconstruct() below is a thin plan-lookup-and-execute over the same
+// machinery (compiled programs are memoized per codec, so repeated one-shot
+// calls stay fast too — the plan object additionally skips the per-call
+// pattern canonicalization and is the handle batch sessions take).
+//
 // Argument validation happens here, at the API boundary: bad fragment
 // lengths, out-of-range ids, and duplicated or overlapping id sets all
 // throw before any codec touches a buffer. Survivor-count policy is the
@@ -25,6 +34,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +45,75 @@ struct PipelineResult;
 }
 
 namespace xorec {
+
+/// Static cost measures of the compiled repair program(s) a plan executes,
+/// in the paper's accounting (slp/metrics.hpp). All-zero for plans that do
+/// not run through the SLP pipeline (the GF-table baseline, fallbacks).
+struct PlanStats {
+  size_t xor_ops = 0;       // Σ real XORs across steps (#⊕)
+  size_t instructions = 0;  // Σ SLP instructions across steps
+  size_t mem_accesses = 0;  // Σ #M across steps
+  size_t nvar = 0;          // max live variables over any step
+  size_t ccap = 0;          // max abstract-cache demand over any step
+  size_t steps = 0;         // compiled programs this plan executes (0..2)
+};
+
+/// A validated, immutable, cacheable repair program for ONE erasure pattern
+/// of ONE codec geometry: the available/erased id sets are fixed at plan
+/// time, all solving and compiling is done, and execute() only moves bytes.
+/// Obtain from Codec::plan_reconstruct; share freely across threads and
+/// stripes (execute is const and thread-safe).
+///
+/// Lifetime: plans produced by the built-in codecs are self-contained (they
+/// hold shared ownership of their compiled programs) and may outlive the
+/// codec. The base-class fallback plan (used only by Codec subclasses that
+/// do not override plan_reconstruct_impl) borrows the codec and must not
+/// outlive it.
+class ReconstructPlan {
+ public:
+  virtual ~ReconstructPlan() = default;
+
+  /// Name of the codec this plan was derived from, e.g. "rs(10,4)".
+  const std::string& codec_name() const { return codec_name_; }
+  /// The surviving fragment ids execute() expects buffers for, in order.
+  const std::vector<uint32_t>& available() const { return available_; }
+  /// The fragment ids execute() writes, parallel to its `out` array.
+  const std::vector<uint32_t>& erased() const { return erased_; }
+
+  /// Real XOR count of the compiled repair program (the paper's #⊕);
+  /// 0 for non-SLP plans. Shorthand for schedule_stats().xor_ops.
+  size_t xor_count() const { return schedule_stats().xor_ops; }
+
+  /// Full static cost measures (computed lazily on first call, then cached).
+  const PlanStats& schedule_stats() const;
+
+  /// Optimizer artifacts of the data-decode step, where applicable (null
+  /// for parity-only plans, non-SLP codecs and fallbacks).
+  virtual const slp::PipelineResult* decode_pipeline() const { return nullptr; }
+
+  /// Run the repair: `available_frags` parallel to available(), `out`
+  /// writable buffers parallel to erased(). frag_len must be a positive
+  /// multiple of the codec's fragment_multiple() (it may differ from call
+  /// to call — the plan is geometry-, not length-bound). No re-solving.
+  void execute(const uint8_t* const* available_frags, uint8_t* const* out,
+               size_t frag_len) const;
+
+ protected:
+  ReconstructPlan(std::string codec_name, size_t fragment_multiple,
+                  std::vector<uint32_t> available, std::vector<uint32_t> erased);
+
+  virtual void execute_impl(const uint8_t* const* available_frags, uint8_t* const* out,
+                            size_t frag_len) const = 0;
+  /// Compute the stats once; called lazily under a once-flag.
+  virtual PlanStats compute_stats() const { return {}; }
+
+ private:
+  std::string codec_name_;
+  size_t fragment_multiple_;
+  std::vector<uint32_t> available_, erased_;
+  mutable std::once_flag stats_once_;
+  mutable PlanStats stats_;
+};
 
 class Codec {
  public:
@@ -57,13 +137,25 @@ class Codec {
   /// (written). frag_len must be a positive multiple of fragment_multiple().
   void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
 
+  /// Solve `erased` given `available` once and return the compiled repair
+  /// plan. The id sets must be duplicate-free and disjoint (checked here).
+  /// Every built-in codec solves at plan time, so unrecoverable patterns
+  /// throw std::invalid_argument from this call; a custom codec still on
+  /// the base-class fallback defers solving to execute(), where the same
+  /// exception surfaces instead. An empty `erased` yields a no-op plan.
+  /// Reuse the plan across stripes/objects with the same erasure pattern —
+  /// degraded-read-heavy workloads amortize the solver this way (and
+  /// BatchCoder sessions take plans directly).
+  std::shared_ptr<const ReconstructPlan> plan_reconstruct(
+      const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const;
+
   /// Rebuild erased fragments (data and/or parity).
   ///   available: surviving fragment ids; buffers parallel to it.
   ///   erased:    fragment ids to rebuild; `out` parallel writable buffers.
   /// The id sets must be duplicate-free and disjoint. MDS codecs require at
   /// least data_fragments() survivors; non-MDS XOR codes accept any pattern
   /// their F2 solver finds solvable. Unrecoverable patterns throw
-  /// std::invalid_argument.
+  /// std::invalid_argument. Equivalent to plan_reconstruct(...)->execute(...).
   void reconstruct(const std::vector<uint32_t>& available,
                    const uint8_t* const* available_frags,
                    const std::vector<uint32_t>& erased, uint8_t* const* out,
@@ -85,6 +177,12 @@ class Codec {
                                 const uint8_t* const* available_frags,
                                 const std::vector<uint32_t>& erased, uint8_t* const* out,
                                 size_t frag_len) const = 0;
+  /// Default: a fallback plan that re-runs reconstruct_impl on every
+  /// execute() and borrows this codec (must not outlive it). The built-in
+  /// codecs override with real compiled plans; overriding is strongly
+  /// recommended for any codec used with plan caching or BatchCoder.
+  virtual std::shared_ptr<const ReconstructPlan> plan_reconstruct_impl(
+      const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const;
 
  private:
   void check_frag_len(size_t frag_len) const;

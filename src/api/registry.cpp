@@ -60,6 +60,16 @@ void apply_option(CodecSpec& cs, const std::string& key, const std::string& valu
     opt.decode_cache_capacity = uint_value();
   } else if (key == "prefetch") {
     opt.exec.prefetch_next_block = uint_value() != 0;
+  } else if (key == "batch") {
+    // Session sizing for BatchCoder(spec); make_codec refuses specs carrying
+    // it (below) so the key is never silently ignored.
+    if (value == "auto") {
+      cs.batch_threads = 0;
+    } else {
+      const size_t b = uint_value();
+      if (b == 0) fail(cs.spec, "batch must be auto or a positive worker count");
+      cs.batch_threads = b;
+    }
   } else if (key == "isa") {
     if (value == "scalar") opt.exec.isa = kernel::Isa::Scalar;
     else if (value == "word64") opt.exec.isa = kernel::Isa::Word64;
@@ -99,9 +109,9 @@ void apply_option(CodecSpec& cs, const std::string& key, const std::string& valu
     else if (value == "cauchy") opt.family = ec::MatrixFamily::Cauchy;
     else fail(cs.spec, "matrix must be isal|vand|cauchy, got \"" + value + "\"");
   } else {
-    fail(cs.spec, "unknown option \"" + key +
-                      "\" (valid: block, threads, isa, passes, sched, cache, matrix, "
-                      "prefetch)");
+    std::string valid;
+    for (const std::string& k : spec_option_keys()) valid += (valid.empty() ? "" : ", ") + k;
+    fail(cs.spec, "unknown option \"" + key + "\" (valid: " + valid + ")");
   }
 }
 
@@ -272,6 +282,10 @@ CodecSpec parse_spec(const std::string& raw) {
 }
 
 std::unique_ptr<Codec> make_codec(const CodecSpec& spec) {
+  if (std::find(spec.option_keys.begin(), spec.option_keys.end(), "batch") !=
+      spec.option_keys.end())
+    fail(spec.spec, "batch= configures a session, not a codec; construct "
+                    "xorec::BatchCoder(spec) instead");
   CodecBuilder builder;
   {
     Registry& r = registry();
@@ -298,6 +312,14 @@ void register_codec_family(const std::string& family, CodecBuilder builder) {
   Registry& r = registry();
   std::lock_guard lk(r.mu);
   r.families[family] = std::move(builder);
+}
+
+const std::vector<std::string>& spec_option_keys() {
+  // Keep in sync with apply_option above and the grammar in registry.hpp —
+  // this list is what help text and error messages print.
+  static const std::vector<std::string> keys = {
+      "block", "threads", "isa", "passes", "sched", "cache", "matrix", "prefetch", "batch"};
+  return keys;
 }
 
 std::vector<std::string> registered_families() {

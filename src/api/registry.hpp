@@ -19,6 +19,9 @@
 //     cache=N        decode-program LRU capacity, 0 = unbounded (default 256)
 //     matrix=K       isal | vand | cauchy — RS matrix family override
 //     prefetch=0|1   software-prefetch the next block's inputs
+//     batch=K        auto | N — BatchCoder session workers (api/batch.hpp);
+//                    only meaningful to BatchCoder(spec) — plain make_codec
+//                    rejects it rather than silently dropping it
 //
 // Built-in families (k data + m parity fragments):
 //   rs(n[,p])        RS over GF(2^8), ISA-L Vandermonde matrix (p default 4)
@@ -53,6 +56,8 @@ struct CodecSpec {
   ec::CodecOptions options;
   std::vector<std::string> option_keys;  // which '@' keys were given, in order
   std::string spec;  // the original string, whitespace-stripped
+  /// batch= value: 0 = auto; only meaningful when "batch" is in option_keys.
+  size_t batch_threads = 0;
 
   /// The positional arg at `i`, or `fallback` when fewer were given.
   size_t arg(size_t i, size_t fallback) const {
@@ -78,5 +83,9 @@ void register_codec_family(const std::string& family, CodecBuilder builder);
 
 /// Sorted names of all registered families.
 std::vector<std::string> registered_families();
+
+/// The '@' option keys the spec grammar accepts, in documentation order —
+/// the single source for help text and error messages (grammar above).
+const std::vector<std::string>& spec_option_keys();
 
 }  // namespace xorec

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
+#include "ec/repair_layout.hpp"
 #include "kernel/xor_kernel.hpp"
 
 #if defined(XOREC_HAVE_AVX2)
@@ -152,62 +154,101 @@ void IsalStyleCodec::encode_impl(const uint8_t* const* data, uint8_t* const* par
   gf_dot_prod(enc_tables_, n_, p_, data, parity, frag_len);
 }
 
-void IsalStyleCodec::reconstruct_impl(const std::vector<uint32_t>& available,
-                                      const uint8_t* const* available_frags,
-                                      const std::vector<uint32_t>& erased, uint8_t* const* out,
-                                      size_t frag_len) const {
-  std::vector<const uint8_t*> frag_by_id(n_ + p_, nullptr);
-  for (size_t i = 0; i < available.size(); ++i) frag_by_id[available[i]] = available_frags[i];
+namespace {
 
-  std::vector<uint32_t> erased_data, erased_parity;
-  std::vector<uint8_t*> out_data, out_parity;
-  for (size_t i = 0; i < erased.size(); ++i) {
-    if (erased[i] < n_) {
-      erased_data.push_back(erased[i]);
-      out_data.push_back(out[i]);
-    } else {
-      erased_parity.push_back(erased[i]);
-      out_parity.push_back(out[i]);
+/// Self-contained GF-table repair plan: both dot-product table sets are
+/// built at plan time, execute() only gathers pointers and multiplies.
+class IsalReconstructPlan final : public ReconstructPlan {
+ public:
+  struct Step {
+    std::vector<uint8_t> tables;               // build_gf_tables of the step's matrix
+    std::vector<ec::RepairLayout::Source> in;  // k sources, in matrix column order
+    std::vector<size_t> out_pos;               // indices into `out`
+  };
+
+  IsalReconstructPlan(std::string codec_name, size_t k, std::vector<uint32_t> available,
+                      std::vector<uint32_t> erased, std::optional<Step> decode,
+                      std::optional<Step> parity)
+      : ReconstructPlan(std::move(codec_name), 1, std::move(available), std::move(erased)),
+        k_(k),
+        decode_(std::move(decode)),
+        parity_(std::move(parity)) {}
+
+ protected:
+  void execute_impl(const uint8_t* const* available_frags, uint8_t* const* out,
+                    size_t frag_len) const override {
+    // Reused per thread: the hot path stays allocation-free after warmup.
+    thread_local std::vector<const uint8_t*> in;
+    thread_local std::vector<uint8_t*> dst;
+    for (const auto* step : {decode_ ? &*decode_ : nullptr, parity_ ? &*parity_ : nullptr}) {
+      if (!step) continue;
+      in.resize(step->in.size());
+      for (size_t i = 0; i < in.size(); ++i)
+        in[i] = step->in[i].from_out ? out[step->in[i].pos]
+                                     : available_frags[step->in[i].pos];
+      dst.resize(step->out_pos.size());
+      for (size_t i = 0; i < dst.size(); ++i) dst[i] = out[step->out_pos[i]];
+      gf_dot_prod(step->tables, k_, dst.size(), in.data(), dst.data(), frag_len);
     }
   }
 
-  if (!erased_data.empty()) {
+ private:
+  size_t k_;
+  std::optional<Step> decode_, parity_;
+};
+
+}  // namespace
+
+std::shared_ptr<const ReconstructPlan> IsalStyleCodec::plan_reconstruct_impl(
+    const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const {
+  const ec::RepairLayout layout(n_, n_ + p_, available, erased);
+
+  std::optional<IsalReconstructPlan::Step> decode_step;
+  if (!layout.erased_data.empty()) {
     // Survivor selection mirrors RsCodec: data rows first, then parities.
     std::vector<size_t> survivors;
-    for (uint32_t id = 0; id < n_ + p_ && survivors.size() < n_; ++id)
-      if (frag_by_id[id] != nullptr && id < n_) survivors.push_back(id);
+    for (uint32_t id = 0; id < n_ && survivors.size() < n_; ++id)
+      if (layout.pos_of_id[id] != ec::RepairLayout::kAbsent) survivors.push_back(id);
     for (uint32_t id = n_; id < n_ + p_ && survivors.size() < n_; ++id)
-      if (frag_by_id[id] != nullptr) survivors.push_back(id);
+      if (layout.pos_of_id[id] != ec::RepairLayout::kAbsent) survivors.push_back(id);
     if (survivors.size() < n_)
       throw std::invalid_argument("IsalStyleCodec: not enough survivors");
 
     auto minv = gf::decode_matrix(code_, survivors);
     if (!minv) throw std::logic_error("IsalStyleCodec: singular decode matrix");
-    std::vector<size_t> rows(erased_data.begin(), erased_data.end());
-    const gf::Matrix recovery = minv->select_rows(rows);
-    const auto tables = build_gf_tables(recovery);
+    std::vector<size_t> rows(layout.erased_data.begin(), layout.erased_data.end());
 
-    std::vector<const uint8_t*> in(survivors.size());
-    for (size_t i = 0; i < survivors.size(); ++i) in[i] = frag_by_id[survivors[i]];
-    gf_dot_prod(tables, n_, erased_data.size(), in.data(), out_data.data(), frag_len);
-
-    for (size_t i = 0; i < erased_data.size(); ++i) frag_by_id[erased_data[i]] = out_data[i];
+    IsalReconstructPlan::Step step;
+    step.tables = build_gf_tables(minv->select_rows(rows));
+    for (size_t id : survivors) step.in.push_back({false, layout.pos_of_id[id]});
+    step.out_pos = layout.out_pos_data;
+    decode_step = std::move(step);
   }
 
-  if (!erased_parity.empty()) {
-    std::vector<size_t> rows(erased_parity.begin(), erased_parity.end());
-    const gf::Matrix rebuilt = code_.select_rows(rows);
-    const auto tables = build_gf_tables(rebuilt);
-    std::vector<const uint8_t*> data_in(n_);
-    for (size_t d = 0; d < n_; ++d) {
-      if (frag_by_id[d] == nullptr)
-        throw std::invalid_argument(
-            "IsalStyleCodec: data fragment " + std::to_string(d) +
-            " unavailable for parity repair; list it in erased or provide it");
-      data_in[d] = frag_by_id[d];
-    }
-    gf_dot_prod(tables, n_, erased_parity.size(), data_in.data(), out_parity.data(), frag_len);
+  std::optional<IsalReconstructPlan::Step> parity_step;
+  if (!layout.erased_parity.empty()) {
+    std::vector<size_t> rows(layout.erased_parity.begin(), layout.erased_parity.end());
+    IsalReconstructPlan::Step step;
+    step.tables = build_gf_tables(code_.select_rows(rows));
+    step.in.reserve(n_);
+    // GF-table decode outputs stay in submission order (no canonical sort).
+    for (size_t d = 0; d < n_; ++d)
+      step.in.push_back(
+          layout.data_source(d, layout.erased_data, layout.out_pos_data, name()));
+    step.out_pos = layout.out_pos_parity;
+    parity_step = std::move(step);
   }
+
+  return std::make_shared<IsalReconstructPlan>(name(), n_, available, erased,
+                                               std::move(decode_step),
+                                               std::move(parity_step));
+}
+
+void IsalStyleCodec::reconstruct_impl(const std::vector<uint32_t>& available,
+                                      const uint8_t* const* available_frags,
+                                      const std::vector<uint32_t>& erased, uint8_t* const* out,
+                                      size_t frag_len) const {
+  plan_reconstruct_impl(available, erased)->execute(available_frags, out, frag_len);
 }
 
 }  // namespace xorec::baseline

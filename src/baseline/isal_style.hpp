@@ -51,11 +51,17 @@ class IsalStyleCodec : public Codec {
   void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
                    size_t frag_len) const override;
   /// Same contract as RsCodec::reconstruct (data decoded via the inverse
-  /// submatrix, parity re-encoded afterwards).
+  /// submatrix, parity re-encoded afterwards); thin plan-and-execute.
   void reconstruct_impl(const std::vector<uint32_t>& available,
                         const uint8_t* const* available_frags,
                         const std::vector<uint32_t>& erased, uint8_t* const* out,
                         size_t frag_len) const override;
+  /// The plan precomputes the inverse submatrix's nibble tables, so
+  /// execute() is pure gf_dot_prod work (no per-call matrix inversion).
+  /// PlanStats stay zero: the GF-table engine is not an XOR SLP.
+  std::shared_ptr<const ReconstructPlan> plan_reconstruct_impl(
+      const std::vector<uint32_t>& available,
+      const std::vector<uint32_t>& erased) const override;
 
  private:
   size_t n_, p_;

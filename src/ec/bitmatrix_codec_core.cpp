@@ -1,7 +1,11 @@
 #include "ec/bitmatrix_codec_core.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+
+#include "ec/repair_layout.hpp"
+#include "slp/metrics.hpp"
 
 namespace xorec::ec {
 
@@ -15,6 +19,105 @@ std::vector<Byte*> strips_of(Byte* const* frags, size_t count, size_t w, size_t 
     for (size_t s = 0; s < w; ++s) out[f * w + s] = frags[f] + s * strip_len;
   return out;
 }
+
+/// Fill `dst` with the strip pointers of `count` fragments (fragment-major,
+/// like strips_of) reusing dst's capacity — the execute() hot path runs one
+/// plan over millions of stripes and must stay allocation-free after warmup.
+template <typename Byte>
+void strips_into(std::vector<Byte*>& dst, Byte* const* frags, size_t count, size_t w,
+                 size_t frag_len) {
+  const size_t strip_len = frag_len / w;
+  dst.resize(count * w);
+  for (size_t f = 0; f < count; ++f)
+    for (size_t s = 0; s < w; ++s) dst[f * w + s] = frags[f] + s * strip_len;
+}
+
+/// The compiled two-step repair plan: a decode program over a fixed subset
+/// of the survivors, then a parity re-encode over the (partly rebuilt) data.
+/// Self-contained: co-owns the programs, copies the index maps — the codec
+/// may be destroyed while the plan keeps serving stripes.
+class BitmatrixReconstructPlan final : public ReconstructPlan {
+ public:
+  struct DataStep {
+    std::shared_ptr<const CompiledProgram> program;
+    std::vector<size_t> in_pos;   // indices into available()
+    std::vector<size_t> out_pos;  // indices into `out` (canonical sorted order)
+  };
+  struct ParityStep {
+    std::shared_ptr<const CompiledProgram> program;
+    std::vector<RepairLayout::Source> data_src;  // k entries, data frags in order
+    std::vector<size_t> out_pos;                 // indices into `out`
+  };
+
+  BitmatrixReconstructPlan(std::string codec_name, size_t w,
+                           std::vector<uint32_t> available, std::vector<uint32_t> erased,
+                           std::optional<DataStep> data, std::optional<ParityStep> parity)
+      : ReconstructPlan(std::move(codec_name), w, std::move(available), std::move(erased)),
+        w_(w),
+        data_(std::move(data)),
+        parity_(std::move(parity)) {}
+
+  const slp::PipelineResult* decode_pipeline() const override {
+    return data_ ? &data_->program->pipeline : nullptr;
+  }
+
+ protected:
+  void execute_impl(const uint8_t* const* available_frags, uint8_t* const* out,
+                    size_t frag_len) const override {
+    // Pointer tables are per thread and reused across calls: thread-safe,
+    // and allocation-free once warm (sizes are fixed per plan).
+    thread_local std::vector<const uint8_t*> in_frags;
+    thread_local std::vector<uint8_t*> out_frags;
+    thread_local std::vector<const uint8_t*> in_strips;
+    thread_local std::vector<uint8_t*> out_strips;
+
+    const size_t strip_len = frag_len / w_;
+    if (data_) {
+      in_frags.resize(data_->in_pos.size());
+      for (size_t i = 0; i < in_frags.size(); ++i)
+        in_frags[i] = available_frags[data_->in_pos[i]];
+      out_frags.resize(data_->out_pos.size());
+      for (size_t i = 0; i < out_frags.size(); ++i) out_frags[i] = out[data_->out_pos[i]];
+      strips_into(in_strips, in_frags.data(), in_frags.size(), w_, frag_len);
+      strips_into(out_strips, out_frags.data(), out_frags.size(), w_, frag_len);
+      data_->program->exec.run(in_strips.data(), out_strips.data(), strip_len);
+    }
+    if (parity_) {
+      in_frags.resize(parity_->data_src.size());
+      for (size_t d = 0; d < in_frags.size(); ++d) {
+        const RepairLayout::Source& src = parity_->data_src[d];
+        in_frags[d] = src.from_out ? out[src.pos] : available_frags[src.pos];
+      }
+      out_frags.resize(parity_->out_pos.size());
+      for (size_t i = 0; i < out_frags.size(); ++i) out_frags[i] = out[parity_->out_pos[i]];
+      strips_into(in_strips, in_frags.data(), in_frags.size(), w_, frag_len);
+      strips_into(out_strips, out_frags.data(), out_frags.size(), w_, frag_len);
+      parity_->program->exec.run(in_strips.data(), out_strips.data(), strip_len);
+    }
+  }
+
+  PlanStats compute_stats() const override {
+    PlanStats s;
+    for (const CompiledProgram* prog :
+         {data_ ? data_->program.get() : nullptr, parity_ ? parity_->program.get() : nullptr}) {
+      if (!prog) continue;
+      const auto m =
+          slp::measure(prog->pipeline.final_program(), prog->pipeline.final_form());
+      s.xor_ops += m.xor_ops;
+      s.instructions += m.instructions;
+      s.mem_accesses += m.mem_accesses;
+      s.nvar = std::max(s.nvar, m.nvar);
+      s.ccap = std::max(s.ccap, m.ccap);
+      ++s.steps;
+    }
+    return s;
+  }
+
+ private:
+  size_t w_;
+  std::optional<DataStep> data_;
+  std::optional<ParityStep> parity_;
+};
 
 }  // namespace
 
@@ -76,78 +179,57 @@ void BitmatrixCodecCore::encode(const uint8_t* const* data, uint8_t* const* pari
   enc_->exec.run(in.data(), out.data(), frag_len / w_);
 }
 
-void BitmatrixCodecCore::reconstruct(const std::vector<uint32_t>& available,
-                                     const uint8_t* const* available_frags,
-                                     const std::vector<uint32_t>& erased, uint8_t* const* out,
-                                     size_t frag_len, const DataPlanFn& plan_data,
-                                     const ParityPlanFn& plan_parity) const {
-  const size_t strip_len = frag_len / w_;
+std::shared_ptr<const ReconstructPlan> BitmatrixCodecCore::make_plan(
+    const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased,
+    const DataPlanFn& plan_data, const ParityPlanFn& plan_parity) const {
+  const RepairLayout layout(k_, k_ + m_, available, erased);
 
-  std::vector<const uint8_t*> frag_by_id(k_ + m_, nullptr);
-  for (size_t i = 0; i < available.size(); ++i)
-    frag_by_id[available[i]] = available_frags[i];
-
-  std::vector<uint32_t> erased_data, erased_parity;
-  std::vector<uint8_t*> out_data, out_parity;
-  for (size_t i = 0; i < erased.size(); ++i) {
-    if (erased[i] < k_) {
-      erased_data.push_back(erased[i]);
-      out_data.push_back(out[i]);
-    } else {
-      erased_parity.push_back(erased[i]);
-      out_parity.push_back(out[i]);
-    }
-  }
-
-  if (!erased_data.empty()) {
+  // Canonical (sorted) erased-data order for the cache key and output map.
+  std::vector<uint32_t> erased_sorted;
+  std::vector<size_t> out_pos_sorted;
+  std::optional<BitmatrixReconstructPlan::DataStep> data_step;
+  if (!layout.erased_data.empty()) {
     std::vector<uint32_t> avail_sorted = available;
     std::sort(avail_sorted.begin(), avail_sorted.end());
 
-    // Canonical (sorted) erased order for the cache key and output mapping.
-    std::vector<size_t> perm(erased_data.size());
+    std::vector<size_t> perm(layout.erased_data.size());
     for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    std::sort(perm.begin(), perm.end(),
-              [&](size_t a, size_t b) { return erased_data[a] < erased_data[b]; });
-    std::vector<uint32_t> erased_sorted(perm.size());
-    std::vector<uint8_t*> out_sorted(perm.size());
-    for (size_t i = 0; i < perm.size(); ++i) {
-      erased_sorted[i] = erased_data[perm[i]];
-      out_sorted[i] = out_data[perm[i]];
+    std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      return layout.erased_data[a] < layout.erased_data[b];
+    });
+    for (size_t i : perm) {
+      erased_sorted.push_back(layout.erased_data[i]);
+      out_pos_sorted.push_back(layout.out_pos_data[i]);
     }
 
-    const RecoveryPlan plan = plan_data(avail_sorted, erased_sorted);
-    std::vector<const uint8_t*> in_frags(plan.inputs.size());
-    for (size_t i = 0; i < plan.inputs.size(); ++i) {
-      in_frags[i] = frag_by_id[plan.inputs[i]];
-      if (in_frags[i] == nullptr)
+    const RecoveryPlan rp = plan_data(avail_sorted, erased_sorted);
+    BitmatrixReconstructPlan::DataStep step;
+    step.program = rp.program;
+    step.in_pos.reserve(rp.inputs.size());
+    for (uint32_t id : rp.inputs) {
+      if (layout.pos_of_id[id] == RepairLayout::kAbsent)
         throw std::logic_error(name_ + ": recovery plan selected unavailable fragment " +
-                               std::to_string(plan.inputs[i]));
+                               std::to_string(id));
+      step.in_pos.push_back(layout.pos_of_id[id]);
     }
-    const auto in = strip_pointers(in_frags.data(), in_frags.size(), w_, frag_len);
-    const auto outs = strip_pointers(out_sorted.data(), out_sorted.size(), w_, frag_len);
-    plan.program->exec.run(in.data(), outs.data(), strip_len);
-
-    // The rebuilt data is now available for parity repair.
-    for (size_t i = 0; i < erased_sorted.size(); ++i)
-      frag_by_id[erased_sorted[i]] = out_sorted[i];
+    step.out_pos = out_pos_sorted;
+    data_step = std::move(step);
   }
 
-  if (!erased_parity.empty()) {
-    const auto prog = plan_parity(erased_parity);
-    std::vector<const uint8_t*> data_frags(k_);
-    for (size_t d = 0; d < k_; ++d) {
-      if (frag_by_id[d] == nullptr)
-        // The contract (api/codec.hpp) promises invalid_argument for
-        // patterns a codec rejects; callers can retry with the fragment
-        // listed in `erased` so it gets decoded first.
-        throw std::invalid_argument(name_ + ": data fragment " + std::to_string(d) +
-                                    " unavailable for parity repair; list it in erased");
-      data_frags[d] = frag_by_id[d];
-    }
-    const auto in = strip_pointers(data_frags.data(), k_, w_, frag_len);
-    const auto outs = strip_pointers(out_parity.data(), out_parity.size(), w_, frag_len);
-    prog->exec.run(in.data(), outs.data(), strip_len);
+  std::optional<BitmatrixReconstructPlan::ParityStep> parity_step;
+  if (!layout.erased_parity.empty()) {
+    BitmatrixReconstructPlan::ParityStep step;
+    step.program = plan_parity(layout.erased_parity);
+    step.data_src.reserve(k_);
+    for (size_t d = 0; d < k_; ++d)
+      step.data_src.push_back(layout.data_source(d, erased_sorted, out_pos_sorted, name_));
+    step.out_pos = layout.out_pos_parity;
+    parity_step = std::move(step);
   }
+
+  return std::make_shared<BitmatrixReconstructPlan>(name_, w_, available, erased,
+                                                    std::move(data_step),
+                                                    std::move(parity_step));
 }
 
 }  // namespace xorec::ec

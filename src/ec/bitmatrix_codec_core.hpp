@@ -1,12 +1,15 @@
 // Shared machinery of every bitmatrix-driven SLP codec (ec::RsCodec and
 // altcodes::XorCodec): pipeline options, compiled programs, the bounded
 // decode-program cache, strip-pointer expansion, and the generic
-// reconstruct flow (decode erased data, then re-encode erased parity).
+// plan builder (decode erased data, then re-encode erased parity) behind
+// xorec::ReconstructPlan.
 //
 // The two codecs differ only in how they *derive* matrices for a given
 // erasure pattern (GF(2^8) inverse submatrix vs F2 Gaussian elimination)
 // and which survivors feed the decoder; they inject that via RecoveryPlan
-// callbacks and share everything else here.
+// callbacks and share everything else here. make_plan() resolves those
+// callbacks ONCE — the returned plan is self-contained (it co-owns the
+// compiled programs, not the codec) and its execute() does zero re-solving.
 #pragma once
 
 #include <functional>
@@ -14,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/codec.hpp"
 #include "bitmatrix/bitmatrix.hpp"
 #include "ec/decode_cache.hpp"
 #include "runtime/executor.hpp"
@@ -108,13 +112,14 @@ class BitmatrixCodecCore {
   using ParityPlanFn = std::function<std::shared_ptr<const CompiledProgram>(
       const std::vector<uint32_t>& erased_parity)>;
 
-  /// The generic reconstruct flow. Inputs are assumed validated
-  /// (xorec::Codec does that at the API boundary).
-  void reconstruct(const std::vector<uint32_t>& available,
-                   const uint8_t* const* available_frags,
-                   const std::vector<uint32_t>& erased, uint8_t* const* out,
-                   size_t frag_len, const DataPlanFn& plan_data,
-                   const ParityPlanFn& plan_parity) const;
+  /// Build the compiled repair plan for one erasure pattern: split erased
+  /// into data/parity, resolve both steps through the callbacks (which
+  /// normally hit the decode-program cache), and freeze the id -> buffer
+  /// index maps. Inputs are assumed validated (xorec::Codec does that at
+  /// the API boundary); unrecoverable patterns throw here, at plan time.
+  std::shared_ptr<const ReconstructPlan> make_plan(
+      const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased,
+      const DataPlanFn& plan_data, const ParityPlanFn& plan_parity) const;
 
   /// Strip pointers of `count` fragments, fragment-major: fragment f's strips
   /// occupy indices w·f .. w·f+w-1 (the constant numbering of the SLPs).

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "api/batch.hpp"
 #include "ec/rs_codec.hpp"
 
 namespace xorec::ec {
@@ -11,6 +12,15 @@ namespace xorec::ec {
 namespace {
 constexpr char kMagic[4] = {'X', 'S', 'L', 'P'};
 constexpr uint16_t kVersion = 1;
+
+/// A session may only route work for the codec it wraps — anything else
+/// would silently code with the wrong matrix.
+void check_session(const BatchCoder* session, const Codec* codec) {
+  if (session && &session->codec() != codec)
+    throw std::invalid_argument(
+        "ObjectCodec: session wraps a different codec instance (" +
+        session->codec().name() + " vs " + codec->name() + ")");
+}
 }  // namespace
 
 ObjectCodec::ObjectCodec(std::shared_ptr<const Codec> codec) : codec_(std::move(codec)) {
@@ -59,7 +69,9 @@ std::optional<ObjectCodec::Header> ObjectCodec::read_header(
   return h;
 }
 
-EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size) const {
+EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size,
+                                  BatchCoder* session) const {
+  check_session(session, codec_.get());
   const size_t n = codec_->data_fragments();
   const size_t p = codec_->parity_fragments();
   const size_t payload = payload_len_for(size);
@@ -83,12 +95,16 @@ EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size) const {
   for (size_t i = 0; i < n; ++i) data.push_back(out.fragments[i].data() + kHeaderSize);
   for (size_t i = 0; i < p; ++i)
     parity.push_back(out.fragments[n + i].data() + kHeaderSize);
-  codec_->encode(data.data(), parity.data(), payload);
+  if (session)
+    session->submit_encode(data.data(), parity.data(), payload).get();
+  else
+    codec_->encode(data.data(), parity.data(), payload);
   return out;
 }
 
 std::optional<std::vector<uint8_t>> ObjectCodec::decode(
-    const std::vector<std::vector<uint8_t>>& fragments) const {
+    const std::vector<std::vector<uint8_t>>& fragments, BatchCoder* session) const {
+  check_session(session, codec_.get());
   const size_t n = codec_->data_fragments();
   const size_t p = codec_->parity_fragments();
 
@@ -131,7 +147,13 @@ std::optional<std::vector<uint8_t>> ObjectCodec::decode(
     std::vector<uint8_t*> outs;
     for (auto& r : rebuilt) outs.push_back(r.data());
     try {
-      codec_->reconstruct(available, avail_ptrs.data(), erased_data, outs.data(), payload);
+      if (session)
+        session
+            ->submit_reconstruct(available, avail_ptrs.data(), erased_data, outs.data(),
+                                 payload)
+            .get();  // get() rethrows a job failure here
+      else
+        codec_->reconstruct(available, avail_ptrs.data(), erased_data, outs.data(), payload);
     } catch (const std::invalid_argument&) {
       // Non-MDS codecs may reject patterns even with >= n survivors; this
       // API's failure channel is nullopt, not exceptions.
@@ -155,10 +177,10 @@ std::optional<std::vector<uint8_t>> ObjectCodec::decode(
 }
 
 std::optional<EncodedObject> ObjectCodec::rebuild_all(
-    const std::vector<std::vector<uint8_t>>& fragments) const {
-  const auto object = decode(fragments);
+    const std::vector<std::vector<uint8_t>>& fragments, BatchCoder* session) const {
+  const auto object = decode(fragments, session);
   if (!object) return std::nullopt;
-  return encode(object->data(), object->size());
+  return encode(object->data(), object->size(), session);
 }
 
 }  // namespace xorec::ec

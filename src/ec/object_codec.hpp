@@ -24,6 +24,10 @@
 #include "api/codec.hpp"
 #include "ec/bitmatrix_codec_core.hpp"
 
+namespace xorec {
+class BatchCoder;
+}
+
 namespace xorec::ec {
 
 struct EncodedObject {
@@ -46,18 +50,27 @@ class ObjectCodec {
   const Codec& codec() const { return *codec_; }
 
   /// Split + pad + encode. Empty objects are legal (fragments carry only
-  /// headers plus minimal padding).
-  EncodedObject encode(const uint8_t* object, size_t size) const;
+  /// headers plus minimal padding). With a session, the parity computation
+  /// runs as a submitted job on the session's workers — concurrent callers
+  /// share its bounded worker group instead of each coding inline. The
+  /// session must wrap the SAME codec instance (throws invalid_argument
+  /// otherwise); the call still returns synchronously.
+  EncodedObject encode(const uint8_t* object, size_t size,
+                       BatchCoder* session = nullptr) const;
 
   /// Reassemble the object from any >= n fragments (data or parity, any
   /// order). Returns nullopt when the fragments are inconsistent (mixed
-  /// objects, bad magic, not enough survivors).
+  /// objects, bad magic, not enough survivors). Optional session as above
+  /// (routes the reconstruct job).
   std::optional<std::vector<uint8_t>> decode(
-      const std::vector<std::vector<uint8_t>>& fragments) const;
+      const std::vector<std::vector<uint8_t>>& fragments,
+      BatchCoder* session = nullptr) const;
 
   /// Rebuild the full fragment set (e.g. to re-populate failed nodes).
+  /// Optional session as above.
   std::optional<EncodedObject> rebuild_all(
-      const std::vector<std::vector<uint8_t>>& fragments) const;
+      const std::vector<std::vector<uint8_t>>& fragments,
+      BatchCoder* session = nullptr) const;
 
  private:
   struct Header {

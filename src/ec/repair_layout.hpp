@@ -1,0 +1,67 @@
+// Shared id -> buffer-index resolution for two-step repair plans (decode
+// the erased data, then re-encode the erased parity). Both plan builders —
+// BitmatrixCodecCore::make_plan for the SLP codecs and the GF-table
+// baseline's plan — derive their frozen index maps from this one place, so
+// the split/lookup semantics cannot drift between engines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xorec::ec {
+
+struct RepairLayout {
+  static constexpr size_t kAbsent = std::numeric_limits<size_t>::max();
+
+  std::vector<size_t> pos_of_id;      // fragment id -> index into `available`
+  std::vector<uint32_t> erased_data;  // in submission order
+  std::vector<uint32_t> erased_parity;
+  std::vector<size_t> out_pos_data;   // parallel to erased_data: index into `out`
+  std::vector<size_t> out_pos_parity;
+
+  RepairLayout(size_t data_fragments, size_t total_fragments,
+               const std::vector<uint32_t>& available,
+               const std::vector<uint32_t>& erased) {
+    pos_of_id.assign(total_fragments, kAbsent);
+    for (size_t i = 0; i < available.size(); ++i) pos_of_id[available[i]] = i;
+    for (size_t i = 0; i < erased.size(); ++i) {
+      if (erased[i] < data_fragments) {
+        erased_data.push_back(erased[i]);
+        out_pos_data.push_back(i);
+      } else {
+        erased_parity.push_back(erased[i]);
+        out_pos_parity.push_back(i);
+      }
+    }
+  }
+
+  /// Where a repair step reads a fragment from at execute time.
+  struct Source {
+    bool from_out = false;  // a data fragment this plan itself rebuilds
+    size_t pos = 0;         // index into `available` buffers or into `out`
+  };
+
+  /// Resolve where the parity step reads data fragment `d`: a survivor
+  /// buffer, or one of the plan's own data outputs. The rebuilt lookup goes
+  /// through (erased_order, out_pos_order) so each engine keeps its output
+  /// ordering (sorted decode rows for the SLP codecs, submission order for
+  /// the GF-table engine). Throws the documented invalid_argument when `d`
+  /// is neither available nor erased.
+  Source data_source(size_t d, const std::vector<uint32_t>& erased_order,
+                     const std::vector<size_t>& out_pos_order,
+                     const std::string& codec_name) const {
+    if (pos_of_id[d] != kAbsent) return {false, pos_of_id[d]};
+    for (size_t i = 0; i < erased_order.size(); ++i)
+      if (erased_order[i] == d) return {true, out_pos_order[i]};
+    // The contract (api/codec.hpp) promises invalid_argument for patterns a
+    // codec rejects; callers can retry with the fragment listed in `erased`
+    // so it gets decoded first.
+    throw std::invalid_argument(codec_name + ": data fragment " + std::to_string(d) +
+                                " unavailable for parity repair; list it in erased");
+  }
+};
+
+}  // namespace xorec::ec

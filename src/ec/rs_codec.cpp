@@ -126,12 +126,10 @@ std::shared_ptr<const CompiledProgram> RsCodec::decode_program(
   return decoder_for(choose_survivors(available), erased_sorted);
 }
 
-void RsCodec::reconstruct_impl(const std::vector<uint32_t>& available,
-                               const uint8_t* const* available_frags,
-                               const std::vector<uint32_t>& erased, uint8_t* const* out,
-                               size_t frag_len) const {
-  core_.reconstruct(
-      available, available_frags, erased, out, frag_len,
+std::shared_ptr<const ReconstructPlan> RsCodec::plan_reconstruct_impl(
+    const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased) const {
+  return core_.make_plan(
+      available, erased,
       [&](const std::vector<uint32_t>& avail_sorted,
           const std::vector<uint32_t>& erased_data) -> BitmatrixCodecCore::RecoveryPlan {
         const std::vector<uint32_t> survivors = choose_survivors(avail_sorted);
@@ -140,6 +138,13 @@ void RsCodec::reconstruct_impl(const std::vector<uint32_t>& available,
       [&](const std::vector<uint32_t>& erased_parity) {
         return parity_subset_program(erased_parity);
       });
+}
+
+void RsCodec::reconstruct_impl(const std::vector<uint32_t>& available,
+                               const uint8_t* const* available_frags,
+                               const std::vector<uint32_t>& erased, uint8_t* const* out,
+                               size_t frag_len) const {
+  plan_reconstruct_impl(available, erased)->execute(available_frags, out, frag_len);
 }
 
 }  // namespace xorec::ec

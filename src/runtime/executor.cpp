@@ -11,13 +11,32 @@ Executor::Executor(ExecProgram program, ExecOptions opt)
     : prog_(std::move(program)), opt_(opt), kernel_(kernel::resolve(opt.isa)) {
   if (opt_.block_size == 0) throw std::invalid_argument("Executor: block_size == 0");
   if (opt_.threads == 0) opt_.threads = 1;
-  scratch_arenas_.reserve(opt_.threads);
-  scratch_ptrs_.reserve(opt_.threads);
-  for (size_t w = 0; w < opt_.threads; ++w) {
-    scratch_arenas_.emplace_back(prog_.num_scratch, opt_.block_size, opt_.block_size,
-                                 opt_.stagger_scratch);
-    scratch_ptrs_.push_back(scratch_arenas_.back().pointers());
+  if (opt_.threads > 1) {
+    worker_scratch_.reserve(opt_.threads);
+    for (size_t w = 0; w < opt_.threads; ++w)
+      worker_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_));
+  } else {
+    // Pre-warm one freelist entry so the common single-caller case never
+    // allocates inside run().
+    free_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_));
   }
+}
+
+std::unique_ptr<Executor::Scratch> Executor::acquire_scratch() const {
+  {
+    std::lock_guard lk(scratch_mu_);
+    if (!free_scratch_.empty()) {
+      auto s = std::move(free_scratch_.back());
+      free_scratch_.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<Scratch>(prog_, opt_);
+}
+
+void Executor::release_scratch(std::unique_ptr<Scratch> s) const {
+  std::lock_guard lk(scratch_mu_);
+  free_scratch_.push_back(std::move(s));
 }
 
 void Executor::run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
@@ -62,11 +81,20 @@ void Executor::run(const uint8_t* const* inputs, uint8_t* const* outputs,
   const size_t B = opt_.block_size;
 
   if (opt_.threads <= 1) {
-    run_range(inputs, outputs, 0, strip_len, scratch_ptrs_[0].data());
+    auto s = acquire_scratch();
+    try {
+      run_range(inputs, outputs, 0, strip_len, s->ptrs.data());
+    } catch (...) {
+      release_scratch(std::move(s));
+      throw;
+    }
+    release_scratch(std::move(s));
     return;
   }
 
-  // Split the strip into per-worker spans of whole blocks.
+  // Split the strip into per-worker spans of whole blocks. The shared pool
+  // serializes overlapping run_on_all calls, so the per-worker arenas are
+  // never used by two outer calls at once.
   const size_t n_blocks = (strip_len + B - 1) / B;
   const size_t workers = std::min(opt_.threads, n_blocks);
   const size_t per = (n_blocks + workers - 1) / workers;
@@ -75,7 +103,7 @@ void Executor::run(const uint8_t* const* inputs, uint8_t* const* outputs,
     if (w >= workers) return;
     const size_t begin = std::min(w * per * B, strip_len);
     const size_t end = std::min((w + 1) * per * B, strip_len);
-    if (begin < end) run_range(inputs, outputs, begin, end, scratch_ptrs_[w].data());
+    if (begin < end) run_range(inputs, outputs, begin, end, worker_scratch_[w]->ptrs.data());
   });
 }
 

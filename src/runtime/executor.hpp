@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "kernel/xor_kernel.hpp"
 #include "runtime/aligned_buffer.hpp"
@@ -23,8 +25,11 @@ struct ExecOptions {
   bool prefetch_next_block = false;
 };
 
-/// Owns the scratch pebble arenas (one per worker) for one compiled program
-/// at one block size; reusable across calls, not thread-safe per instance.
+/// Owns the scratch pebble arenas for one compiled program at one block
+/// size; reusable across calls. run() is thread-safe: with threads == 1
+/// concurrent callers draw private scratch from a freelist (the BatchCoder
+/// stripe-parallel path), with threads > 1 concurrent calls serialize on
+/// the fork-join pool's per-worker arenas.
 class Executor {
  public:
   Executor(ExecProgram program, ExecOptions opt = {});
@@ -38,14 +43,26 @@ class Executor {
   void run(const uint8_t* const* inputs, uint8_t* const* outputs, size_t strip_len) const;
 
  private:
+  /// One worker's private pebble storage.
+  struct Scratch {
+    StripArena arena;
+    std::vector<uint8_t*> ptrs;
+    Scratch(const ExecProgram& prog, const ExecOptions& opt)
+        : arena(prog.num_scratch, opt.block_size, opt.block_size, opt.stagger_scratch),
+          ptrs(arena.pointers()) {}
+  };
+
   void run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
                  size_t end, uint8_t* const* scratch) const;
+  std::unique_ptr<Scratch> acquire_scratch() const;
+  void release_scratch(std::unique_ptr<Scratch> s) const;
 
   ExecProgram prog_;
   ExecOptions opt_;
   kernel::XorManyFn kernel_;
-  std::vector<StripArena> scratch_arenas_;          // one per worker
-  std::vector<std::vector<uint8_t*>> scratch_ptrs_;  // cached pointer tables
+  std::vector<std::unique_ptr<Scratch>> worker_scratch_;  // threads > 1 path
+  mutable std::mutex scratch_mu_;                          // guards the freelist
+  mutable std::vector<std::unique_ptr<Scratch>> free_scratch_;
 };
 
 }  // namespace xorec::runtime

@@ -1,38 +1,42 @@
 #include "runtime/thread_pool.hpp"
 
-#include <map>
 #include <memory>
 
 namespace xorec::runtime {
 
+void ThreadPool::spawn_worker_locked() {
+  const size_t w = workers_.size();
+  const uint64_t born_at = epoch_;  // never run jobs dispatched before spawn
+  workers_.emplace_back([this, w, born_at] {
+    uint64_t seen = born_at;
+    for (;;) {
+      const std::function<void(size_t)>* fn = nullptr;
+      {
+        std::unique_lock lk(mu_);
+        cv_start_.wait(lk, [&] { return stop_ || epoch_ > seen; });
+        if (stop_) return;
+        seen = epoch_;
+        fn = fn_;
+      }
+      try {
+        (*fn)(w);
+      } catch (...) {
+        std::lock_guard lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard lk(mu_);
+        if (--pending_ == 0) cv_done_.notify_all();
+      }
+    }
+  });
+}
+
 ThreadPool::ThreadPool(size_t threads) {
   const size_t n_workers = threads > 0 ? threads - 1 : 0;
+  std::lock_guard lk(mu_);
   workers_.reserve(n_workers);
-  for (size_t w = 0; w < n_workers; ++w) {
-    workers_.emplace_back([this, w] {
-      uint64_t seen = 0;
-      for (;;) {
-        const std::function<void(size_t)>* fn = nullptr;
-        {
-          std::unique_lock lk(mu_);
-          cv_start_.wait(lk, [&] { return stop_ || epoch_ > seen; });
-          if (stop_) return;
-          seen = epoch_;
-          fn = fn_;
-        }
-        try {
-          (*fn)(w);
-        } catch (...) {
-          std::lock_guard lk(mu_);
-          if (!error_) error_ = std::current_exception();
-        }
-        {
-          std::lock_guard lk(mu_);
-          if (--pending_ == 0) cv_done_.notify_all();
-        }
-      }
-    });
-  }
+  for (size_t w = 0; w < n_workers; ++w) spawn_worker_locked();
 }
 
 ThreadPool::~ThreadPool() {
@@ -44,18 +48,26 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+size_t ThreadPool::size() const {
+  std::lock_guard lk(mu_);
+  return workers_.size() + 1;
+}
+
 void ThreadPool::run_on_all(const std::function<void(size_t)>& fn) {
+  std::lock_guard run_lk(run_mu_);
+  size_t n_workers;
   {
     std::lock_guard lk(mu_);
     fn_ = &fn;
     error_ = nullptr;
-    pending_ = workers_.size();
+    n_workers = workers_.size();
+    pending_ = n_workers;
     ++epoch_;
   }
   cv_start_.notify_all();
   // The caller participates as the last index.
   try {
-    fn(workers_.size());
+    fn(n_workers);
   } catch (...) {
     std::lock_guard lk(mu_);
     if (!error_) error_ = std::current_exception();
@@ -65,13 +77,21 @@ void ThreadPool::run_on_all(const std::function<void(size_t)>& fn) {
   if (error_) std::rethrow_exception(error_);
 }
 
+void ThreadPool::resize(size_t threads) {
+  std::lock_guard run_lk(run_mu_);  // wait out any in-flight job
+  const size_t want = threads > 0 ? threads - 1 : 0;
+  std::lock_guard lk(mu_);
+  while (workers_.size() < want) spawn_worker_locked();
+}
+
 ThreadPool& ThreadPool::shared(size_t threads) {
   static std::mutex m;
-  static std::map<size_t, std::unique_ptr<ThreadPool>> pools;
+  // unique_ptr (not a leak) so workers join cleanly at process exit.
+  static std::unique_ptr<ThreadPool> pool;
   std::lock_guard lk(m);
-  auto& p = pools[threads];
-  if (!p) p = std::make_unique<ThreadPool>(threads);
-  return *p;
+  if (!pool) pool = std::make_unique<ThreadPool>(threads);
+  else if (threads > pool->size()) pool->resize(threads);
+  return *pool;
 }
 
 }  // namespace xorec::runtime

@@ -3,10 +3,15 @@
 // The blocked executor splits the strip length into contiguous chunks; each
 // worker runs the whole SLP over its chunk with private scratch buffers
 // (§8's parallelism direction; fragments are row-wise independent).
+//
+// ThreadPool is a fork-join primitive. For queued, future-returning
+// stripe-level parallelism (api/batch.hpp's BatchCoder sessions) see
+// runtime/task_queue.hpp.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,24 +27,40 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t size() const { return workers_.size() + 1; }  // + calling thread
+  size_t size() const;  // worker threads + the calling thread
 
   /// Runs fn(worker_index) on indices 0..size()-1 (index size()-1 executes on
   /// the calling thread) and blocks until all are done. Exceptions in workers
-  /// are rethrown on the caller (first one wins).
+  /// are rethrown on the caller (first one wins). Concurrent calls from
+  /// different threads are serialized internally, so a process-wide pool can
+  /// back several executors at once.
   void run_on_all(const std::function<void(size_t)>& fn);
 
-  /// Process-wide pool sized to the hardware; created on first use.
+  /// Grow the pool so size() >= threads. Never shrinks; a no-op for smaller
+  /// requests. Safe to call concurrently with run_on_all (the resize waits
+  /// for the running job to finish).
+  void resize(size_t threads);
+
+  /// The process-wide pool. The first call creates it sized to `threads`;
+  /// later calls grow it to the largest request seen so far and never shrink
+  /// it (deterministic resize-or-reuse — callers are guaranteed
+  /// size() >= threads on return, never a different-sized pool than they
+  /// asked for because someone else got there first).
+  ///
+  /// Deliberate tradeoff vs the old pool-per-size map: one bounded worker
+  /// group instead of unbounded thread growth, at the cost that concurrent
+  /// multi-threaded (`threads>1`) coding calls across the process take
+  /// turns on this pool's fork-join. Workloads that want concurrent
+  /// *stripes* should use threads=1 codecs under a BatchCoder session
+  /// (api/batch.hpp), whose TaskQueue workers run independently.
   static ThreadPool& shared(size_t threads);
 
  private:
-  struct Task {
-    const std::function<void(size_t)>* fn = nullptr;
-    uint64_t epoch = 0;
-  };
+  void spawn_worker_locked();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::mutex run_mu_;  // serializes run_on_all / excludes resize mid-run
   std::condition_variable cv_start_, cv_done_;
   const std::function<void(size_t)>* fn_ = nullptr;
   uint64_t epoch_ = 0;

@@ -1,0 +1,298 @@
+// BatchCoder sessions, the runtime::TaskQueue underneath them, and the
+// deterministic ThreadPool::shared grow-only semantics. The headline test
+// round-trips 64+ mixed encode/reconstruct jobs concurrently (the batch
+// acceptance bar) and byte-verifies every stripe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <set>
+#include <thread>
+
+#include "api/xorec.hpp"
+#include "ec/object_codec.hpp"
+#include "runtime/task_queue.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace xorec;
+
+// ---- TaskQueue -------------------------------------------------------------
+
+TEST(TaskQueue, RunsEverySubmittedTask) {
+  runtime::TaskQueue q(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) futs.push_back(q.submit([&] { ++count; }));
+  q.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+}
+
+TEST(TaskQueue, FutureCarriesTheException) {
+  runtime::TaskQueue q(2);
+  auto ok = q.submit([] {});
+  auto bad = q.submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  q.wait_idle();  // the failure must not wedge the queue
+  auto after = q.submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(TaskQueue, DestructorDrainsTheQueue) {
+  std::atomic<int> count{0};
+  {
+    runtime::TaskQueue q(2);
+    for (int i = 0; i < 50; ++i) q.submit([&] { ++count; });
+  }  // destructor: drain, then join
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskQueue, ZeroThreadsClampsToOne) {
+  runtime::TaskQueue q(0);
+  EXPECT_EQ(q.threads(), 1u);
+  auto f = q.submit([] {});
+  EXPECT_NO_THROW(f.get());
+}
+
+// ---- ThreadPool shared semantics -------------------------------------------
+
+TEST(ThreadPool, SharedGrowsMonotonicallyAndIsOneInstance) {
+  runtime::ThreadPool& a = runtime::ThreadPool::shared(2);
+  EXPECT_GE(a.size(), 2u);
+  runtime::ThreadPool& b = runtime::ThreadPool::shared(4);
+  EXPECT_EQ(&a, &b);  // one process-wide pool, not one per size
+  EXPECT_GE(b.size(), 4u);
+  const size_t grown = b.size();
+  runtime::ThreadPool& c = runtime::ThreadPool::shared(1);
+  EXPECT_EQ(&a, &c);
+  EXPECT_EQ(c.size(), grown);  // smaller requests never shrink it
+}
+
+TEST(ThreadPool, ResizeGrowsAndCoversNewIndices) {
+  runtime::ThreadPool pool(2);
+  ASSERT_EQ(pool.size(), 2u);
+
+  std::mutex mu;
+  std::set<size_t> seen;
+  const auto collect = [&](size_t w) {
+    std::lock_guard lk(mu);
+    seen.insert(w);
+  };
+  pool.run_on_all(collect);
+  EXPECT_EQ(seen, (std::set<size_t>{0, 1}));
+
+  pool.resize(4);
+  EXPECT_EQ(pool.size(), 4u);
+  seen.clear();
+  pool.run_on_all(collect);
+  EXPECT_EQ(seen, (std::set<size_t>{0, 1, 2, 3}));
+
+  pool.resize(1);  // grow-only: a no-op
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ConcurrentRunOnAllCallsSerialize) {
+  runtime::ThreadPool pool(3);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<int> total{0};
+  const auto job = [&](size_t) {
+    if (inside.fetch_add(1) >= static_cast<int>(pool.size())) overlapped = true;
+    ++total;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    --inside;
+  };
+  std::thread t1([&] { for (int i = 0; i < 5; ++i) pool.run_on_all(job); });
+  std::thread t2([&] { for (int i = 0; i < 5; ++i) pool.run_on_all(job); });
+  t1.join();
+  t2.join();
+  EXPECT_FALSE(overlapped.load());  // never two fork-join jobs interleaved
+  EXPECT_EQ(total.load(), 10 * static_cast<int>(pool.size()));
+}
+
+// ---- BatchCoder ------------------------------------------------------------
+
+namespace {
+
+struct Stripe {
+  std::vector<std::vector<uint8_t>> frags;  // n + p, encoded ground truth
+  std::vector<const uint8_t*> data_ptrs;
+  std::vector<uint8_t*> parity_ptrs;
+};
+
+Stripe make_stripe(const Codec& codec, size_t frag_len, uint32_t seed) {
+  std::mt19937 rng(seed);
+  Stripe s;
+  s.frags.assign(codec.total_fragments(), std::vector<uint8_t>(frag_len));
+  for (size_t i = 0; i < codec.data_fragments(); ++i)
+    for (auto& b : s.frags[i]) b = static_cast<uint8_t>(rng());
+  for (size_t i = 0; i < codec.data_fragments(); ++i)
+    s.data_ptrs.push_back(s.frags[i].data());
+  for (size_t i = 0; i < codec.parity_fragments(); ++i)
+    s.parity_ptrs.push_back(s.frags[codec.data_fragments() + i].data());
+  codec.encode(s.data_ptrs.data(), s.parity_ptrs.data(), frag_len);
+  return s;
+}
+
+}  // namespace
+
+TEST(BatchCoder, RoundTrips64MixedJobsConcurrently) {
+  auto codec = std::shared_ptr<const Codec>(make_codec("rs(6,3)@block=512"));
+  const size_t n = codec->data_fragments(), frag_len = codec->fragment_multiple() * 64;
+  BatchCoder batch(codec, 4);
+  EXPECT_EQ(batch.threads(), 4u);
+
+  constexpr size_t kEncodes = 32, kRepairs = 32;
+  // Encode jobs: ground truth computed inline first, parity zeroed, the
+  // session must rebuild it bit-for-bit.
+  std::vector<Stripe> enc(kEncodes);
+  std::vector<std::vector<std::vector<uint8_t>>> truth(kEncodes);
+  // Repair jobs: one data + one parity erasure, half through a shared plan,
+  // half through the plan-less path.
+  const std::vector<uint32_t> erased{0, static_cast<uint32_t>(n)};
+  std::vector<uint32_t> available;
+  for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+    if (std::find(erased.begin(), erased.end(), id) == erased.end())
+      available.push_back(id);
+  const auto plan = codec->plan_reconstruct(available, erased);
+  std::vector<Stripe> rep(kRepairs);
+  std::vector<std::vector<const uint8_t*>> rep_avail(kRepairs);
+  std::vector<std::vector<std::vector<uint8_t>>> rep_out(kRepairs);
+  std::vector<std::vector<uint8_t*>> rep_out_ptrs(kRepairs);
+
+  std::vector<std::future<void>> futs;
+  for (size_t j = 0; j < kEncodes; ++j) {  // interleave the two job kinds
+    {
+      enc[j] = make_stripe(*codec, frag_len, static_cast<uint32_t>(j));
+      for (size_t i = 0; i < codec->parity_fragments(); ++i) {
+        truth[j].push_back(enc[j].frags[n + i]);
+        std::fill(enc[j].frags[n + i].begin(), enc[j].frags[n + i].end(), 0);
+      }
+      futs.push_back(
+          batch.submit_encode(enc[j].data_ptrs.data(), enc[j].parity_ptrs.data(), frag_len));
+    }
+    {
+      rep[j] = make_stripe(*codec, frag_len, static_cast<uint32_t>(1000 + j));
+      for (uint32_t id : available) rep_avail[j].push_back(rep[j].frags[id].data());
+      rep_out[j].assign(erased.size(), std::vector<uint8_t>(frag_len));
+      for (auto& o : rep_out[j]) rep_out_ptrs[j].push_back(o.data());
+      if (j % 2 == 0)
+        futs.push_back(batch.submit_reconstruct(plan, rep_avail[j].data(),
+                                                rep_out_ptrs[j].data(), frag_len));
+      else
+        futs.push_back(batch.submit_reconstruct(available, rep_avail[j].data(), erased,
+                                                rep_out_ptrs[j].data(), frag_len));
+    }
+  }
+  EXPECT_EQ(batch.submitted(), kEncodes + kRepairs);
+  batch.flush();
+  for (auto& f : futs) ASSERT_NO_THROW(f.get());
+
+  for (size_t j = 0; j < kEncodes; ++j)
+    for (size_t i = 0; i < codec->parity_fragments(); ++i)
+      ASSERT_EQ(enc[j].frags[n + i], truth[j][i]) << "encode stripe " << j;
+  for (size_t j = 0; j < kRepairs; ++j)
+    for (size_t i = 0; i < erased.size(); ++i)
+      ASSERT_EQ(rep_out[j][i], rep[j].frags[erased[i]]) << "repair stripe " << j;
+}
+
+TEST(BatchCoder, SpecStringConstruction) {
+  BatchCoder two("rs(5,2)@batch=2");
+  EXPECT_EQ(two.threads(), 2u);
+  EXPECT_EQ(two.codec().name(), "rs(5,2)");
+
+  BatchCoder aut("rs(5,2)@block=512,batch=auto");
+  EXPECT_GE(aut.threads(), 1u);
+
+  // Codec options still apply alongside batch=.
+  BatchCoder tuned("cauchy(5,2)@block=512,batch=3");
+  EXPECT_EQ(tuned.threads(), 3u);
+  EXPECT_EQ(tuned.codec().name(), "cauchy(5,2)");
+
+  // batch= is a session key: plain make_codec must reject, not ignore it.
+  EXPECT_THROW(make_codec("rs(5,2)@batch=2"), std::invalid_argument);
+  EXPECT_THROW(BatchCoder("rs(5,2)@batch=0"), std::invalid_argument);
+  EXPECT_THROW(BatchCoder("rs(5,2)@batch=many"), std::invalid_argument);
+  EXPECT_THROW(BatchCoder(std::shared_ptr<const Codec>(), 2), std::invalid_argument);
+}
+
+TEST(BatchCoder, JobFailureArrivesThroughTheFuture) {
+  auto codec = std::shared_ptr<const Codec>(make_codec("rs(4,2)"));
+  BatchCoder batch(codec, 2);
+  const size_t frag_len = codec->fragment_multiple() * 8;
+  auto s = make_stripe(*codec, frag_len, 9);
+  // Too few survivors: the plan-less job throws inside the worker.
+  std::vector<const uint8_t*> avail{s.frags[0].data(), s.frags[1].data(),
+                                    s.frags[2].data()};
+  std::vector<uint8_t> out(frag_len);
+  uint8_t* outp = out.data();
+  auto fut = batch.submit_reconstruct({0, 1, 2}, avail.data(), {3}, &outp, frag_len);
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  batch.flush();  // session stays usable
+  EXPECT_THROW(batch.submit_reconstruct(nullptr, avail.data(), &outp, frag_len),
+               std::invalid_argument);
+}
+
+TEST(BatchCoder, ObjectCodecRoutesThroughTheSession) {
+  auto codec = std::shared_ptr<const Codec>(make_codec("evenodd(4,2)"));
+  ec::ObjectCodec blobs(codec);
+  BatchCoder session(codec, 3);
+
+  std::vector<uint8_t> blob(10000);
+  std::mt19937 rng(17);
+  for (auto& b : blob) b = static_cast<uint8_t>(rng());
+
+  auto enc = blobs.encode(blob.data(), blob.size(), &session);
+  auto plain = blobs.encode(blob.data(), blob.size());
+  EXPECT_EQ(enc.fragments, plain.fragments);
+
+  // Drop one data + one parity fragment; decode through the session.
+  std::vector<std::vector<uint8_t>> survivors;
+  for (size_t id = 0; id < enc.fragments.size(); ++id)
+    if (id != 1 && id != 5) survivors.push_back(enc.fragments[id]);
+  const auto dec = blobs.decode(survivors, &session);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+
+  const auto rebuilt = blobs.rebuild_all(survivors, &session);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(rebuilt->fragments, enc.fragments);
+
+  // A session over a different codec instance is refused.
+  auto other = std::shared_ptr<const Codec>(make_codec("evenodd(4,2)"));
+  BatchCoder wrong(other, 1);
+  EXPECT_THROW(blobs.decode(survivors, &wrong), std::invalid_argument);
+}
+
+TEST(BatchCoder, ManyStripesOverOnePlanByteIdentical) {
+  // The acceptance shape end to end: one plan, >= 100 stripes, byte parity
+  // with one-shot reconstruct, all through a concurrent session.
+  auto codec = std::shared_ptr<const Codec>(make_codec("star(5)"));
+  const size_t frag_len = codec->fragment_multiple() * 8;
+  const std::vector<uint32_t> erased{0, 1};
+  std::vector<uint32_t> available;
+  for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+    if (id != 0 && id != 1) available.push_back(id);
+  const auto plan = codec->plan_reconstruct(available, erased);
+
+  BatchCoder batch(codec, 4);
+  constexpr size_t kStripes = 120;
+  std::vector<Stripe> stripes(kStripes);
+  std::vector<std::vector<const uint8_t*>> avail(kStripes);
+  std::vector<std::vector<std::vector<uint8_t>>> outs(kStripes);
+  std::vector<std::vector<uint8_t*>> out_ptrs(kStripes);
+  for (size_t s = 0; s < kStripes; ++s) {
+    stripes[s] = make_stripe(*codec, frag_len, static_cast<uint32_t>(7000 + s));
+    for (uint32_t id : available) avail[s].push_back(stripes[s].frags[id].data());
+    outs[s].assign(erased.size(), std::vector<uint8_t>(frag_len));
+    for (auto& o : outs[s]) out_ptrs[s].push_back(o.data());
+    batch.submit_reconstruct(plan, avail[s].data(), out_ptrs[s].data(), frag_len);
+  }
+  batch.flush();
+  for (size_t s = 0; s < kStripes; ++s)
+    for (size_t i = 0; i < erased.size(); ++i)
+      ASSERT_EQ(outs[s][i], stripes[s].frags[erased[i]]) << "stripe " << s;
+}

@@ -1,10 +1,15 @@
 // ObjectCodec: blob-level encode/decode with headers, padding, arbitrary
-// sizes, shuffled/partial fragment sets, and corruption rejection.
+// sizes, shuffled/partial fragment sets, and corruption rejection — the
+// geometry-specific suites run over the default RS engine, the parameterized
+// suite at the bottom over EVERY registered family.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
+#include <cstring>
 #include <random>
 
+#include "api/xorec.hpp"
 #include "ec/object_codec.hpp"
 
 using namespace xorec;
@@ -139,3 +144,86 @@ TEST(ObjectCodec, HeaderGeometryIsSelfDescribing) {
     EXPECT_EQ(f[3], 'P');
   }
 }
+
+// ---- every registered family through the blob layer ------------------------
+
+class ObjectCodecEveryFamily : public ::testing::TestWithParam<const char*> {
+ protected:
+  ec::ObjectCodec make() const {
+    return ec::ObjectCodec{std::shared_ptr<const Codec>(make_codec(GetParam()))};
+  }
+};
+
+TEST_P(ObjectCodecEveryFamily, RoundTripsThroughMaximumLoss) {
+  const auto blobs = make();
+  const size_t n = blobs.data_fragments(), p = blobs.parity_fragments();
+  for (size_t size : {0u, 1u, 500u, 40000u}) {
+    const auto blob = random_blob(size, static_cast<uint32_t>(size + 3));
+    auto enc = blobs.encode(blob.data(), blob.size());
+    ASSERT_EQ(enc.fragments.size(), n + p);
+
+    // Lossless, and through one-data + one-parity loss.
+    auto dec = blobs.decode(enc.fragments);
+    ASSERT_TRUE(dec.has_value()) << "size " << size;
+    EXPECT_EQ(*dec, blob);
+    std::vector<std::vector<uint8_t>> survivors;
+    for (size_t id = 0; id < n + p; ++id)
+      if (id != 0 && id != n) survivors.push_back(enc.fragments[id]);
+    dec = blobs.decode(survivors);
+    ASSERT_TRUE(dec.has_value()) << "size " << size;
+    EXPECT_EQ(*dec, blob);
+  }
+}
+
+TEST_P(ObjectCodecEveryFamily, CorruptHeadersAreSkippedNotTrusted) {
+  const auto blobs = make();
+  const size_t n = blobs.data_fragments(), p = blobs.parity_fragments();
+  const auto blob = random_blob(20000, 77);
+  auto enc = blobs.encode(blob.data(), blob.size());
+
+  // Bad magic on one fragment: skipped, the rest still decode.
+  enc.fragments[0][0] ^= 0xFF;
+  auto dec = blobs.decode(enc.fragments);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+  enc.fragments[0][0] ^= 0xFF;
+
+  // Unknown version: skipped likewise.
+  enc.fragments[1][4] ^= 0x40;
+  dec = blobs.decode(enc.fragments);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+  enc.fragments[1][4] ^= 0x40;
+
+  // Truncation (header claims more payload than present): skipped.
+  auto clipped = enc.fragments;
+  clipped[2].resize(clipped[2].size() / 2);
+  dec = blobs.decode(clipped);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, blob);
+
+  // Every header's object_size inflated past what fragments hold: nullopt,
+  // never a throw or an over-allocation.
+  auto poisoned = enc.fragments;
+  const uint64_t huge = uint64_t(1) << 40;
+  for (auto& f : poisoned) std::memcpy(f.data() + 12, &huge, 8);
+  std::optional<std::vector<uint8_t>> out;
+  EXPECT_NO_THROW(out = blobs.decode(poisoned));
+  EXPECT_FALSE(out.has_value());
+
+  // More corrupt fragments than the code tolerates: nullopt.
+  auto mangled = enc.fragments;
+  for (size_t i = 0; i <= p && i < mangled.size(); ++i) mangled[i][0] ^= 0xFF;
+  EXPECT_EQ(blobs.decode(mangled), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ObjectCodecEveryFamily,
+    ::testing::Values("rs(6,3)", "vand(5,2)", "cauchy(6,2)", "rs16(5,2)", "evenodd(6,2)",
+                      "rdp(6)", "star(7)", "naive_xor(5,2)", "isal(6,3)"),
+    [](const auto& info) {
+      std::string name;
+      for (char c : std::string(info.param))
+        name += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      return name;
+    });
