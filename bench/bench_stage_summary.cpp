@@ -33,6 +33,26 @@ void print_stage_table(const char* title, const slp::PipelineResult& r) {
   std::printf("  CCap  %5zu %5zu %5zu %5zu\n", base.ccap, co.ccap, fu.ccap, sc.ccap);
 }
 
+/// The multilevel scheduling pass: per-level simulated misses of the chosen
+/// schedule against its configured hierarchy (PipelineResult::multilevel).
+void print_multilevel_line(const char* title, const slp::PipelineResult& r) {
+  if (!r.multilevel) return;
+  std::printf("%s sched=multilevel levels=", title);
+  for (size_t i = 0; i < r.level_capacities.size(); ++i)
+    std::printf("%s%zu", i ? ":" : "", r.level_capacities[i]);
+  std::printf("  misses/level =");
+  for (const auto& l : r.multilevel->levels) std::printf(" %zu", l.misses);
+  std::printf("  memory loads = %zu\n", r.multilevel->memory_loads);
+}
+
+void print_cache_column(const char* what, const Codec& codec) {
+  const CacheStats s = codec.cache_stats();
+  std::printf("  cache[%s]%s: %zu entries, %zu hits, %zu misses, %zu evictions, "
+              "%.2f ms compiling\n",
+              what, s.shared ? " (shared)" : "", s.entries, s.hits, s.misses, s.evictions,
+              s.compile_ns / 1e6);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +80,22 @@ int main(int argc, char** argv) {
                       *plan->decode_pipeline());
     std::printf("P_dec plan totals: #xor=%zu #M=%zu (xor_count/schedule_stats)\n",
                 plan->xor_count(), plan->schedule_stats().mem_accesses);
+    print_cache_column("rs(10,4) full", codec);
+  }
+
+  // The multilevel scheduling pass on the same matrices: the schedule is
+  // pebbled against an L1/L2 hierarchy and reports its per-level misses.
+  {
+    ec::RsCodec ml(n, p, full_options(block, slp::ScheduleKind::Multilevel));
+    print_multilevel_line("P_enc", *ml.encode_pipeline());
+    const std::vector<uint32_t> erased{2, 4, 5, 6};
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < n + p; ++id)
+      if (std::find(erased.begin(), erased.end(), id) == erased.end())
+        available.push_back(id);
+    const auto plan = ml.plan_reconstruct(available, erased);
+    print_multilevel_line("P_dec", *plan->decode_pipeline());
+    print_cache_column("rs(10,4) multilevel", ml);
   }
 
   // --- throughput per stage ------------------------------------------------
@@ -73,6 +109,7 @@ int main(int argc, char** argv) {
       {"compressed", compressed_options(block)},
       {"fused", fused_options(block)},
       {"scheduled", full_options(block)},
+      {"multilevel", full_options(block, slp::ScheduleKind::Multilevel)},
   };
   for (const Stage& s : stages) {
     auto codec = std::make_shared<ec::RsCodec>(n, p, s.opt);

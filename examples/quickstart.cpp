@@ -44,26 +44,44 @@ int main(int argc, char** argv) {
   std::printf("%s: encoded %zu KiB into %zu data + %zu parity fragments\n",
               codec->name().c_str(), n * frag_len >> 10, n, p);
 
-  // Disaster: lose p fragments (the last parity plus the p-1 lowest ids —
-  // distinct and in range for any geometry).
+  // Disaster: lose up to p fragments (the last parity plus the lowest data
+  // ids). MDS codecs take the full loss; a non-MDS family (e.g. lrc) may
+  // refuse the worst case — the codec is the authority, so back off one
+  // data loss at a time until the pattern is recoverable.
   std::vector<uint32_t> erased;
-  for (uint32_t i = 0; i + 1 < p; ++i) erased.push_back(i);
-  erased.push_back(static_cast<uint32_t>(n + p - 1));
-  std::vector<uint32_t> available;
-  std::vector<const uint8_t*> avail_ptrs;
-  for (uint32_t id = 0; id < n + p; ++id) {
-    if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
-      available.push_back(id);
-      avail_ptrs.push_back(frags[id].data());
+  std::vector<std::vector<uint8_t>> rebuilt;
+  std::vector<uint8_t*> out_ptrs;
+  size_t data_losses = std::min(p - 1, n);
+  for (;;) {
+    erased.clear();
+    for (uint32_t i = 0; i < data_losses; ++i) erased.push_back(i);
+    erased.push_back(static_cast<uint32_t>(n + p - 1));
+    std::vector<uint32_t> available;
+    std::vector<const uint8_t*> avail_ptrs;
+    for (uint32_t id = 0; id < n + p; ++id) {
+      if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
+        available.push_back(id);
+        avail_ptrs.push_back(frags[id].data());
+      }
+    }
+    rebuilt.assign(erased.size(), std::vector<uint8_t>(frag_len));
+    out_ptrs.clear();
+    for (auto& r : rebuilt) out_ptrs.push_back(r.data());
+    try {
+      // Reconstruct the lost fragments into fresh buffers.
+      codec->reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), frag_len);
+      break;
+    } catch (const std::invalid_argument& e) {
+      if (data_losses == 0) {
+        std::fprintf(stderr, "%s: reconstruct failed: %s\n", codec->name().c_str(),
+                     e.what());
+        return 2;
+      }
+      std::printf("%zu data losses refused (%s) — retrying with %zu\n", data_losses,
+                  e.what(), data_losses - 1);
+      --data_losses;
     }
   }
-
-  // Reconstruct the lost fragments into fresh buffers.
-  std::vector<std::vector<uint8_t>> rebuilt(erased.size(),
-                                            std::vector<uint8_t>(frag_len));
-  std::vector<uint8_t*> out_ptrs;
-  for (auto& r : rebuilt) out_ptrs.push_back(r.data());
-  codec->reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), frag_len);
 
   for (size_t i = 0; i < erased.size(); ++i) {
     if (rebuilt[i] != frags[erased[i]]) {

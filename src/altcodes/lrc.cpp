@@ -1,0 +1,69 @@
+#include "altcodes/lrc.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "gf/gfmat.hpp"
+
+namespace xorec::altcodes {
+
+namespace {
+
+LrcGroup lrcgroup_unchecked(size_t k, size_t l, size_t b) {
+  const size_t q = k / l, r = k % l;
+  LrcGroup g;
+  size_t group;
+  // Groups 0..r-1 have q+1 members, the rest q.
+  if (b < r * (q + 1)) {
+    group = b / (q + 1);
+    g.first = group * (q + 1);
+    g.count = q + 1;
+  } else {
+    group = r + (b - r * (q + 1)) / q;
+    g.first = r * (q + 1) + (group - r) * q;
+    g.count = q;
+  }
+  g.local_parity = k + group;
+  return g;
+}
+
+}  // namespace
+
+LrcGroup lrc_group_of(size_t k, size_t l, size_t data_block) {
+  if (l == 0 || l > k || data_block >= k)
+    throw std::invalid_argument("lrc_group_of: need 1 <= l <= k and data_block < k");
+  return lrcgroup_unchecked(k, l, data_block);
+}
+
+XorCodeSpec lrc_spec(size_t k, size_t l, size_t g) {
+  const std::string name = "lrc(" + std::to_string(k) + "," + std::to_string(l) + "," +
+                           std::to_string(g) + ")";
+  if (k == 0 || l == 0 || l > k)
+    throw std::invalid_argument(name + ": need 1 <= l <= k");
+  if (g > 0 && k + g > 255)
+    throw std::invalid_argument(name + ": Cauchy globals need k + g <= 255");
+
+  // The code as a GF(2^8) matrix: identity, then one all-ones row per local
+  // group, then the Cauchy parity rows over all k data blocks. expand()
+  // turns coefficient 1 into the 8x8 identity companion, so the local
+  // parities are pure XORs of their group members.
+  gf::Matrix code(k + l + g, k);
+  for (size_t i = 0; i < k; ++i) code.at(i, i) = 1;
+  for (size_t b = 0; b < k; ++b) code.at(lrcgroup_unchecked(k, l, b).local_parity, b) = 1;
+  if (g > 0) {
+    const gf::Matrix cauchy = gf::rs_cauchy_matrix(k, g);
+    for (size_t i = 0; i < g; ++i)
+      for (size_t j = 0; j < k; ++j) code.at(k + l + i, j) = cauchy.at(k + i, j);
+  }
+
+  XorCodeSpec spec;
+  spec.name = name;
+  spec.data_blocks = k;
+  spec.parity_blocks = l + g;
+  spec.strips_per_block = 8;
+  spec.code = bitmatrix::expand(code);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,35 @@
+// Locally repairable codes ("XORing Elephants" / Azure-LRC style): k data
+// blocks split into l local groups, one XOR parity per group, plus g global
+// RS (Cauchy) parities — as a plain XorCodeSpec bitmatrix, so the whole SLP
+// optimizer / plan-cache / batch stack applies unchanged.
+//
+// Fragment layout: 0..k-1 data (contiguous groups, sizes differing by at
+// most one), k..k+l-1 local parities (group 0 first), k+l..k+l+g-1 global
+// parities. The draw: a single lost data block is rebuilt from its GROUP
+// (group members + the group's local XOR parity — typically ~k/l reads)
+// instead of k survivors; the globals cover multi-erasure patterns. LRC is
+// not MDS: recoverability of a pattern is decided by the F2 solver
+// (XorCodec defers to it), which is exactly the right authority here.
+#pragma once
+
+#include <cstddef>
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// Requires 1 <= l <= k and, when g > 0, k + g <= 255 (the global parities
+/// come from the GF(2^8) Cauchy construction); l + g >= 1. w = 8 strips.
+XorCodeSpec lrc_spec(size_t k, size_t l, size_t g);
+
+/// The contiguous group of data block `b` under lrc_spec's grouping:
+/// first k % l groups have ceil(k/l) members, the rest floor(k/l).
+/// Returned as {first_member, member_count, local_parity_id}.
+struct LrcGroup {
+  size_t first = 0;
+  size_t count = 0;
+  size_t local_parity = 0;  // fragment id of the group's XOR parity
+};
+LrcGroup lrc_group_of(size_t k, size_t l, size_t data_block);
+
+}  // namespace xorec::altcodes

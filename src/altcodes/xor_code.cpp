@@ -82,15 +82,27 @@ std::shared_ptr<ec::CompiledProgram> XorCodec::recovery_program(
       ec::BitmatrixCodecCore::decode_key(erased_data_blocks, available_blocks),
       [&]() -> std::shared_ptr<ec::CompiledProgram> {
         const size_t w = spec_.strips_per_block;
-        std::vector<uint32_t> erased_strips, avail_strips;
+        std::vector<uint32_t> erased_strips, avail_strips, absent_strips;
         for (uint32_t b : erased_data_blocks)
           for (size_t s = 0; s < w; ++s)
             erased_strips.push_back(static_cast<uint32_t>(b * w + s));
         for (uint32_t b : available_blocks)
           for (size_t s = 0; s < w; ++s)
             avail_strips.push_back(static_cast<uint32_t>(b * w + s));
+        // Data blocks neither available nor erased are don't-care unknowns:
+        // a locality code (LRC) repairs a block from its group while the
+        // rest of the stripe stays unread.
+        std::vector<bool> known(spec_.data_blocks, false);
+        for (uint32_t b : erased_data_blocks) known[b] = true;
+        for (uint32_t b : available_blocks)
+          if (b < spec_.data_blocks) known[b] = true;
+        for (uint32_t b = 0; b < spec_.data_blocks; ++b)
+          if (!known[b])
+            for (size_t s = 0; s < w; ++s)
+              absent_strips.push_back(static_cast<uint32_t>(b * w + s));
 
-        auto rows = bitmatrix::f2_solve_erasures(spec_.code, erased_strips, avail_strips);
+        auto rows = bitmatrix::f2_solve_erasures(spec_.code, erased_strips, avail_strips,
+                                                 absent_strips);
         if (!rows)
           throw std::invalid_argument(spec_.name + ": erasure pattern exceeds code tolerance");
         BitMatrix recovery(rows->size(), avail_strips.size());

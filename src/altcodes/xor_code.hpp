@@ -53,6 +53,9 @@ class XorCodec : public Codec {
     return &core_.encoder().pipeline;
   }
 
+  /// Plan-cache counters (service-wide when on the shared cache).
+  CacheStats cache_stats() const override { return core_.cache_stats(); }
+
  protected:
   void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
                    size_t frag_len) const override;

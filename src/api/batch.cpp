@@ -1,19 +1,81 @@
 #include "api/batch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
 #include "api/registry.hpp"
+#include "ec/rs_codec.hpp"
 
 namespace xorec {
 
 namespace {
 
+/// One calibration candidate: run the prepared encode jobs through a
+/// TaskQueue with `workers` threads, return the wall time. Each job owns
+/// its parity buffers (disjoint writes; inputs are shared read-only).
+double time_encode_batch(const Codec& codec, size_t workers, size_t frag_len,
+                         const std::vector<const uint8_t*>& data,
+                         std::vector<std::vector<uint8_t*>>& parity_ptrs) {
+  runtime::TaskQueue q(workers);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& p : parity_ptrs)
+    q.submit([&codec, &data, &p, frag_len] { codec.encode(data.data(), p.data(), frag_len); });
+  q.wait_idle();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+size_t measure_auto_workers() {
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (hw == 1) return 1;
+
+  // A tiny, compile-cheap workload: RS(4,2) with the optimizer disabled
+  // (naive pipeline — we are measuring the machine's appetite for stripe
+  // parallelism, not the SLP).
+  ec::CodecOptions opt;
+  opt.pipeline.compress = slp::CompressKind::None;
+  opt.pipeline.fuse = false;
+  opt.pipeline.schedule = slp::ScheduleKind::None;
+  opt.shared_cache = false;  // calibration must not pollute the shared cache
+  const ec::RsCodec codec(4, 2, opt);
+  const size_t frag_len = codec.fragment_multiple() * 2048;  // 16 KiB fragments
+
+  constexpr size_t kJobs = 64;
+  std::vector<std::vector<uint8_t>> data_bufs(codec.data_fragments(),
+                                              std::vector<uint8_t>(frag_len, 0xA5));
+  std::vector<const uint8_t*> data;
+  for (const auto& f : data_bufs) data.push_back(f.data());
+  std::vector<std::vector<std::vector<uint8_t>>> parity_bufs(
+      kJobs, std::vector<std::vector<uint8_t>>(codec.parity_fragments(),
+                                               std::vector<uint8_t>(frag_len)));
+  std::vector<std::vector<uint8_t*>> parity_ptrs(kJobs);
+  for (size_t j = 0; j < kJobs; ++j)
+    for (auto& f : parity_bufs[j]) parity_ptrs[j].push_back(f.data());
+
+  std::vector<size_t> candidates{1};
+  for (size_t c = 2; c < hw; c *= 2) candidates.push_back(c);
+  if (candidates.back() != hw) candidates.push_back(hw);
+
+  time_encode_batch(codec, 1, frag_len, data, parity_ptrs);  // warmup
+  size_t best = 1;
+  double best_time = 1e300;
+  for (size_t c : candidates) {
+    const double t = time_encode_batch(codec, c, frag_len, data, parity_ptrs);
+    // Require a real win over fewer workers: 10% slack filters timing noise
+    // and keeps the count low on machines where scaling is flat.
+    if (t < best_time * 0.9) {
+      best_time = t;
+      best = c;
+    } else if (t < best_time) {
+      best_time = t;
+    }
+  }
+  return best;
+}
+
 size_t resolve_threads(size_t threads) {
-  if (threads > 0) return threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return threads > 0 ? threads : auto_batch_workers();
 }
 
 std::shared_ptr<const Codec> checked(std::shared_ptr<const Codec> codec) {
@@ -22,6 +84,11 @@ std::shared_ptr<const Codec> checked(std::shared_ptr<const Codec> codec) {
 }
 
 }  // namespace
+
+size_t auto_batch_workers() {
+  static const size_t measured = measure_auto_workers();
+  return measured;
+}
 
 BatchCoder::BatchCoder(std::shared_ptr<const Codec> codec, size_t threads)
     : codec_(checked(std::move(codec))), queue_(resolve_threads(threads)) {}

@@ -15,7 +15,8 @@
 //   batch.flush();   // or futures[i].get() individually
 //
 // The `batch=` spec key sizes the session: `batch=auto` (or omitting it)
-// uses the hardware concurrency, `batch=N` uses N workers. Everything else
+// picks the worker count from a one-shot measured calibration
+// (auto_batch_workers below), `batch=N` uses N workers. Everything else
 // in the spec builds the codec as usual (api/registry.hpp) — plain
 // make_codec() rejects `batch=` so the key can't be silently dropped.
 //
@@ -43,10 +44,19 @@
 
 namespace xorec {
 
+/// The `batch=auto` worker count: measured, not guessed. The first call
+/// runs a tiny encode sweep (a small disabled-pipeline RS codec, a fixed
+/// job batch per candidate worker count up to the hardware concurrency) and
+/// picks the count with the best wall-clock throughput; the result is
+/// memoized for the process, so every later auto session starts instantly.
+/// Ties favor fewer workers (oversubscribed machines and single-core
+/// containers stop pretending to have parallelism).
+size_t auto_batch_workers();
+
 class BatchCoder {
  public:
-  /// Session over an existing codec. threads == 0 picks the hardware
-  /// concurrency ("auto").
+  /// Session over an existing codec. threads == 0 runs the measured
+  /// calibration ("auto", see auto_batch_workers).
   explicit BatchCoder(std::shared_ptr<const Codec> codec, size_t threads = 0);
 
   /// Spec-string construction: "rs(10,4)@block=1024,batch=8". The batch=

@@ -58,6 +58,20 @@ struct PlanStats {
   size_t steps = 0;         // compiled programs this plan executes (0..2)
 };
 
+/// Counters of the plan-compilation cache a codec draws its compiled
+/// programs from (ec::PlanCache). When the codec uses the process-shared
+/// cache (the default), the counters are service-wide — every codec
+/// instance contributes; `shared` says which view this is. All-zero for
+/// codecs that do not compile programs (the GF-table baseline).
+struct CacheStats {
+  size_t entries = 0;      // programs currently cached
+  size_t hits = 0;         // lookups served without compiling
+  size_t misses = 0;       // lookups that compiled
+  size_t evictions = 0;    // entries LRU-evicted (capacity pressure)
+  uint64_t compile_ns = 0; // total wall time spent compiling on misses
+  bool shared = false;     // true = the process-shared cache's counters
+};
+
 /// A validated, immutable, cacheable repair program for ONE erasure pattern
 /// of ONE codec geometry: the available/erased id sets are fixed at plan
 /// time, all solving and compiling is done, and execute() only moves bytes.
@@ -132,6 +146,11 @@ class Codec {
   /// Optimizer artifacts of the encoding SLP, for inspection/benches.
   /// Null for codecs that do not run through the SLP pipeline.
   virtual const slp::PipelineResult* encode_pipeline() const { return nullptr; }
+
+  /// Counters of the plan cache this codec compiles through (process-shared
+  /// by default — see xorec::plan_cache_stats() for the service-wide view).
+  /// All-zero for codecs without an SLP compile path.
+  virtual CacheStats cache_stats() const { return {}; }
 
   /// data: data_fragments() pointers; parity: parity_fragments() pointers
   /// (written). frag_len must be a positive multiple of fragment_multiple().

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "altcodes/evenodd.hpp"
+#include "altcodes/lrc.hpp"
 #include "altcodes/rdp.hpp"
 #include "altcodes/rs16.hpp"
 #include "altcodes/star.hpp"
@@ -57,7 +58,30 @@ void apply_option(CodecSpec& cs, const std::string& key, const std::string& valu
     if (t == 0) fail(cs.spec, "threads must be positive");
     opt.exec.threads = t;
   } else if (key == "cache") {
-    opt.decode_cache_capacity = uint_value();
+    // Plan-cache placement: the process-shared service (default), a private
+    // per-codec cache, or a private cache with an explicit LRU capacity.
+    if (value == "shared") {
+      opt.shared_cache = true;
+    } else if (value == "private") {
+      opt.shared_cache = false;
+    } else {
+      opt.shared_cache = false;
+      opt.decode_cache_capacity = uint_value();
+    }
+  } else if (key == "cap") {
+    const size_t c = uint_value();
+    if (c < 2) fail(cs.spec, "cap must be at least 2 blocks, got \"" + value + "\"");
+    opt.pipeline.greedy_capacity = c;
+  } else if (key == "levels") {
+    std::vector<size_t> caps;
+    for (const std::string& tok : split(value, ':'))
+      caps.push_back(parse_uint(cs.spec, tok, "levels entry"));
+    if (caps.front() < 2)
+      fail(cs.spec, "levels: first level must hold at least 2 blocks");
+    for (size_t i = 1; i < caps.size(); ++i)
+      if (caps[i] <= caps[i - 1])
+        fail(cs.spec, "levels \"" + value + "\" must be strictly increasing");
+    opt.pipeline.cache_levels = std::move(caps);
   } else if (key == "prefetch") {
     opt.exec.prefetch_next_block = uint_value() != 0;
   } else if (key == "batch") {
@@ -102,7 +126,8 @@ void apply_option(CodecSpec& cs, const std::string& key, const std::string& valu
     if (value == "none") opt.pipeline.schedule = slp::ScheduleKind::None;
     else if (value == "dfs") opt.pipeline.schedule = slp::ScheduleKind::Dfs;
     else if (value == "greedy") opt.pipeline.schedule = slp::ScheduleKind::Greedy;
-    else fail(cs.spec, "sched must be none|dfs|greedy, got \"" + value + "\"");
+    else if (value == "multilevel") opt.pipeline.schedule = slp::ScheduleKind::Multilevel;
+    else fail(cs.spec, "sched must be none|dfs|greedy|multilevel, got \"" + value + "\"");
   } else if (key == "matrix") {
     if (value == "isal") opt.family = ec::MatrixFamily::IsalVandermonde;
     else if (value == "vand") opt.family = ec::MatrixFamily::ReducedVandermonde;
@@ -142,9 +167,10 @@ std::unique_ptr<Codec> build_rs(const CodecSpec& cs, ec::MatrixFamily family) {
 
 std::unique_ptr<Codec> build_naive_xor(const CodecSpec& cs) {
   need_args(cs, 1, 2);
-  // naive_xor IS the disabled pipeline; a passes=/sched= request contradicts
-  // the family rather than configuring it.
-  for (const char* key : {"passes", "sched"})
+  // naive_xor IS the disabled pipeline; a passes=/sched= request (or the
+  // scheduler knobs cap=/levels=) contradicts the family rather than
+  // configuring it.
+  for (const char* key : {"passes", "sched", "cap", "levels"})
     if (has_option(cs, key))
       fail(cs.spec, std::string("family \"naive_xor\" is the disabled pipeline; \"") +
                         key + "\" does not apply (use the rs family to pick passes)");
@@ -178,6 +204,20 @@ std::unique_ptr<Codec> build_rs16(const CodecSpec& cs) {
   if (has_option(cs, "matrix"))
     fail(cs.spec, "rs16 is Cauchy by construction; matrix= does not apply");
   return std::make_unique<altcodes::XorCodec>(altcodes::rs16_spec(n, p), cs.options);
+}
+
+std::unique_ptr<Codec> build_lrc(const CodecSpec& cs) {
+  need_args(cs, 3, 3);
+  if (has_option(cs, "matrix"))
+    fail(cs.spec, "family \"lrc\" fixes its matrices (XOR locals + Cauchy globals); "
+                  "matrix= does not apply");
+  const size_t k = cs.args[0], l = cs.args[1], g = cs.args[2];
+  if (k == 0 || l == 0 || l > k)
+    fail(cs.spec, "lrc(k,l,g) needs 1 <= l <= k data blocks per group split");
+  if (l + g == 0 || (g > 0 && k + g > 255))
+    fail(cs.spec, "lrc(k,l,g) needs k + g <= 255 for the Cauchy globals");
+  if (k > 128) fail(cs.spec, "lrc via the registry is limited to k <= 128 data blocks");
+  return std::make_unique<altcodes::XorCodec>(altcodes::lrc_spec(k, l, g), cs.options);
 }
 
 /// Array-code layouts need a prime parameter; deployments ask for k data
@@ -222,6 +262,7 @@ Registry& registry() {
     f["naive_xor"] = build_naive_xor;
     f["isal"] = build_isal;
     f["rs16"] = build_rs16;
+    f["lrc"] = build_lrc;
     f["evenodd"] = [](const CodecSpec& cs) {
       // EVENODD(p) has p data disks: smallest prime >= max(k, 3).
       return build_array(cs, 2, altcodes::evenodd_spec,
@@ -278,6 +319,14 @@ CodecSpec parse_spec(const std::string& raw) {
       cs.option_keys.push_back(kv.substr(0, eq));
     }
   }
+  // Cross-key validation on the final pipeline shape (keys apply in order,
+  // so a later passes= can legally reset an earlier sched=).
+  const auto& pl = cs.options.pipeline;
+  if (!pl.cache_levels.empty() && pl.schedule != slp::ScheduleKind::Multilevel)
+    fail(s, "levels= requires sched=multilevel");
+  if (pl.greedy_capacity != 0 && pl.schedule != slp::ScheduleKind::Greedy &&
+      pl.schedule != slp::ScheduleKind::Multilevel)
+    fail(s, "cap= requires sched=greedy or sched=multilevel");
   return cs;
 }
 
@@ -317,10 +366,13 @@ void register_codec_family(const std::string& family, CodecBuilder builder) {
 const std::vector<std::string>& spec_option_keys() {
   // Keep in sync with apply_option above and the grammar in registry.hpp —
   // this list is what help text and error messages print.
-  static const std::vector<std::string> keys = {
-      "block", "threads", "isa", "passes", "sched", "cache", "matrix", "prefetch", "batch"};
+  static const std::vector<std::string> keys = {"block",  "threads", "isa",      "passes",
+                                                "sched",  "cap",     "levels",   "cache",
+                                                "matrix", "prefetch", "batch"};
   return keys;
 }
+
+CacheStats plan_cache_stats() { return ec::PlanCache::process_shared()->stats(); }
 
 std::vector<std::string> registered_families() {
   Registry& r = registry();

@@ -15,12 +15,18 @@
 //     threads=N      worker threads                          (default 1)
 //     isa=K          scalar | word64 | avx2 | auto           (default auto)
 //     passes=K       base | compress | fuse | full — optimizer preset
-//     sched=K        none | dfs | greedy — scheduling pass override
-//     cache=N        decode-program LRU capacity, 0 = unbounded (default 256)
+//     sched=K        none | dfs | greedy | multilevel — scheduling pass
+//     cap=N          abstract-cache capacity override in blocks (>= 2);
+//                    greedy capacity / multilevel L1 (sched=greedy|multilevel)
+//     levels=L       l1:l2:... per-level block capacities, strictly
+//                    increasing (sched=multilevel; default derives from cap)
+//     cache=K        shared (process-wide PlanCache, default) | private
+//                    (per-codec) | N (private with LRU capacity N, 0 = unbounded)
 //     matrix=K       isal | vand | cauchy — RS matrix family override
 //     prefetch=0|1   software-prefetch the next block's inputs
 //     batch=K        auto | N — BatchCoder session workers (api/batch.hpp);
-//                    only meaningful to BatchCoder(spec) — plain make_codec
+//                    auto runs a one-shot measured calibration. Only
+//                    meaningful to BatchCoder(spec) — plain make_codec
 //                    rejects it rather than silently dropping it
 //
 // Built-in families (k data + m parity fragments):
@@ -31,6 +37,7 @@
 //   evenodd(k[,2])   EVENODD array code, shortened to k data disks
 //   rdp(k[,2])       Row-Diagonal Parity, shortened to k data disks
 //   star(k[,3])      STAR (3 parities), shortened to k data disks
+//   lrc(k,l,g)       locality code: l local XOR groups + g Cauchy globals
 //   naive_xor(n[,p]) RS with every optimizer pass disabled (the "Base")
 //   isal(n[,p])      GF-table ISA-L-style baseline (no SLP pipeline)
 //
@@ -87,5 +94,10 @@ std::vector<std::string> registered_families();
 /// The '@' option keys the spec grammar accepts, in documentation order —
 /// the single source for help text and error messages (grammar above).
 const std::vector<std::string>& spec_option_keys();
+
+/// Counters of the process-shared plan-compilation cache (ec::PlanCache) —
+/// the service-wide view across every codec built with cache=shared (the
+/// default). Per-codec views: Codec::cache_stats().
+CacheStats plan_cache_stats();
 
 }  // namespace xorec

@@ -46,18 +46,37 @@ std::optional<std::vector<BitRow>> f2_solve_erasures(
     const BitMatrix& code,
     const std::vector<uint32_t>& erased_inputs,
     const std::vector<uint32_t>& available_outputs) {
+  return f2_solve_erasures(code, erased_inputs, available_outputs, {});
+}
+
+std::optional<std::vector<BitRow>> f2_solve_erasures(
+    const BitMatrix& code,
+    const std::vector<uint32_t>& erased_inputs,
+    const std::vector<uint32_t>& available_outputs,
+    const std::vector<uint32_t>& absent_inputs) {
   const size_t n_in = code.cols();
   const size_t n_av = available_outputs.size();
   const size_t n_er = erased_inputs.size();
+  const size_t n_unknown = n_er + absent_inputs.size();
   if (n_er == 0) return std::vector<BitRow>{};
 
-  std::vector<bool> is_erased(n_in, false);
+  // Unknown columns: the wanted (erased) inputs first, then the absent
+  // don't-care inputs.
+  std::vector<bool> is_unknown(n_in, false);
   std::vector<uint32_t> unknown_col(n_in, UINT32_MAX);
   for (size_t i = 0; i < n_er; ++i) {
     const uint32_t e = erased_inputs[i];
     if (e >= n_in) throw std::out_of_range("f2_solve_erasures: erased id");
-    is_erased[e] = true;
+    is_unknown[e] = true;
     unknown_col[e] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = 0; i < absent_inputs.size(); ++i) {
+    const uint32_t e = absent_inputs[i];
+    if (e >= n_in) throw std::out_of_range("f2_solve_erasures: absent id");
+    if (is_unknown[e])
+      throw std::invalid_argument("f2_solve_erasures: absent input also listed as erased");
+    is_unknown[e] = true;
+    unknown_col[e] = static_cast<uint32_t>(n_er + i);
   }
 
   // Requires a systematic code: row j (j < n_in) must be the identity row, so
@@ -75,22 +94,23 @@ std::optional<std::vector<BitRow>> f2_solve_erasures(
     out_pos[o] = static_cast<uint32_t>(i);
   }
   for (size_t j = 0; j < n_in; ++j) {
-    if (!is_erased[j] && out_pos[j] == UINT32_MAX)
+    if (!is_unknown[j] && out_pos[j] == UINT32_MAX)
       throw std::invalid_argument(
-          "f2_solve_erasures: non-erased input's systematic strip missing from survivors");
+          "f2_solve_erasures: non-erased input's systematic strip missing from survivors "
+          "(list truly missing inputs as absent)");
   }
 
-  // Each surviving output o yields:  sum_{j in row(o), erased} x_j =
+  // Each surviving output o yields:  sum_{j in row(o), unknown} x_j =
   //   out_o  XOR  sum_{j in row(o), known} out_j.
   // A: coefficients over the unknowns.  B: which surviving strips feed the
   // right-hand side of each equation.
-  BitMatrix a(n_av, n_er);
+  BitMatrix a(n_av, n_unknown);
   BitMatrix b(n_av, n_av);
   for (size_t i = 0; i < n_av; ++i) {
     const uint32_t o = available_outputs[i];
     b.set(i, i, true);
     for (uint32_t j : code.row(o).ones()) {
-      if (is_erased[j]) {
+      if (is_unknown[j]) {
         a.flip(i, unknown_col[j]);
       } else {
         b.flip(i, out_pos[j]);
@@ -98,13 +118,17 @@ std::optional<std::vector<BitRow>> f2_solve_erasures(
     }
   }
 
-  // Gauss-Jordan on [A | B]; pivot per unknown column.
-  std::vector<size_t> pivot_row(n_er, SIZE_MAX);
+  // Gauss-Jordan on [A | B]. Wanted columns must pivot; absent columns may
+  // stay free (their value is never produced).
+  std::vector<size_t> pivot_row(n_unknown, SIZE_MAX);
   size_t next_row = 0;
-  for (size_t col = 0; col < n_er; ++col) {
+  for (size_t col = 0; col < n_unknown; ++col) {
     size_t piv = next_row;
     while (piv < n_av && !a.get(piv, col)) ++piv;
-    if (piv == n_av) return std::nullopt;  // underdetermined
+    if (piv == n_av) {
+      if (col < n_er) return std::nullopt;  // wanted unknown underdetermined
+      continue;                             // free don't-care column
+    }
     if (piv != next_row) {
       std::swap(a.row(piv), a.row(next_row));
       std::swap(b.row(piv), b.row(next_row));
@@ -121,7 +145,12 @@ std::optional<std::vector<BitRow>> f2_solve_erasures(
 
   std::vector<BitRow> out;
   out.reserve(n_er);
-  for (size_t col = 0; col < n_er; ++col) out.push_back(b.row(pivot_row[col]));
+  for (size_t col = 0; col < n_er; ++col) {
+    // A wanted solution contaminated by a free don't-care column depends on
+    // strips nobody has: unsolvable from these survivors.
+    if (a.row(pivot_row[col]).popcount() != 1) return std::nullopt;
+    out.push_back(b.row(pivot_row[col]));
+  }
   return out;
 }
 

@@ -33,4 +33,15 @@ std::optional<std::vector<BitRow>> f2_solve_erasures(
     const std::vector<uint32_t>& erased_inputs,
     const std::vector<uint32_t>& available_outputs);
 
+/// Partial-knowledge variant for locality codes: inputs in `absent_inputs`
+/// are neither available nor wanted. They join the elimination as free
+/// unknowns, and an erased input is solvable only if its solution does not
+/// depend on any of them — so a locally repairable code can rebuild one
+/// block from its group while the rest of the stripe stays unread.
+std::optional<std::vector<BitRow>> f2_solve_erasures(
+    const BitMatrix& code,
+    const std::vector<uint32_t>& erased_inputs,
+    const std::vector<uint32_t>& available_outputs,
+    const std::vector<uint32_t>& absent_inputs);
+
 }  // namespace xorec::bitmatrix

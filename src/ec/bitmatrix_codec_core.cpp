@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <tuple>
 
 #include "ec/repair_layout.hpp"
 #include "slp/metrics.hpp"
@@ -140,9 +141,17 @@ BitmatrixCodecCore::BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks,
       m_(parity_blocks),
       w_(strips_per_block),
       opt_(std::move(opt)),
-      name_(std::move(name)) {
-  enc_ = compile(parity, "enc");
-  cache_ = std::make_unique<detail::DecodeCache>(opt_.decode_cache_capacity);
+      name_(std::move(name)),
+      config_fp_(PlanCache::fingerprint_config(opt_.pipeline, opt_.exec)) {
+  std::tie(matrix_fp_, matrix_fp2_) = PlanCache::fingerprint_matrix(parity, k_, m_, w_);
+  // Private caches are single-shard so cache=N keeps exact LRU capacity
+  // semantics; the shared service spreads over PlanCache::kDefaultShards.
+  cache_ = opt_.plan_cache    ? opt_.plan_cache
+           : opt_.shared_cache ? PlanCache::process_shared()
+                               : std::make_shared<PlanCache>(opt_.decode_cache_capacity, 1);
+  // The encoder is a cached artifact too: building a second codec instance
+  // of the same identity reuses the compiled encoding SLP.
+  enc_ = cached({}, [&] { return compile(parity, "enc"); });
 }
 
 std::shared_ptr<CompiledProgram> BitmatrixCodecCore::compile(const bitmatrix::BitMatrix& m,
@@ -154,7 +163,7 @@ std::shared_ptr<CompiledProgram> BitmatrixCodecCore::compile(const bitmatrix::Bi
 std::shared_ptr<CompiledProgram> BitmatrixCodecCore::cached(
     const std::vector<uint32_t>& key,
     const std::function<std::shared_ptr<CompiledProgram>()>& build) const {
-  return cache_->get_or_build(key, build);
+  return cache_->get_or_build(PlanKey{matrix_fp_, matrix_fp2_, config_fp_, key}, build);
 }
 
 std::vector<uint32_t> BitmatrixCodecCore::decode_key(const std::vector<uint32_t>& erased,
@@ -220,9 +229,20 @@ std::shared_ptr<const ReconstructPlan> BitmatrixCodecCore::make_plan(
   if (!layout.erased_parity.empty()) {
     BitmatrixReconstructPlan::ParityStep step;
     step.program = plan_parity(layout.erased_parity);
+    // Which data blocks the compiled program actually reads: the optimizer
+    // never introduces constants, so the flat base SLP's constant set is a
+    // safe superset. Locality codes (LRC) rebuild a local parity from its
+    // group alone — unread blocks need no source buffer (they get a valid
+    // but never-dereferenced placeholder).
+    std::vector<bool> touched(k_, false);
+    for (const slp::Instruction& ins : step.program->pipeline.base.body)
+      for (const slp::Term& t : ins.args)
+        if (t.is_const() && t.id < k_ * w_) touched[t.id / w_] = true;
     step.data_src.reserve(k_);
     for (size_t d = 0; d < k_; ++d)
-      step.data_src.push_back(layout.data_source(d, erased_sorted, out_pos_sorted, name_));
+      step.data_src.push_back(touched[d]
+                                  ? layout.data_source(d, erased_sorted, out_pos_sorted, name_)
+                                  : RepairLayout::Source{/*from_out=*/true, /*pos=*/0});
     step.out_pos = layout.out_pos_parity;
     parity_step = std::move(step);
   }

@@ -1,8 +1,8 @@
 // Shared machinery of every bitmatrix-driven SLP codec (ec::RsCodec and
-// altcodes::XorCodec): pipeline options, compiled programs, the bounded
-// decode-program cache, strip-pointer expansion, and the generic
-// plan builder (decode erased data, then re-encode erased parity) behind
-// xorec::ReconstructPlan.
+// altcodes::XorCodec): pipeline options, compiled programs, the shared
+// plan-compilation cache (ec::PlanCache), strip-pointer expansion, and the
+// generic plan builder (decode erased data, then re-encode erased parity)
+// behind xorec::ReconstructPlan.
 //
 // The two codecs differ only in how they *derive* matrices for a given
 // erasure pattern (GF(2^8) inverse submatrix vs F2 Gaussian elimination)
@@ -10,6 +10,12 @@
 // callbacks and share everything else here. make_plan() resolves those
 // callbacks ONCE — the returned plan is self-contained (it co-owns the
 // compiled programs, not the codec) and its execute() does zero re-solving.
+//
+// Compiled programs — the encoder included — are memoized in a PlanCache
+// keyed by (matrix fingerprint, config fingerprint, pattern): by default the
+// process-shared instance, so RS(10,4) compiled once serves every codec
+// instance and every BatchCoder session (CodecOptions picks private/injected
+// caches for isolation).
 #pragma once
 
 #include <functional>
@@ -19,7 +25,7 @@
 
 #include "api/codec.hpp"
 #include "bitmatrix/bitmatrix.hpp"
-#include "ec/decode_cache.hpp"
+#include "ec/plan_cache.hpp"
 #include "runtime/executor.hpp"
 #include "slp/pipeline.hpp"
 
@@ -40,35 +46,23 @@ struct CodecOptions {
   slp::PipelineOptions pipeline;
   runtime::ExecOptions exec;
   MatrixFamily family = MatrixFamily::IsalVandermonde;
-  /// Max cached decode programs (distinct erasure patterns); 0 = unbounded.
+  /// Capacity of a PRIVATE plan cache (shared_cache == false and no
+  /// explicit plan_cache); 0 = unbounded. The process-shared cache has its
+  /// own service-wide capacity.
   size_t decode_cache_capacity = 256;
+  /// Compile through the process-shared PlanCache (default) or a private
+  /// per-codec one (spec key cache=shared|private|<capacity>).
+  bool shared_cache = true;
+  /// Explicit cache injection (services running their own cache sharding,
+  /// tests needing isolation); wins over shared_cache when set.
+  std::shared_ptr<PlanCache> plan_cache;
 };
-
-/// An optimized SLP ready to run: the pipeline artifacts (for inspection)
-/// plus the blocked executor.
-struct CompiledProgram {
-  slp::PipelineResult pipeline;
-  runtime::Executor exec;
-
-  /// Pre-fusion stages execute as binary XOR chains (the paper's Base/Co
-  /// accounting: 3 memory accesses per XOR); fused/scheduled stages run
-  /// n-ary single-pass kernels.
-  CompiledProgram(slp::PipelineResult pipe, const runtime::ExecOptions& opt)
-      : pipeline(std::move(pipe)),
-        exec(runtime::compile(pipeline.final_form() == slp::ExecForm::Binary
-                                  ? pipeline.final_program().binary_expanded()
-                                  : pipeline.final_program()),
-             opt) {}
-};
-
-namespace detail {
-using DecodeCache = LruCache<CompiledProgram>;
-}
 
 class BitmatrixCodecCore {
  public:
   /// `parity` is the (m·w) x (k·w) parity bitmatrix; the encoding SLP is
-  /// compiled through the configured pipeline immediately.
+  /// compiled through the configured pipeline immediately (a plan-cache hit
+  /// when an identical codec already compiled it).
   BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks, size_t strips_per_block,
                      const bitmatrix::BitMatrix& parity, CodecOptions opt,
                      std::string name);
@@ -84,14 +78,20 @@ class BitmatrixCodecCore {
   std::shared_ptr<CompiledProgram> compile(const bitmatrix::BitMatrix& m,
                                            const std::string& tag) const;
 
-  /// Memoized program lookup (thread-safe, LRU-bounded).
+  /// Memoized program lookup — a view onto the plan cache scoped to this
+  /// codec's (matrix, config) identity. Thread-safe, LRU-bounded.
   std::shared_ptr<CompiledProgram> cached(
       const std::vector<uint32_t>& key,
       const std::function<std::shared_ptr<CompiledProgram>()>& build) const;
-  size_t cache_size() const { return cache_->size(); }
+  /// Programs the plan cache currently holds for this codec identity.
+  size_t cache_size() const { return cache_->size_for(matrix_fp_, config_fp_); }
+  /// Counters of the underlying cache (service-wide when shared).
+  CacheStats cache_stats() const { return cache_->stats(); }
+  const std::shared_ptr<PlanCache>& plan_cache() const { return cache_; }
 
   /// Canonical cache keys: {erased ++ SEP ++ inputs} for decoders,
-  /// {parity_ids ++ SEP ++ SEP} for parity re-encode subsets.
+  /// {parity_ids ++ SEP ++ SEP} for parity re-encode subsets. (The encoder
+  /// uses the empty pattern internally.)
   static std::vector<uint32_t> decode_key(const std::vector<uint32_t>& erased,
                                           const std::vector<uint32_t>& inputs);
   static std::vector<uint32_t> parity_key(const std::vector<uint32_t>& parity_ids);
@@ -107,16 +107,18 @@ class BitmatrixCodecCore {
   /// Called with the sorted available ids and the sorted erased *data* ids.
   using DataPlanFn = std::function<RecoveryPlan(const std::vector<uint32_t>& available,
                                                 const std::vector<uint32_t>& erased_data)>;
-  /// Called with the erased *parity* ids; the program reads all k data
-  /// fragments in order.
+  /// Called with the erased *parity* ids; the program's inputs are numbered
+  /// over all k data fragments in order (make_plan only demands buffers for
+  /// the blocks the compiled program actually reads, so locality codes can
+  /// re-encode a local parity from its group alone).
   using ParityPlanFn = std::function<std::shared_ptr<const CompiledProgram>(
       const std::vector<uint32_t>& erased_parity)>;
 
   /// Build the compiled repair plan for one erasure pattern: split erased
   /// into data/parity, resolve both steps through the callbacks (which
-  /// normally hit the decode-program cache), and freeze the id -> buffer
-  /// index maps. Inputs are assumed validated (xorec::Codec does that at
-  /// the API boundary); unrecoverable patterns throw here, at plan time.
+  /// normally hit the plan cache), and freeze the id -> buffer index maps.
+  /// Inputs are assumed validated (xorec::Codec does that at the API
+  /// boundary); unrecoverable patterns throw here, at plan time.
   std::shared_ptr<const ReconstructPlan> make_plan(
       const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased,
       const DataPlanFn& plan_data, const ParityPlanFn& plan_parity) const;
@@ -132,8 +134,9 @@ class BitmatrixCodecCore {
   size_t k_, m_, w_;
   CodecOptions opt_;
   std::string name_;
+  uint64_t matrix_fp_ = 0, matrix_fp2_ = 0, config_fp_ = 0;
+  std::shared_ptr<PlanCache> cache_;
   std::shared_ptr<CompiledProgram> enc_;
-  std::unique_ptr<detail::DecodeCache> cache_;
 };
 
 }  // namespace xorec::ec

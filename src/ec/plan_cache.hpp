@@ -1,0 +1,134 @@
+// The process-wide plan-compilation service: a sharded LRU cache of
+// compiled SLP programs keyed by (bitmatrix fingerprint, pipeline/executor
+// config fingerprint, erasure-pattern key).
+//
+// The paper's central observation is that decode programs are *compiled
+// artifacts* — RS(10, 4) alone has 1001 decode matrices (§7.1) and compiling
+// one costs milliseconds (RePair + fusion + scheduling). Per-codec memoization
+// (the old ec::detail::DecodeCache) re-paid that cost for every codec
+// instance; keying on the *content* of the code matrix instead makes the
+// cache process-shared by default: every `make_codec("rs(10,4)")`, every
+// BatchCoder session and every shard of a multi-codec service hits the same
+// compiled entries. Entries are shared_ptr-owned, so eviction never
+// invalidates a plan that is still executing.
+//
+// Sharding: keys hash to one of N shards, each with its own mutex and LRU
+// list, so concurrent planners on different patterns do not serialize.
+// Compilation runs outside the shard lock; racing builders are harmless
+// (first insert wins, both results are valid).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/codec.hpp"
+#include "bitmatrix/bitmatrix.hpp"
+#include "runtime/executor.hpp"
+#include "slp/pipeline.hpp"
+
+namespace xorec::ec {
+
+/// An optimized SLP ready to run: the pipeline artifacts (for inspection)
+/// plus the blocked executor.
+struct CompiledProgram {
+  slp::PipelineResult pipeline;
+  runtime::Executor exec;
+
+  /// Pre-fusion stages execute as binary XOR chains (the paper's Base/Co
+  /// accounting: 3 memory accesses per XOR); fused/scheduled stages run
+  /// n-ary single-pass kernels.
+  CompiledProgram(slp::PipelineResult pipe, const runtime::ExecOptions& opt)
+      : pipeline(std::move(pipe)),
+        exec(runtime::compile(pipeline.final_form() == slp::ExecForm::Binary
+                                  ? pipeline.final_program().binary_expanded()
+                                  : pipeline.final_program()),
+             opt) {}
+};
+
+/// Cache key. `matrix_fp`/`matrix_fp2` are two independent content
+/// fingerprints of the codec's parity bitmatrix (plus its geometry) — a
+/// shared-cache hit serves another codec's compiled program, so identity
+/// rests on 128 bits of independent hash, not 64. `config_fp` fingerprints
+/// the pipeline + executor options, and `pattern` is the per-program role:
+/// {erased ++ SEP ++ inputs} for decoders, {parity_ids ++ SEP ++ SEP} for
+/// parity re-encode subsets, {} for the encoder itself
+/// (BitmatrixCodecCore builds these).
+struct PlanKey {
+  uint64_t matrix_fp = 0;
+  uint64_t matrix_fp2 = 0;
+  uint64_t config_fp = 0;
+  std::vector<uint32_t> pattern;
+
+  bool operator==(const PlanKey&) const = default;
+  size_t hash() const;
+};
+
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  /// `capacity` bounds the total entry count (0 = unbounded); it is split
+  /// evenly across `shards` independent LRU shards, so eviction order is
+  /// exact per shard and approximate cache-wide. Use shards = 1 when exact
+  /// global LRU order matters (tests, tiny private caches).
+  explicit PlanCache(size_t capacity, size_t shards = kDefaultShards);
+
+  using Builder = std::function<std::shared_ptr<CompiledProgram>()>;
+
+  /// Returns the cached program or builds, stores and returns it. The build
+  /// runs outside the shard lock; its wall time lands in stats().compile_ns.
+  std::shared_ptr<CompiledProgram> get_or_build(const PlanKey& key, const Builder& build);
+
+  /// Cache-wide counters (entries, hits, misses, evictions, compile time).
+  CacheStats stats() const;
+  size_t size() const;
+  /// Entries belonging to one codec identity — the per-codec "cache size"
+  /// view onto the shared cache.
+  size_t size_for(uint64_t matrix_fp, uint64_t config_fp) const;
+  /// Drop every entry (counters keep accumulating). In-flight plans keep
+  /// their programs alive via shared ownership.
+  void clear();
+
+  /// The process-shared default instance every codec uses unless configured
+  /// `cache=private` / given an explicit cache.
+  static const std::shared_ptr<PlanCache>& process_shared();
+
+  /// Content fingerprint of a codec identity: the parity bitmatrix words
+  /// plus the (k, m, w) geometry — the same packed dimensions can arise
+  /// from different block/strip splits, and pattern keys are block ids.
+  /// Returns two independent 64-bit hashes (PlanKey::matrix_fp/matrix_fp2).
+  static std::pair<uint64_t, uint64_t> fingerprint_matrix(const bitmatrix::BitMatrix& m,
+                                                          size_t data_blocks,
+                                                          size_t parity_blocks,
+                                                          size_t strips_per_block);
+  static uint64_t fingerprint_config(const slp::PipelineOptions& pipeline,
+                                     const runtime::ExecOptions& exec);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<PlanKey> order;  // front = MRU
+    struct Hash {
+      size_t operator()(const PlanKey& k) const { return k.hash(); }
+    };
+    std::unordered_map<PlanKey,
+                       std::pair<std::shared_ptr<CompiledProgram>, std::list<PlanKey>::iterator>,
+                       Hash>
+        map;
+  };
+
+  Shard& shard_of(const PlanKey& key) const { return *shards_[key.hash() % shards_.size()]; }
+
+  size_t per_shard_cap_;  // 0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses for the mutexes
+  std::atomic<size_t> hits_{0}, misses_{0}, evictions_{0};
+  std::atomic<uint64_t> compile_ns_{0};
+};
+
+}  // namespace xorec::ec

@@ -46,6 +46,9 @@ class RsCodec : public Codec {
     return &core_.encoder().pipeline;
   }
 
+  /// Plan-cache counters (service-wide when on the shared cache).
+  CacheStats cache_stats() const override { return core_.cache_stats(); }
+
   /// Decode-side pipeline for a specific erasure pattern of data fragments,
   /// exposed so benches can measure the paper's P_dec tables offline.
   /// Survivors = choose_survivors(all fragments minus `erased_data`).

@@ -1,49 +1,10 @@
 #include "slp/multilevel_cache.hpp"
 
-#include <algorithm>
-#include <list>
-#include <optional>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "slp/cache_model.hpp"
 
 namespace xorec::slp {
-
-namespace {
-
-/// Plain LRU list with O(1) membership.
-class LruLevel {
- public:
-  explicit LruLevel(size_t cap) : cap_(cap) {}
-
-  bool contains(uint64_t k) const { return pos_.count(k) > 0; }
-
-  /// Insert/refresh k; returns the evicted key if the level overflowed.
-  std::optional<uint64_t> touch(uint64_t k) {
-    auto it = pos_.find(k);
-    if (it != pos_.end()) {
-      order_.splice(order_.begin(), order_, it->second);
-      return std::nullopt;
-    }
-    order_.push_front(k);
-    pos_[k] = order_.begin();
-    if (order_.size() > cap_) {
-      const uint64_t victim = order_.back();
-      order_.pop_back();
-      pos_.erase(victim);
-      return victim;
-    }
-    return std::nullopt;
-  }
-
- private:
-  size_t cap_;
-  std::list<uint64_t> order_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
-};
-
-}  // namespace
 
 MultilevelResult simulate_multilevel(const Program& p,
                                      const std::vector<size_t>& capacities,
@@ -58,29 +19,14 @@ MultilevelResult simulate_multilevel(const Program& p,
 
   MultilevelResult res;
   res.levels.assign(capacities.size(), {});
-  std::vector<LruLevel> levels;
-  for (size_t c : capacities) levels.emplace_back(c);
+  InclusiveLruHierarchy cache(capacities);
 
   for (const Block& b : touch_sequence(p, form)) {
-    const uint64_t k = b.key();
-    size_t hit_level = levels.size();  // == miss everywhere
-    for (size_t i = 0; i < levels.size(); ++i) {
-      if (levels[i].contains(k)) {
-        hit_level = i;
-        break;
-      }
-    }
-    if (hit_level == levels.size()) ++res.memory_loads;
-    for (size_t i = 0; i < levels.size(); ++i) {
+    const size_t hit_level = cache.touch(b.key());
+    if (hit_level == cache.level_count()) ++res.memory_loads;
+    for (size_t i = 0; i < cache.level_count(); ++i) {
       if (i < hit_level) ++res.levels[i].misses;
       if (i == hit_level) ++res.levels[i].hits;
-    }
-    // Inclusion: the block enters every level at or above the hit point,
-    // deepest first so cascaded evictions land below.
-    for (size_t i = std::min(hit_level, levels.size() - 1);; --i) {
-      const auto victim = levels[i].touch(k);
-      if (victim && i + 1 < levels.size()) levels[i + 1].touch(*victim);
-      if (i == 0) break;
     }
   }
 

@@ -11,12 +11,85 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "slp/metrics.hpp"
 #include "slp/program.hpp"
 
 namespace xorec::slp {
+
+/// The inclusive LRU hierarchy itself, shared by the §8 simulator below and
+/// the multilevel pebbling scheduler (slp/schedule_multilevel.cpp) — one
+/// implementation, so the schedule optimizes exactly the metric the
+/// simulator reports. A touch searches levels top-down; a hit at level i
+/// refreshes levels 0..i (inclusion); a miss loads into every level; a
+/// block evicted from level i falls to level i+1.
+class InclusiveLruHierarchy {
+ public:
+  explicit InclusiveLruHierarchy(const std::vector<size_t>& capacities) {
+    for (size_t c : capacities) levels_.emplace_back(c);
+  }
+
+  size_t level_count() const { return levels_.size(); }
+
+  /// Topmost level holding `k`, or level_count() when it is a full miss.
+  size_t hit_level(uint64_t k) const {
+    for (size_t i = 0; i < levels_.size(); ++i)
+      if (levels_[i].contains(k)) return i;
+    return levels_.size();
+  }
+
+  /// Record an access; returns the level the touch hit (pre-touch state).
+  size_t touch(uint64_t k) {
+    const size_t hit = hit_level(k);
+    // Inclusion: the block enters every level at or above the hit point,
+    // deepest first so cascaded evictions land below.
+    for (size_t i = std::min(hit, levels_.size() - 1);; --i) {
+      const auto victim = levels_[i].touch(k);
+      if (victim && i + 1 < levels_.size()) levels_[i + 1].touch(*victim);
+      if (i == 0) break;
+    }
+    return hit;
+  }
+
+ private:
+  /// Plain LRU list with O(1) membership.
+  class LruLevel {
+   public:
+    explicit LruLevel(size_t cap) : cap_(cap) {}
+
+    bool contains(uint64_t k) const { return pos_.count(k) > 0; }
+
+    /// Insert/refresh k; returns the evicted key if the level overflowed.
+    std::optional<uint64_t> touch(uint64_t k) {
+      auto it = pos_.find(k);
+      if (it != pos_.end()) {
+        order_.splice(order_.begin(), order_, it->second);
+        return std::nullopt;
+      }
+      order_.push_front(k);
+      pos_[k] = order_.begin();
+      if (order_.size() > cap_) {
+        const uint64_t victim = order_.back();
+        order_.pop_back();
+        pos_.erase(victim);
+        return victim;
+      }
+      return std::nullopt;
+    }
+
+   private:
+    size_t cap_;
+    std::list<uint64_t> order_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
+  };
+
+  std::vector<LruLevel> levels_;
+};
 
 struct LevelStats {
   size_t hits = 0;

@@ -1,0 +1,141 @@
+// The bottom-up pebbling loop shared by the cache-aware schedulers (§6.6
+// greedy and the §8 multilevel extension). The loop is policy-independent:
+// it emits each computation-graph node exactly once after its children,
+// reuses only dead non-goal pebbles, and preserves semantics regardless of
+// which node or pebble the cache policy prefers.
+//
+// Cache policy concept:
+//   double hit_value(const Term& block) const;
+//     0 when the block is absent; > 0 when resident, higher = cheaper to
+//     access (a single-level cache returns 1; a multilevel hierarchy grades
+//     by the level the block would hit).
+//   void touch(const Term& block);
+//     record an access: load the block if absent, refresh it if present.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "slp/compgraph.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp::detail {
+
+template <typename CachePolicy>
+Program schedule_pebble(const CompGraph& g, CachePolicy& cache, std::string name) {
+  const uint32_t n_nodes = static_cast<uint32_t>(g.nodes.size());
+
+  std::vector<uint32_t> pebble_of(n_nodes, UINT32_MAX);
+  std::vector<uint32_t> uses_left(n_nodes);
+  std::vector<uint32_t> vkids_left(n_nodes, 0);  // uncomputed variable children
+  for (uint32_t i = 0; i < n_nodes; ++i) {
+    uses_left[i] = g.nodes[i].n_parents;
+    for (const Term& c : g.nodes[i].children)
+      if (c.is_var()) ++vkids_left[i];
+  }
+
+  std::set<uint32_t> ready;  // computable, uncomputed nodes (ordered = ≺)
+  for (uint32_t i = 0; i < n_nodes; ++i)
+    if (vkids_left[i] == 0) ready.insert(i);
+
+  std::set<uint32_t> free_pebbles;  // dead non-goal pebbles, ≺-ordered
+  uint32_t next_pebble = 0;
+
+  auto block_of = [&](const Term& child) {
+    return child.is_const() ? child : Term::var(pebble_of[child.id]);
+  };
+
+  Program out;
+  out.num_consts = g.num_consts;
+  out.name = std::move(name);
+
+  size_t emitted = 0;
+  while (emitted < n_nodes) {
+    // Pick the ready node whose children are cheapest to access: highest
+    // mean hit value (the greedy |H| / |C| ratio, graded by level when the
+    // policy is multilevel). Strict > keeps the ≺ tie-break of set order.
+    assert(!ready.empty());
+    uint32_t best = UINT32_MAX;
+    double best_score = -1.0;
+    for (uint32_t n : ready) {
+      const auto& children = g.nodes[n].children;
+      double value = 0.0;
+      for (const Term& c : children) value += cache.hit_value(block_of(c));
+      const double score =
+          children.empty() ? 0.0 : value / static_cast<double>(children.size());
+      if (score > best_score) {
+        best_score = score;
+        best = n;
+      }
+    }
+    ready.erase(best);
+    const CompGraph::Node& node = g.nodes[best];
+
+    // Argument order: most-resident children first, ≺ within equal classes.
+    // Values are sampled before any touch mutates the cache.
+    std::vector<std::pair<double, Term>> kids;
+    kids.reserve(node.children.size());
+    for (const Term& c : node.children) kids.emplace_back(cache.hit_value(block_of(c)), c);
+    std::stable_sort(kids.begin(), kids.end(), [&](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return block_of(a.second) < block_of(b.second);
+    });
+
+    Instruction ins;
+    for (const auto& [value, c] : kids) {
+      cache.touch(block_of(c));
+      ins.args.push_back(block_of(c));
+    }
+
+    // Consume uses; dead non-goal pebbles become movable.
+    for (const Term& c : node.children) {
+      if (!c.is_var()) continue;
+      assert(uses_left[c.id] > 0);
+      if (--uses_left[c.id] == 0 && !g.nodes[c.id].is_goal)
+        free_pebbles.insert(pebble_of[c.id]);
+    }
+
+    // Target: the most-resident movable pebble > any movable pebble > a
+    // fresh pebble (≺ breaks value ties via iteration order).
+    uint32_t target = UINT32_MAX;
+    double target_value = 0.0;
+    for (uint32_t p : free_pebbles) {
+      const double v = cache.hit_value(Term::var(p));
+      if (target == UINT32_MAX || v > target_value) {
+        target = p;
+        target_value = v;
+      }
+    }
+    if (target != UINT32_MAX) {
+      free_pebbles.erase(target);
+    } else {
+      target = next_pebble++;
+    }
+    cache.touch(Term::var(target));
+
+    pebble_of[best] = target;
+    ins.target = target;
+    out.body.push_back(std::move(ins));
+    ++emitted;
+
+    // Newly computable parents. (Parents are found by scanning: graphs are
+    // small and this keeps the node structure lean.)
+    for (uint32_t i = 0; i < n_nodes; ++i) {
+      if (pebble_of[i] != UINT32_MAX || vkids_left[i] == 0) continue;
+      for (const Term& c : g.nodes[i].children) {
+        if (c.is_var() && c.id == best) {
+          if (--vkids_left[i] == 0) ready.insert(i);
+        }
+      }
+    }
+  }
+
+  out.num_vars = next_pebble;
+  for (uint32_t goal : g.goals) out.outputs.push_back(pebble_of[goal]);
+  return out;
+}
+
+}  // namespace xorec::slp::detail

@@ -1,9 +1,12 @@
 #include "slp/pipeline.hpp"
 
+#include <algorithm>
+
 #include "slp/fusion.hpp"
 #include "slp/repair.hpp"
 #include "slp/schedule_dfs.hpp"
 #include "slp/schedule_greedy.hpp"
+#include "slp/schedule_multilevel.hpp"
 
 namespace xorec::slp {
 
@@ -19,6 +22,12 @@ ExecForm PipelineResult::final_form() const {
   // before it, every stage executes as binary XOR chains.
   if (scheduled || fused) return ExecForm::Fused;
   return ExecForm::Binary;
+}
+
+std::vector<size_t> effective_cache_levels(const PipelineOptions& opt) {
+  if (!opt.cache_levels.empty()) return opt.cache_levels;
+  const size_t l1 = opt.greedy_capacity ? opt.greedy_capacity : 32;
+  return {l1, std::max<size_t>(16 * l1, 512)};
 }
 
 PipelineResult optimize(const bitmatrix::BitMatrix& m, const PipelineOptions& opt,
@@ -56,6 +65,15 @@ PipelineResult optimize_program(Program base, const PipelineOptions& opt) {
     case ScheduleKind::Greedy: {
       const size_t cap = opt.greedy_capacity ? opt.greedy_capacity : 32;
       r.scheduled = schedule_greedy(*cur, cap);
+      break;
+    }
+    case ScheduleKind::Multilevel: {
+      r.level_capacities = effective_cache_levels(opt);
+      r.scheduled = schedule_multilevel(*cur, r.level_capacities);
+      // Score the chosen schedule against the hierarchy it pebbled for, so
+      // callers (StageMetrics, benches, plan introspection) see the
+      // per-level miss counts without re-simulating.
+      r.multilevel = simulate_multilevel(*r.scheduled, r.level_capacities, ExecForm::Fused);
       break;
     }
   }

@@ -5,30 +5,49 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bitmatrix/bitmatrix.hpp"
 #include "slp/metrics.hpp"
+#include "slp/multilevel_cache.hpp"
 #include "slp/program.hpp"
 
 namespace xorec::slp {
 
 enum class CompressKind { None, RePair, XorRePair };
-enum class ScheduleKind { None, Dfs, Greedy };
+enum class ScheduleKind { None, Dfs, Greedy, Multilevel };
 
 struct PipelineOptions {
   CompressKind compress = CompressKind::XorRePair;
   bool fuse = true;
   ScheduleKind schedule = ScheduleKind::Dfs;
-  /// Abstract-cache capacity for the greedy scheduler, in blocks. The paper
-  /// derives it from hardware: L1 size / block size (§6.2). 0 picks 32.
+  /// Abstract-cache capacity for the greedy scheduler, in blocks — also the
+  /// L1 capacity of the Multilevel hierarchy when `cache_levels` is empty.
+  /// The paper derives it from hardware: L1 size / block size (§6.2).
+  /// 0 picks 32. Spec key: cap=<blocks>.
   size_t greedy_capacity = 0;
+  /// Level hierarchy for ScheduleKind::Multilevel, in blocks per level,
+  /// strictly increasing (e.g. {32, 512} for L1/L2 at B=1K). Empty derives
+  /// a two-level default from greedy_capacity. Spec key: levels=<l1:l2:...>.
+  /// Cache identity over these options is PlanCache::fingerprint_config.
+  std::vector<size_t> cache_levels;
 };
+
+/// The level capacities a Multilevel schedule would pebble against: the
+/// explicit cache_levels, else {cap, max(16*cap, 512)} with cap defaulting
+/// to 32 — the same L1 default the greedy scheduler uses.
+std::vector<size_t> effective_cache_levels(const PipelineOptions& opt);
 
 struct PipelineResult {
   Program base;                     // flat SLP of the bitmatrix ("Base")
   std::optional<Program> compressed;
   std::optional<Program> fused;
   std::optional<Program> scheduled;
+
+  /// Multilevel scheduling only: the hierarchy the schedule pebbled against
+  /// and the simulated per-level hit/miss counts of the chosen schedule.
+  std::vector<size_t> level_capacities;
+  std::optional<MultilevelResult> multilevel;
 
   /// The program the runtime should execute and how (binary vs fused form).
   const Program& final_program() const;

@@ -1,0 +1,58 @@
+#include "slp/schedule_multilevel.hpp"
+
+#include <stdexcept>
+
+#include "slp/multilevel_cache.hpp"
+#include "slp/pebble_scheduler.hpp"
+
+namespace xorec::slp {
+namespace {
+
+/// The shared inclusive-LRU hierarchy as a pebbling cache policy — the same
+/// InclusiveLruHierarchy simulate_multilevel scores against, so the schedule
+/// optimizes exactly the metric the simulator reports.
+class MultilevelPebbleCache {
+ public:
+  explicit MultilevelPebbleCache(const std::vector<size_t>& capacities)
+      : cache_(capacities) {}
+
+  /// Graded residency: L1 hit = 1, deeper levels fall off linearly, miss = 0.
+  double hit_value(const Term& b) const {
+    const size_t level = cache_.hit_level(b.key());
+    if (level == cache_.level_count()) return 0.0;
+    return static_cast<double>(cache_.level_count() - level) /
+           static_cast<double>(cache_.level_count());
+  }
+
+  void touch(const Term& b) { cache_.touch(b.key()); }
+
+ private:
+  InclusiveLruHierarchy cache_;
+};
+
+void check_capacities(const std::vector<size_t>& capacities) {
+  if (capacities.empty())
+    throw std::invalid_argument("schedule_multilevel: no cache levels");
+  if (capacities.front() < 2)
+    throw std::invalid_argument("schedule_multilevel: first level must hold >= 2 blocks");
+  for (size_t i = 1; i < capacities.size(); ++i)
+    if (capacities[i] <= capacities[i - 1])
+      throw std::invalid_argument("schedule_multilevel: capacities must increase");
+}
+
+}  // namespace
+
+Program schedule_multilevel(const CompGraph& g, const std::vector<size_t>& capacities,
+                            const std::string& name) {
+  check_capacities(capacities);
+  MultilevelPebbleCache cache(capacities);
+  return detail::schedule_pebble(g, cache, name);
+}
+
+Program schedule_multilevel(const Program& fused_ssa, const std::vector<size_t>& capacities) {
+  return schedule_multilevel(build_compgraph(fused_ssa), capacities,
+                             fused_ssa.name.empty() ? fused_ssa.name
+                                                    : fused_ssa.name + "+multilevel");
+}
+
+}  // namespace xorec::slp

@@ -1,0 +1,27 @@
+// Multilevel-cache scheduling (§8's future-work item made a real pass).
+//
+// Same bottom-up pebbling loop as the §6.6 greedy scheduler
+// (slp/pebble_scheduler.hpp), but the abstract cache is the inclusive LRU
+// hierarchy of slp/multilevel_cache.hpp: node selection and argument
+// ordering grade children by the LEVEL they would hit (an L1-resident block
+// outranks an L2-resident one, which outranks memory), so the schedule
+// keeps hot pebbles near the top of the hierarchy instead of treating every
+// cached block as equal.
+//
+// `capacities` are the per-level block counts (strictly increasing, e.g.
+// {32, 512} for L1/L2 at the paper's B=1K blocks); the first level must hold
+// at least 2 blocks, like the greedy capacity.
+#pragma once
+
+#include <vector>
+
+#include "slp/compgraph.hpp"
+#include "slp/program.hpp"
+
+namespace xorec::slp {
+
+Program schedule_multilevel(const Program& fused_ssa, const std::vector<size_t>& capacities);
+Program schedule_multilevel(const CompGraph& g, const std::vector<size_t>& capacities,
+                            const std::string& name = {});
+
+}  // namespace xorec::slp

@@ -100,7 +100,12 @@ INSTANTIATE_TEST_SUITE_P(Specs, RegistryRoundTrip,
                                            "rdp(8)", "star(9)", "naive_xor(8)",
                                            "isal(10,4)", "rs16(6,3)",
                                            "rs(6,3)@block=512,isa=word64,passes=fuse",
-                                           "rs(5,2)@threads=2,sched=greedy"),
+                                           "rs(5,2)@threads=2,sched=greedy",
+                                           "rs(10,4)@sched=multilevel,levels=32:512",
+                                           "rs(6,3)@sched=multilevel",
+                                           "rs(6,3)@sched=greedy,cap=16",
+                                           "rs(6,3)@cache=private",
+                                           "cauchy(8,3)@sched=multilevel,cap=24,levels=24:96:768"),
                          [](const auto& info) { return sanitize_spec_name(info.param); });
 
 // ---- spec parsing ----------------------------------------------------------
@@ -134,6 +139,51 @@ TEST(SpecParsing, MalformedSpecsThrow) {
   }
 }
 
+TEST(SpecParsing, SchedulerAndCacheKeyErrorsQuoteTheSpec) {
+  // Every bad sched=/cap=/levels=/cache= value must throw AND name the
+  // offending spec in the message (the documented fail() contract).
+  for (const char* bad :
+       {"rs(10,4)@sched=pebble",                       // unknown scheduler
+        "rs(10,4)@sched=multilevel,cap=1",             // cap below the minimum
+        "rs(10,4)@sched=multilevel,cap=zero",          // cap not a number
+        "rs(10,4)@sched=multilevel,levels=",           // empty level list
+        "rs(10,4)@sched=multilevel,levels=32:abc",     // non-numeric level
+        "rs(10,4)@sched=multilevel,levels=1:64",       // first level too small
+        "rs(10,4)@sched=multilevel,levels=512:32",     // not increasing
+        "rs(10,4)@sched=multilevel,levels=32:32",      // not strictly increasing
+        "rs(10,4)@levels=32:512",                      // levels without multilevel
+        "rs(10,4)@cap=64",                             // cap without greedy/multilevel
+        "rs(10,4)@sched=dfs,cap=64",                   // cap with the wrong scheduler
+        "rs(10,4)@cache=maybe",                        // bad cache mode
+        "naive_xor(8,4)@sched=multilevel",             // pipeline-less family
+        "naive_xor(8,4)@cap=32",
+        "naive_xor(8,4)@levels=32:512"}) {
+    try {
+      make_codec(bad);
+      FAIL() << "spec accepted: " << bad;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      // The message quotes the (whitespace-stripped) offending spec.
+      EXPECT_NE(what.find(bad), std::string::npos) << "spec not quoted: " << what;
+    }
+  }
+}
+
+TEST(SpecParsing, SchedulerKeysLandInPipelineOptions) {
+  const CodecSpec cs = parse_spec("rs(10,4)@sched=multilevel,cap=24,levels=24:96");
+  EXPECT_EQ(cs.options.pipeline.schedule, slp::ScheduleKind::Multilevel);
+  EXPECT_EQ(cs.options.pipeline.greedy_capacity, 24u);
+  EXPECT_EQ(cs.options.pipeline.cache_levels, (std::vector<size_t>{24, 96}));
+
+  const CodecSpec shared = parse_spec("rs(10,4)@cache=shared");
+  EXPECT_TRUE(shared.options.shared_cache);
+  const CodecSpec priv = parse_spec("rs(10,4)@cache=private");
+  EXPECT_FALSE(priv.options.shared_cache);
+  const CodecSpec sized = parse_spec("rs(10,4)@cache=64");
+  EXPECT_FALSE(sized.options.shared_cache);
+  EXPECT_EQ(sized.options.decode_cache_capacity, 64u);
+}
+
 TEST(Registry, UnknownFamilyAndBadArityThrow) {
   EXPECT_THROW(make_codec("bogus(3,2)"), std::invalid_argument);
   EXPECT_THROW(make_codec("rs()"), std::invalid_argument);
@@ -160,8 +210,8 @@ TEST(Registry, UnknownFamilyAndBadArityThrow) {
 
 TEST(Registry, ListsBuiltinFamilies) {
   const auto families = registered_families();
-  for (const char* want :
-       {"rs", "vand", "cauchy", "evenodd", "rdp", "star", "rs16", "naive_xor", "isal"}) {
+  for (const char* want : {"rs", "vand", "cauchy", "evenodd", "rdp", "star", "rs16",
+                           "naive_xor", "isal", "lrc"}) {
     EXPECT_NE(std::find(families.begin(), families.end(), want), families.end())
         << "missing family " << want;
   }
@@ -177,6 +227,10 @@ TEST(Registry, NamesRoundTripToEquivalentSpecs) {
   EXPECT_EQ(make_codec("rs(8,4)@passes=compress")->name(), "rs(8,4)@passes=compress");
   EXPECT_EQ(make_codec("rs(8,4)@passes=fuse")->name(), "rs(8,4)@passes=fuse");
   EXPECT_EQ(make_codec("rs(8,4)@sched=greedy")->name(), "rs(8,4)@sched=greedy");
+  EXPECT_EQ(make_codec("rs(8,4)@sched=greedy,cap=64")->name(), "rs(8,4)@sched=greedy,cap=64");
+  EXPECT_EQ(make_codec("rs(8,4)@sched=multilevel")->name(), "rs(8,4)@sched=multilevel");
+  EXPECT_EQ(make_codec("rs(8,4)@sched=multilevel,levels=32:512")->name(),
+            "rs(8,4)@sched=multilevel,levels=32:512");
   EXPECT_EQ(make_codec("isal(10,4)@matrix=cauchy")->name(), "isal(10,4)@matrix=cauchy");
   EXPECT_EQ(make_codec("isal(10,4)")->name(), "isal(10,4)");
   EXPECT_THROW(make_codec("rs16(6,3)@matrix=vand"), std::invalid_argument);

@@ -296,3 +296,18 @@ TEST(BatchCoder, ManyStripesOverOnePlanByteIdentical) {
     for (size_t i = 0; i < erased.size(); ++i)
       ASSERT_EQ(outs[s][i], stripes[s].frags[erased[i]]) << "stripe " << s;
 }
+
+TEST(BatchCoder, AutoWorkerCountIsMeasuredOnceAndMemoized) {
+  // batch=auto runs a one-shot calibration sweep; the result is a sane
+  // worker count, memoized for the process (two auto sessions agree).
+  const size_t measured = auto_batch_workers();
+  EXPECT_GE(measured, 1u);
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(measured, hw);
+  EXPECT_EQ(auto_batch_workers(), measured);  // memoized, not re-measured
+
+  BatchCoder a("rs(4,2)@batch=auto");
+  BatchCoder b(std::shared_ptr<const Codec>(make_codec("rs(4,2)")), 0);
+  EXPECT_EQ(a.threads(), measured);
+  EXPECT_EQ(b.threads(), measured);
+}

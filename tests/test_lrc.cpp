@@ -1,0 +1,190 @@
+// The lrc(k,l,g) locality-group family: grouping arithmetic, encode
+// semantics (local parities are group XORs), reconstruct-one-from-GROUP
+// (the locality win: ~k/l reads instead of k), global-parity repair, and
+// registry integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "altcodes/lrc.hpp"
+#include "api/xorec.hpp"
+
+using namespace xorec;
+using altcodes::lrc_group_of;
+using altcodes::LrcGroup;
+
+namespace {
+
+struct Cluster {
+  std::vector<std::vector<uint8_t>> frags;
+  size_t frag_len = 0;
+};
+
+Cluster encoded_cluster(const Codec& codec, uint32_t seed, size_t mult = 16) {
+  Cluster c;
+  c.frag_len = codec.fragment_multiple() * mult;
+  c.frags.assign(codec.total_fragments(), std::vector<uint8_t>(c.frag_len));
+  std::mt19937 rng(seed);
+  std::vector<const uint8_t*> data;
+  std::vector<uint8_t*> parity;
+  for (size_t i = 0; i < codec.data_fragments(); ++i) {
+    for (auto& b : c.frags[i]) b = static_cast<uint8_t>(rng());
+    data.push_back(c.frags[i].data());
+  }
+  for (size_t i = codec.data_fragments(); i < codec.total_fragments(); ++i)
+    parity.push_back(c.frags[i].data());
+  codec.encode(data.data(), parity.data(), c.frag_len);
+  return c;
+}
+
+/// Reconstruct `erased` from exactly `available`, byte-compare to truth.
+void expect_reconstructs(const Codec& codec, const Cluster& c,
+                         std::vector<uint32_t> available, std::vector<uint32_t> erased) {
+  std::sort(available.begin(), available.end());
+  std::vector<const uint8_t*> avail_ptrs;
+  for (uint32_t id : available) avail_ptrs.push_back(c.frags[id].data());
+  std::vector<std::vector<uint8_t>> out(erased.size(),
+                                        std::vector<uint8_t>(c.frag_len, 0xCD));
+  std::vector<uint8_t*> out_ptrs;
+  for (auto& o : out) out_ptrs.push_back(o.data());
+  codec.reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), c.frag_len);
+  for (size_t i = 0; i < erased.size(); ++i)
+    ASSERT_EQ(out[i], c.frags[erased[i]]) << "fragment " << erased[i];
+}
+
+}  // namespace
+
+TEST(Lrc, GroupArithmetic) {
+  // k=10, l=3: group sizes 4, 3, 3 (first k%l groups get the extra member).
+  EXPECT_EQ(lrc_group_of(10, 3, 0).first, 0u);
+  EXPECT_EQ(lrc_group_of(10, 3, 0).count, 4u);
+  EXPECT_EQ(lrc_group_of(10, 3, 3).local_parity, 10u);
+  EXPECT_EQ(lrc_group_of(10, 3, 4).first, 4u);
+  EXPECT_EQ(lrc_group_of(10, 3, 4).count, 3u);
+  EXPECT_EQ(lrc_group_of(10, 3, 6).local_parity, 11u);
+  EXPECT_EQ(lrc_group_of(10, 3, 7).first, 7u);
+  EXPECT_EQ(lrc_group_of(10, 3, 9).local_parity, 12u);
+  EXPECT_THROW(lrc_group_of(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(lrc_group_of(10, 11, 0), std::invalid_argument);
+  EXPECT_THROW(lrc_group_of(10, 3, 10), std::invalid_argument);
+}
+
+TEST(Lrc, GeometryAndSpecValidation) {
+  const auto spec = altcodes::lrc_spec(6, 2, 2);
+  EXPECT_EQ(spec.name, "lrc(6,2,2)");
+  EXPECT_EQ(spec.data_blocks, 6u);
+  EXPECT_EQ(spec.parity_blocks, 4u);  // 2 locals + 2 globals
+  EXPECT_EQ(spec.strips_per_block, 8u);
+
+  EXPECT_THROW(altcodes::lrc_spec(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(altcodes::lrc_spec(6, 0, 1), std::invalid_argument);
+  EXPECT_THROW(altcodes::lrc_spec(6, 7, 1), std::invalid_argument);
+  EXPECT_THROW(altcodes::lrc_spec(200, 2, 60), std::invalid_argument);  // k+g > 255
+  EXPECT_NO_THROW(altcodes::lrc_spec(4, 2, 0));  // locals only is legal
+}
+
+TEST(Lrc, LocalParityIsTheGroupXor) {
+  const auto codec = make_codec("lrc(7,2,2)");
+  const auto c = encoded_cluster(*codec, 0xF00D);
+  const size_t k = codec->data_fragments();
+  for (uint32_t b = 0; b < k; ++b) {
+    const LrcGroup g = lrc_group_of(7, 2, b);
+    std::vector<uint8_t> expected(c.frag_len, 0);
+    for (size_t m = g.first; m < g.first + g.count; ++m)
+      for (size_t i = 0; i < c.frag_len; ++i) expected[i] ^= c.frags[m][i];
+    ASSERT_EQ(c.frags[g.local_parity], expected) << "group of block " << b;
+  }
+}
+
+TEST(Lrc, ReconstructsOneBlockFromItsGroupAlone) {
+  // The locality property: a single lost data block needs only its group
+  // members + the group's local parity — far fewer than k survivors.
+  const auto codec = make_codec("lrc(9,3,2)");
+  const auto c = encoded_cluster(*codec, 0xBEEF);
+  for (uint32_t lost : {0u, 4u, 8u}) {
+    const LrcGroup g = lrc_group_of(9, 3, lost);
+    std::vector<uint32_t> group_survivors;
+    for (uint32_t m = g.first; m < g.first + g.count; ++m)
+      if (m != lost) group_survivors.push_back(m);
+    group_survivors.push_back(static_cast<uint32_t>(g.local_parity));
+    ASSERT_LT(group_survivors.size(), codec->data_fragments());
+    expect_reconstructs(*codec, c, group_survivors, {lost});
+  }
+}
+
+TEST(Lrc, RebuildsLocalParityFromItsGroup) {
+  const auto codec = make_codec("lrc(6,2,2)");
+  const auto c = encoded_cluster(*codec, 0xCAFE);
+  const LrcGroup g = lrc_group_of(6, 2, 0);
+  std::vector<uint32_t> members;
+  for (uint32_t m = g.first; m < g.first + g.count; ++m) members.push_back(m);
+  expect_reconstructs(*codec, c, members, {static_cast<uint32_t>(g.local_parity)});
+}
+
+TEST(Lrc, GlobalParitiesCoverMultiErasureInOneGroup) {
+  // Two losses in ONE group exceed the local parity; the Cauchy globals
+  // (all other fragments available) cover it.
+  const auto codec = make_codec("lrc(6,2,2)");
+  const auto c = encoded_cluster(*codec, 0xD00D);
+  std::vector<uint32_t> available;
+  for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+    if (id != 0 && id != 1) available.push_back(id);
+  expect_reconstructs(*codec, c, available, {0, 1});
+}
+
+TEST(Lrc, RebuildsGlobalAndMixedErasures) {
+  const auto codec = make_codec("lrc(6,2,2)");
+  const auto c = encoded_cluster(*codec, 0xABBA);
+  const uint32_t global0 = 6 + 2;  // first global parity id
+  // Lost global parity alone.
+  {
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+      if (id != global0) available.push_back(id);
+    expect_reconstructs(*codec, c, available, {global0});
+  }
+  // Data + local + global lost together.
+  {
+    const std::vector<uint32_t> erased{1, 6, global0};
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+      if (std::find(erased.begin(), erased.end(), id) == erased.end())
+        available.push_back(id);
+    expect_reconstructs(*codec, c, available, erased);
+  }
+}
+
+TEST(Lrc, GroupAloneCannotCoverTwoGroupLosses) {
+  const auto codec = make_codec("lrc(6,2,2)");
+  const auto c = encoded_cluster(*codec, 0x1CED);
+  // Only the damaged group survives (member 2 + local parity 6): blocks 0, 1
+  // are not recoverable from it — the F2 solver must say so.
+  const std::vector<uint32_t> available{2, 6};
+  std::vector<const uint8_t*> avail_ptrs;
+  for (uint32_t id : available) avail_ptrs.push_back(c.frags[id].data());
+  std::vector<std::vector<uint8_t>> out(2, std::vector<uint8_t>(c.frag_len));
+  std::vector<uint8_t*> out_ptrs{out[0].data(), out[1].data()};
+  EXPECT_THROW(
+      codec->reconstruct(available, avail_ptrs.data(), {0, 1}, out_ptrs.data(), c.frag_len),
+      std::invalid_argument);
+}
+
+TEST(Lrc, RegistryIntegration) {
+  const auto families = registered_families();
+  EXPECT_NE(std::find(families.begin(), families.end(), "lrc"), families.end());
+
+  const auto codec = make_codec("lrc(6,2,2)");
+  EXPECT_EQ(codec->data_fragments(), 6u);
+  EXPECT_EQ(codec->parity_fragments(), 4u);
+  EXPECT_EQ(codec->name(), "lrc(6,2,2)");
+  EXPECT_NO_THROW(make_codec(codec->name()));  // names round-trip
+
+  EXPECT_THROW(make_codec("lrc(6,2)"), std::invalid_argument);    // arity is 3
+  EXPECT_THROW(make_codec("lrc(6,0,2)"), std::invalid_argument);
+  EXPECT_THROW(make_codec("lrc(6,7,2)"), std::invalid_argument);
+  EXPECT_THROW(make_codec("lrc(200,2,60)"), std::invalid_argument);
+  EXPECT_THROW(make_codec("lrc(6,2,2)@matrix=cauchy"), std::invalid_argument);
+  EXPECT_THROW(make_codec("lrc(129,3,2)"), std::invalid_argument);  // registry cap
+}
