@@ -5,10 +5,20 @@
 //
 // Printed before the timed benchmarks: a direct cold/warm measurement with
 // the ratio, plus the process-shared cache counters at exit.
+//
+// Warmup persistence experiment: with XOREC_PLAN_PROFILE=<path> in the
+// environment this binary becomes a two-run experiment. Run 1 finds no
+// profile, plans all 45 two-erasure RS(10,4) patterns cold, and saves the
+// plan-cache key set at exit; run 2 replays the profile through
+// CodecService::warmup first and serves the same sweep at ~100% plan-cache
+// hits — the printed per-pattern latency and hit rate quantify the warmup
+// benefit (CI uploads both runs' JSON side by side).
 #include "bench_common.hpp"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "ec/plan_cache.hpp"
 
@@ -71,10 +81,48 @@ void print_cold_warm_summary() {
               cold_us / warm_us >= 10.0 ? "(>= 10x: PASS)" : "(< 10x!)");
 }
 
+/// The XOREC_PLAN_PROFILE experiment (see file header).
+void run_warmup_experiment(const char* path) {
+  CodecService service;
+  const bool have_profile = std::ifstream(path).good();
+  if (have_profile) {
+    const auto t0 = Clock::now();
+    const auto rep = service.warmup(path);
+    std::printf("warmup(%s): %zu patterns replayed (%zu compiled, %zu already "
+                "cached) in %.1f ms\n",
+                path, rep.patterns, rep.compiled, rep.already_cached,
+                std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  } else {
+    std::printf("warmup profile %s not found — this is the COLD run (profile "
+                "saved at exit)\n",
+                path);
+  }
+
+  const ServiceHandle lease = service.acquire("rs(10,4)");
+  const auto pool = pattern_pool();
+  const auto t0 = Clock::now();
+  for (const auto& erased : pool)
+    (void)lease.plan_reconstruct(all_but(lease.codec(), erased), erased);
+  const double us_per_pattern =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() /
+      static_cast<double>(pool.size());
+
+  const ServiceStats stats = service.stats();
+  std::printf("planned %zu patterns at %.1f us/pattern — serving-window hit rate "
+              "%.0f%% (%zu hits, %zu misses)%s\n",
+              pool.size(), us_per_pattern, stats.warm_hit_rate() * 100,
+              stats.warm_hits, stats.warm_misses,
+              have_profile ? " [warmed]" : " [cold]");
+  const size_t saved = service.save_profile(path);
+  std::printf("saved %zu plan patterns to %s\n", saved, path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+
+  if (const char* profile = std::getenv("XOREC_PLAN_PROFILE")) run_warmup_experiment(profile);
 
   print_cold_warm_summary();
 
@@ -146,7 +194,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 
   const CacheStats s = plan_cache_stats();
-  std::printf("process-shared plan cache: %zu entries, %zu hits, %zu misses, "
+  std::printf("plan caches (all live instances): %zu entries, %zu hits, %zu misses, "
               "%zu evictions, %.2f ms compiling\n",
               s.entries, s.hits, s.misses, s.evictions, s.compile_ns / 1e6);
   benchmark::Shutdown();

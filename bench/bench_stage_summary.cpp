@@ -61,12 +61,23 @@ int main(int argc, char** argv) {
   const size_t n = 10, p = 4;
   const size_t block = 1024;  // the paper's chosen intel block size
 
+  // Every stage codec is leased from ONE CodecService by spec string — the
+  // serving shape: pooled instances, canonical-spec dedup, shared compiled
+  // programs. (Before the service existed this bench hand-assembled
+  // ec::RsCodec per stage.)
+  CodecService service({.shards = 2, .workers_per_shard = 1});
+  const std::string dims = "rs(" + std::to_string(n) + "," + std::to_string(p) + ")";
+  const std::string opts = "@block=" + std::to_string(block) + ",isa=avx2";
+  const auto lease = [&](const std::string& extra) {
+    return service.acquire(dims + opts + extra);
+  };
+
   // --- static tables -------------------------------------------------------
   {
-    ec::RsCodec codec(n, p, full_options(block));
+    const ServiceHandle full = lease("");
     print_stage_table("P_enc (paper: 755/385/146; 2265/1155/677; 32/385/146/88; "
                       "92/447/224/167)",
-                      *codec.encode_pipeline());
+                      *full.codec().encode_pipeline());
     // The generic plan API: every codec (not just RsCodec) exposes the
     // decode pipeline + cost measures of a solved erasure pattern this way.
     const std::vector<uint32_t> erased{2, 4, 5, 6};
@@ -74,53 +85,49 @@ int main(int argc, char** argv) {
     for (uint32_t id = 0; id < n + p; ++id)
       if (std::find(erased.begin(), erased.end(), id) == erased.end())
         available.push_back(id);
-    const auto plan = codec.plan_reconstruct(available, erased);
+    const auto plan = full.plan_reconstruct(available, erased);
     print_stage_table("P_dec (paper: 1368/511/206; 4104/1533/923; 32/511/206/125; "
                       "89/585/283/205)",
                       *plan->decode_pipeline());
     std::printf("P_dec plan totals: #xor=%zu #M=%zu (xor_count/schedule_stats)\n",
                 plan->xor_count(), plan->schedule_stats().mem_accesses);
-    print_cache_column("rs(10,4) full", codec);
-  }
+    print_cache_column("rs(10,4) full", full.codec());
 
-  // The multilevel scheduling pass on the same matrices: the schedule is
-  // pebbled against an L1/L2 hierarchy and reports its per-level misses.
-  {
-    ec::RsCodec ml(n, p, full_options(block, slp::ScheduleKind::Multilevel));
-    print_multilevel_line("P_enc", *ml.encode_pipeline());
-    const std::vector<uint32_t> erased{2, 4, 5, 6};
-    std::vector<uint32_t> available;
-    for (uint32_t id = 0; id < n + p; ++id)
-      if (std::find(erased.begin(), erased.end(), id) == erased.end())
-        available.push_back(id);
-    const auto plan = ml.plan_reconstruct(available, erased);
-    print_multilevel_line("P_dec", *plan->decode_pipeline());
-    print_cache_column("rs(10,4) multilevel", ml);
+    // The multilevel scheduling pass on the same matrices: the schedule is
+    // pebbled against an L1/L2 hierarchy — levels= unset means the REAL
+    // topology of this machine (sysfs-calibrated) — and reports its
+    // per-level misses.
+    const ServiceHandle ml = lease(",sched=multilevel");
+    print_multilevel_line("P_enc", *ml.codec().encode_pipeline());
+    const auto ml_plan = ml.plan_reconstruct(available, erased);
+    print_multilevel_line("P_dec", *ml_plan->decode_pipeline());
+    print_cache_column("rs(10,4) multilevel", ml.codec());
   }
 
   // --- throughput per stage ------------------------------------------------
   auto cluster = std::make_shared<RsCluster>(n, p, frag_len_for(n));
   struct Stage {
     const char* name;
-    ec::CodecOptions opt;
+    const char* extra;  // appended to the shared dims@block,isa spec
   };
   const Stage stages[] = {
-      {"base", base_options(block)},
-      {"compressed", compressed_options(block)},
-      {"fused", fused_options(block)},
-      {"scheduled", full_options(block)},
-      {"multilevel", full_options(block, slp::ScheduleKind::Multilevel)},
+      {"base", ",passes=base"},
+      {"compressed", ",passes=compress"},
+      {"fused", ",passes=fuse"},
+      {"scheduled", ""},
+      {"multilevel", ",sched=multilevel"},
   };
   for (const Stage& s : stages) {
-    auto codec = std::make_shared<ec::RsCodec>(n, p, s.opt);
+    auto codec = lease(s.extra).codec_ptr();
     register_encode(std::string("stage_encode/") + s.name, codec, cluster);
     register_decode(std::string("stage_decode/") + s.name, codec, cluster, {2, 4, 5, 6});
   }
 
-  // The fully scheduled stage through the batch session (8 stripes/flush):
-  // t1 isolates session overhead, t4 shows stripe-level scaling.
+  // The fully scheduled stage through batch sessions over the POOLED codec
+  // (8 stripes/flush): t1 isolates session overhead, t4 shows stripe-level
+  // scaling.
   {
-    auto codec = std::make_shared<ec::RsCodec>(n, p, full_options(block));
+    auto codec = lease("").codec_ptr();
     auto enc_set = make_cluster_set(*codec, 8);
     auto dec_set = make_decode_set(*codec, 8, {2, 4, 5, 6});
     for (size_t t : {1u, 4u}) {
@@ -132,6 +139,13 @@ int main(int argc, char** argv) {
   }
 
   benchmark::RunSpecifiedBenchmarks();
+
+  // The service's aggregated view: the "scheduled" pool was leased three
+  // times (tables + throughput + batch) but built ONCE.
+  const ServiceStats stats = service.stats();
+  for (const PoolStats& pool : stats.pools)
+    std::printf("pool \"%s\": %zu clients, %zu plans, %zu cached programs\n",
+                pool.spec.c_str(), pool.clients, pool.plans, pool.cached_programs);
   benchmark::Shutdown();
   return 0;
 }

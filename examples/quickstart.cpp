@@ -1,6 +1,8 @@
-// Quickstart: pick any codec from the registry by spec string, encode an
-// object, lose fragments, reconstruct. Try "evenodd(6,2)", "star(9)",
-// "cauchy(12,3)", ... — the flow is identical for every family.
+// Quickstart: lease any codec from a CodecService by spec string, encode an
+// object through its shard session, lose fragments, reconstruct. Try
+// "evenodd(6,2)", "star(9)", "cauchy(12,3)", ... — the flow is identical
+// for every family. (make_codec builds a bare, unpooled codec when you do
+// not want the serving façade.)
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -16,14 +18,19 @@
 
 int main(int argc, char** argv) {
   if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
-  // A codec compiles its optimized encode SLP once; reuse it.
-  std::unique_ptr<xorec::Codec> codec;
+  // The service pools codecs by canonical spec: a second acquire of an
+  // equivalent spelling would lease the SAME instance (and, through the
+  // shared plan cache, the same compiled programs).
+  xorec::CodecService service;
+  std::unique_ptr<xorec::ServiceHandle> lease;
   try {
-    codec = xorec::make_codec(argc > 1 ? argv[1] : "rs(10,4)");
+    lease = std::make_unique<xorec::ServiceHandle>(
+        service.acquire(argc > 1 ? argv[1] : "rs(10,4)"));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  const xorec::Codec* codec = &lease->codec();
   const size_t n = codec->data_fragments();
   const size_t p = codec->parity_fragments();
   // Fragment lengths must be multiples of the codec's strip count.
@@ -35,12 +42,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < n; ++i)
     for (auto& b : frags[i]) b = static_cast<uint8_t>(rng());
 
-  // Encode: fills the p parity fragments.
+  // Encode: one routed job on the lease's shard fills the p parity
+  // fragments (.get() waits and rethrows job failures).
   std::vector<const uint8_t*> data;
   std::vector<uint8_t*> parity;
   for (size_t i = 0; i < n; ++i) data.push_back(frags[i].data());
   for (size_t i = 0; i < p; ++i) parity.push_back(frags[n + i].data());
-  codec->encode(data.data(), parity.data(), frag_len);
+  lease->encode(data.data(), parity.data(), frag_len).get();
   std::printf("%s: encoded %zu KiB into %zu data + %zu parity fragments\n",
               codec->name().c_str(), n * frag_len >> 10, n, p);
 
@@ -68,8 +76,10 @@ int main(int argc, char** argv) {
     out_ptrs.clear();
     for (auto& r : rebuilt) out_ptrs.push_back(r.data());
     try {
-      // Reconstruct the lost fragments into fresh buffers.
-      codec->reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), frag_len);
+      // Reconstruct the lost fragments into fresh buffers: a routed repair
+      // job (the plan lookup is memoized inside it).
+      lease->rebuild(available, avail_ptrs.data(), erased, out_ptrs.data(), frag_len)
+          .get();
       break;
     } catch (const std::invalid_argument& e) {
       if (data_losses == 0) {
@@ -92,5 +102,12 @@ int main(int argc, char** argv) {
   std::printf("reconstructed");
   for (uint32_t id : erased) std::printf(" %u", id);
   std::printf(" — byte-identical. OK\n");
+
+  const xorec::ServiceStats stats = service.stats();
+  std::printf("service: pool \"%s\" on shard %zu, %zu jobs routed, plan cache "
+              "%zu hits / %zu misses\n",
+              lease->spec().c_str(), lease->shard(),
+              stats.shards[lease->shard()].submitted, stats.cache.hits,
+              stats.cache.misses);
   return 0;
 }

@@ -1,21 +1,30 @@
 // storage_cluster: a miniature HDFS-style object store — the workload §1
-// motivates — over ANY registered codec, driven through the plan/execute
-// batch data plane. n+p simulated nodes hold one fragment each; objects are
-// written through a BatchCoder session (stripe-parallel ingest), up to p
-// nodes fail at random, and the repair process solves the erasure pattern
-// ONCE (Codec::plan_reconstruct), then submits one plan-execute job per
+// motivates — served through xorec::CodecService, the sharded multi-codec
+// façade. n+p simulated nodes hold one fragment each; two tenants lease the
+// SAME pooled codec through equivalent (key-reordered) spec spellings;
+// objects are written through the pool's shard session (stripe-parallel
+// ingest); then several failure rounds hit the cluster, and each repair
+// solves its erasure pattern ONCE (plan_reconstruct), executing it per
 // object — the degraded-read fast path.
 //
-//   ./build/examples/storage_cluster [objects] [object_mib] [spec]
-//   ./build/examples/storage_cluster 16 8 "evenodd(11)@batch=4"
+// With a profile path, the run becomes the warmup experiment: the first run
+// compiles every repair pattern cold and persists the plan-cache key set at
+// exit; the second run replays the profile at startup and serves the same
+// patterns at ~100% plan-cache hits (the ServiceStats line at the end
+// reports the measured rate).
+//
+//   ./build/examples/storage_cluster [objects] [object_mib] [spec] [profile]
+//   ./build/examples/storage_cluster 16 8 "evenodd(11)"
+//   ./build/examples/storage_cluster 8 2 "rs(10,4)@block=1024" /tmp/plans.profile
 //   ./build/examples/storage_cluster --list-codecs
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
-#include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "api/xorec.hpp"
@@ -34,24 +43,63 @@ struct Object {
   size_t frag_len = 0;
 };
 
+/// An equivalent spelling of `spec` (reordered/extended with a default-value
+/// key) — the second tenant's request, which canonicalization must resolve
+/// to the same pool entry.
+std::string reordered_spelling(const std::string& spec) {
+  if (spec.find("@") != std::string::npos) {
+    // "fam(...)@k1=v1,k2=v2" -> "fam(...)@k2=v2,k1=v1"
+    const size_t at = spec.find('@');
+    const std::string opts = spec.substr(at + 1);
+    const size_t comma = opts.find(',');
+    if (comma != std::string::npos)
+      return spec.substr(0, at + 1) + opts.substr(comma + 1) + "," +
+             opts.substr(0, comma);
+    return spec;  // single option: nothing to reorder
+  }
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
   const size_t n_objects = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
   const size_t object_mib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
-  const char* spec = argc > 3 ? argv[3] : "rs(10,4)@block=1024";
+  const std::string spec = argc > 3 ? argv[3] : "rs(10,4)@block=1024,threads=1";
+  const std::string profile = argc > 4 ? argv[4] : "";
 
-  // The session owns the codec and the worker group; batch= in the spec
-  // sizes it (default: hardware concurrency).
-  std::unique_ptr<xorec::BatchCoder> batch;
+  // The service owns the shard sessions and the codec pools; tenants only
+  // hold leases.
+  xorec::CodecService service({.shards = 2, .workers_per_shard = 2});
+
+  // Warm start when a previous run saved its profile.
+  if (!profile.empty() && std::ifstream(profile).good()) {
+    const auto t0 = Clock::now();
+    const auto rep = service.warmup(profile);
+    std::printf("warmup(%s): %zu codecs, %zu patterns replayed (%zu compiled, "
+                "%zu already cached, %zu skipped) in %.1f ms\n",
+                profile.c_str(), rep.codecs, rep.patterns, rep.compiled,
+                rep.already_cached, rep.skipped, seconds_since(t0) * 1e3);
+  }
+
+  // Two tenants, two spellings, ONE pooled codec.
+  std::vector<xorec::ServiceHandle> tenants;
   try {
-    batch = std::make_unique<xorec::BatchCoder>(spec);
+    tenants.push_back(service.acquire(spec));
+    tenants.push_back(service.acquire(reordered_spelling(spec)));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  const xorec::Codec& codec = batch->codec();
+  const xorec::ServiceHandle& tenant_a = tenants[0];
+  const xorec::ServiceHandle& tenant_b = tenants[1];
+  const xorec::Codec& codec = tenant_a.codec();
+  if (&codec != &tenant_b.codec()) {
+    std::fprintf(stderr, "pooling FAILED: equivalent specs got distinct codecs\n");
+    return 1;
+  }
+
   const size_t k_data = codec.data_fragments();
   const size_t k_parity = codec.parity_fragments();
   const size_t k_nodes = k_data + k_parity;
@@ -59,11 +107,13 @@ int main(int argc, char** argv) {
   const size_t frag_len =
       std::max(unit, object_mib * (1u << 20) / k_data / unit * unit);
 
-  std::printf("cluster: %zu nodes, codec %s, %zu-byte fragments, %zu session workers\n",
-              k_nodes, codec.name().c_str(), frag_len, batch->threads());
+  std::printf("cluster: %zu nodes, pool \"%s\" (2 clients), %zu-byte fragments, "
+              "%zu shards x %zu workers\n",
+              k_nodes, tenant_a.spec().c_str(), frag_len, service.shard_count(),
+              service.stats().shards[0].workers);
   std::mt19937_64 rng(7);
 
-  // ---- ingest: one encode job per object, flush() is the barrier -----------
+  // ---- ingest: tenants alternate; one encode job per object ----------------
   std::vector<Object> store(n_objects);
   auto t0 = Clock::now();
   {
@@ -79,9 +129,10 @@ int main(int argc, char** argv) {
       for (size_t i = 0; i < k_data; ++i) data[o].push_back(obj.fragments[i].data());
       for (size_t i = 0; i < k_parity; ++i)
         parity[o].push_back(obj.fragments[k_data + i].data());
-      jobs.push_back(batch->submit_encode(data[o].data(), parity[o].data(), frag_len));
+      const xorec::ServiceHandle& tenant = (o % 2 == 0) ? tenant_a : tenant_b;
+      jobs.push_back(tenant.encode(data[o].data(), parity[o].data(), frag_len));
     }
-    batch->flush();
+    service.flush();
     for (auto& j : jobs) j.get();  // all ready; rethrows any job failure
   }
   const double ingest_s = seconds_since(t0);
@@ -89,34 +140,45 @@ int main(int argc, char** argv) {
   std::printf("ingested %zu objects (%.2f GB data) in %.3f s  ->  %.2f GB/s encode\n",
               n_objects, ingest_gb, ingest_s, ingest_gb / ingest_s);
 
-  // ---- fail up to p random nodes --------------------------------------------
-  std::vector<uint32_t> failed;
-  while (failed.size() < k_parity) {
-    const uint32_t node = static_cast<uint32_t>(rng() % k_nodes);
-    if (std::find(failed.begin(), failed.end(), node) == failed.end())
-      failed.push_back(node);
-  }
-  std::sort(failed.begin(), failed.end());
-  std::printf("nodes failed:");
-  for (uint32_t f : failed) std::printf(" %u", f);
-  std::printf("  (every object lost %zu fragments)\n", failed.size());
-  for (Object& obj : store)
-    for (uint32_t f : failed) obj.fragments[f].clear();
-
-  // ---- repair: solve the pattern once, execute it per object ----------------
-  std::vector<uint32_t> available;
-  for (uint32_t id = 0; id < k_nodes; ++id)
-    if (std::find(failed.begin(), failed.end(), id) == failed.end())
-      available.push_back(id);
-
+  // ---- failure rounds: distinct patterns, one plan per round ----------------
+  const size_t rounds = 3;
+  size_t repaired = 0;
   t0 = Clock::now();
-  const auto plan = codec.plan_reconstruct(available, failed);
-  if (plan->xor_count() > 0)
-    std::printf("repair plan: %zu XORs over %zu survivors (compiled once)\n",
+  for (size_t round = 0; round < rounds; ++round) {
+    // Pick a failure pattern the codec can survive (a non-MDS family like
+    // lrc may refuse the worst case — back off one node at a time), and
+    // solve it ONCE before any fragment is dropped.
+    std::vector<uint32_t> failed, available;
+    std::shared_ptr<const xorec::ReconstructPlan> plan;
+    for (size_t fail_count = k_parity; fail_count > 0 && !plan; --fail_count) {
+      failed.clear();
+      while (failed.size() < fail_count) {
+        const uint32_t node = static_cast<uint32_t>(rng() % k_nodes);
+        if (std::find(failed.begin(), failed.end(), node) == failed.end())
+          failed.push_back(node);
+      }
+      std::sort(failed.begin(), failed.end());
+      available.clear();
+      for (uint32_t id = 0; id < k_nodes; ++id)
+        if (std::find(failed.begin(), failed.end(), id) == failed.end())
+          available.push_back(id);
+      try {
+        plan = tenant_a.plan_reconstruct(available, failed);
+      } catch (const std::invalid_argument&) {
+        continue;  // pattern exceeds this code's tolerance — fail fewer nodes
+      }
+    }
+    if (!plan) {
+      std::fprintf(stderr, "no recoverable failure pattern found\n");
+      return 1;
+    }
+    for (Object& obj : store)
+      for (uint32_t f : failed) obj.fragments[f].clear();
+    std::printf("round %zu: nodes", round + 1);
+    for (uint32_t f : failed) std::printf(" %u", f);
+    std::printf(" failed; repair plan: %zu XORs over %zu survivors\n",
                 plan->xor_count(), plan->available().size());
 
-  size_t repaired = 0;
-  {
     std::vector<std::vector<const uint8_t*>> avail_ptrs(store.size());
     std::vector<std::vector<std::vector<uint8_t>>> rebuilt(store.size());
     std::vector<std::vector<uint8_t*>> out_ptrs(store.size());
@@ -126,10 +188,11 @@ int main(int argc, char** argv) {
       for (uint32_t id : available) avail_ptrs[o].push_back(obj.fragments[id].data());
       rebuilt[o].assign(failed.size(), std::vector<uint8_t>(obj.frag_len));
       for (auto& r : rebuilt[o]) out_ptrs[o].push_back(r.data());
-      jobs.push_back(batch->submit_reconstruct(plan, avail_ptrs[o].data(),
-                                               out_ptrs[o].data(), obj.frag_len));
+      const xorec::ServiceHandle& tenant = (o % 2 == 0) ? tenant_a : tenant_b;
+      jobs.push_back(tenant.reconstruct(plan, avail_ptrs[o].data(), out_ptrs[o].data(),
+                                        obj.frag_len));
     }
-    batch->flush();
+    service.flush();
     for (auto& j : jobs) j.get();
     for (size_t o = 0; o < store.size(); ++o) {
       for (size_t i = 0; i < failed.size(); ++i)
@@ -139,9 +202,9 @@ int main(int argc, char** argv) {
   }
   const double repair_s = seconds_since(t0);
   const double repair_gb = repaired * frag_len / 1e9;
-  std::printf("repaired %zu fragments (%.2f GB written) in %.3f s  ->  %.2f GB/s "
-              "reconstruction output\n",
-              repaired, repair_gb, repair_s, repair_gb / repair_s);
+  std::printf("repaired %zu fragments over %zu rounds (%.2f GB written) in %.3f s  ->  "
+              "%.2f GB/s reconstruction output\n",
+              repaired, rounds, repair_gb, repair_s, repair_gb / repair_s);
 
   // ---- verify: re-encode parity from data and compare every fragment --------
   size_t verified = 0;
@@ -163,11 +226,30 @@ int main(int argc, char** argv) {
   }
   std::printf("verified %zu objects end-to-end. cluster healthy again.\n", verified);
 
-  // The plan-compilation service behind all of the above: every codec built
-  // with cache=shared (the default) feeds these process-wide counters.
-  const xorec::CacheStats cs = xorec::plan_cache_stats();
-  std::printf("plan cache (process-shared): %zu entries, %zu hits, %zu misses, "
-              "%zu evictions, %.2f ms compiling\n",
-              cs.entries, cs.hits, cs.misses, cs.evictions, cs.compile_ns / 1e6);
+  // Persist the hot patterns so the next process starts warm.
+  if (!profile.empty()) {
+    const size_t saved = service.save_profile(profile);
+    std::printf("saved %zu plan patterns to %s\n", saved, profile.c_str());
+  }
+
+  // ---- the service's own view of all of the above ---------------------------
+  const xorec::ServiceStats stats = service.stats();
+  for (const xorec::ShardStats& s : stats.shards)
+    std::printf("shard %zu: %zu workers, %zu jobs, depth %zu, %.2f GB coded "
+                "(%.2f GB/s avg)\n",
+                s.shard, s.workers, s.submitted, s.queue_depth, s.bytes_coded / 1e9,
+                s.throughput_gbps);
+  for (const xorec::PoolStats& p : stats.pools)
+    std::printf("pool \"%s\" (shard %zu): %zu clients, %zu encodes, %zu plans, "
+                "%zu reconstructs, %zu cached programs\n",
+                p.spec.c_str(), p.shard, p.clients, p.encodes, p.plans, p.reconstructs,
+                p.cached_programs);
+  std::printf("plan cache: %zu entries, %zu hits, %zu misses, %.2f ms compiling\n",
+              stats.cache.entries, stats.cache.hits, stats.cache.misses,
+              stats.cache.compile_ns / 1e6);
+  std::printf("serving-window plan lookups: %zu hits, %zu misses  ->  %.0f%% hit "
+              "rate%s\n",
+              stats.warm_hits, stats.warm_misses, stats.warm_hit_rate() * 100,
+              stats.warm_misses == 0 && stats.warm_hits > 0 ? " (warmed start)" : "");
   return 0;
 }

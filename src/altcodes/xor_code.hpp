@@ -56,6 +56,10 @@ class XorCodec : public Codec {
   /// Plan-cache counters (service-wide when on the shared cache).
   CacheStats cache_stats() const override { return core_.cache_stats(); }
 
+  /// Cache identity + cached patterns, for warmup profiles.
+  PlanFootprint plan_footprint() const override { return core_.footprint(); }
+  size_t cached_program_count() const override { return core_.cache_size(); }
+
  protected:
   void encode_impl(const uint8_t* const* data, uint8_t* const* parity,
                    size_t frag_len) const override;

@@ -1,0 +1,86 @@
+#include "api/autotune.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ec/bitmatrix_codec_core.hpp"
+#include "ec/rs_codec.hpp"
+#include "runtime/exec_program.hpp"
+#include "runtime/executor.hpp"
+#include "slp/pipeline.hpp"
+
+namespace xorec {
+
+namespace {
+
+size_t measure_auto_block() {
+  // One representative workload: the fully optimized RS(8,3) encode SLP.
+  // The compiled program is block-size independent (B only shapes the
+  // Executor), so the sweep compiles ONCE and times cheap Executor rebuilds.
+  constexpr size_t n = 8, p = 3, w = ec::RsCodec::kStripsPerFragment;
+  const gf::Matrix code = ec::make_code_matrix(ec::MatrixFamily::IsalVandermonde, n, p);
+  std::vector<size_t> parity_rows(p);
+  std::iota(parity_rows.begin(), parity_rows.end(), n);
+  const slp::PipelineResult pipe =
+      slp::optimize(bitmatrix::expand(code.select_rows(parity_rows)), {}, "block-auto");
+  const runtime::ExecProgram prog =
+      runtime::compile(pipe.final_form() == slp::ExecForm::Binary
+                           ? pipe.final_program().binary_expanded()
+                           : pipe.final_program());
+
+  // 8 x 256 KiB fragments: the working set dwarfs L2, so the blocking
+  // choice is what the measurement sees.
+  const size_t strip_len = 32u << 10;
+  const size_t frag_len = w * strip_len;
+  std::vector<std::vector<uint8_t>> data_bufs(n, std::vector<uint8_t>(frag_len));
+  std::vector<std::vector<uint8_t>> parity_bufs(p, std::vector<uint8_t>(frag_len));
+  uint64_t fill = 0x9e3779b97f4a7c15ull;
+  for (auto& f : data_bufs)
+    for (auto& b : f) b = static_cast<uint8_t>(fill = fill * 6364136223846793005ull + 1);
+  std::vector<const uint8_t*> data;
+  std::vector<uint8_t*> parity;
+  for (const auto& f : data_bufs) data.push_back(f.data());
+  for (auto& f : parity_bufs) parity.push_back(f.data());
+  const auto in = ec::BitmatrixCodecCore::strip_pointers(data.data(), n, w, frag_len);
+  const auto out = ec::BitmatrixCodecCore::strip_pointers(parity.data(), p, w, frag_len);
+
+  using Clock = std::chrono::steady_clock;
+  size_t best = 2048;  // overwritten by the first candidate below
+  double best_time = 1e300;
+  for (size_t block : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    runtime::ExecOptions eo;
+    eo.block_size = block;
+    const runtime::Executor exec(prog, eo);
+    exec.run(in.data(), out.data(), strip_len);  // warm caches + scratch
+    // Run enough repetitions for a stable reading (~10 ms per candidate).
+    size_t reps = 2;
+    double elapsed = 0;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (size_t r = 0; r < reps; ++r) exec.run(in.data(), out.data(), strip_len);
+      elapsed = std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+      if (elapsed * reps > 0.01) break;
+      reps *= 2;
+    }
+    // A candidate must beat the incumbent by 5% to displace it: filters
+    // timing noise and keeps the default on machines where B barely matters.
+    if (elapsed < best_time * 0.95) {
+      best_time = elapsed;
+      best = block;
+    } else if (elapsed < best_time) {
+      best_time = elapsed;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t auto_block_size() {
+  static const size_t measured = measure_auto_block();
+  return measured;
+}
+
+}  // namespace xorec

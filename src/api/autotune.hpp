@@ -1,0 +1,19 @@
+// Measured machine calibration behind the `block=auto` spec key: §7.4 as a
+// library utility. The paper tuned the executor block size B by hand per
+// machine (B=1K on its intel box, B=2K on amd); auto_block_size() runs that
+// sweep once per process — compile one encode SLP, time it at each candidate
+// B, keep the winner — and memoizes the result, so every later
+// `make_codec("...@block=auto")` resolves instantly. examples/block_tuner
+// remains the verbose, interactive version of the same experiment.
+#pragma once
+
+#include <cstddef>
+
+namespace xorec {
+
+/// This machine's best executor block size in bytes, measured once and
+/// memoized for the process. Candidates are the paper's §7.4 sweep
+/// (512..8192); ties keep the smaller block (denser cache residency).
+size_t auto_block_size();
+
+}  // namespace xorec

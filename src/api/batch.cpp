@@ -93,6 +93,15 @@ size_t auto_batch_workers() {
 BatchCoder::BatchCoder(std::shared_ptr<const Codec> codec, size_t threads)
     : codec_(checked(std::move(codec))), queue_(resolve_threads(threads)) {}
 
+BatchCoder::BatchCoder(size_t threads) : queue_(resolve_threads(threads)) {}
+
+const Codec& BatchCoder::codec() const {
+  if (!codec_)
+    throw std::logic_error(
+        "BatchCoder: codec-less shard session — submits must name their codec");
+  return *codec_;
+}
+
 BatchCoder::Session BatchCoder::parse_session(const std::string& spec) {
   CodecSpec cs = parse_spec(spec);
   const size_t threads = cs.batch_threads;
@@ -107,11 +116,19 @@ BatchCoder::BatchCoder(const std::string& spec) : BatchCoder(parse_session(spec)
 
 std::future<void> BatchCoder::submit_encode(const uint8_t* const* data,
                                             uint8_t* const* parity, size_t frag_len) {
-  std::vector<const uint8_t*> d(data, data + codec_->data_fragments());
-  std::vector<uint8_t*> p(parity, parity + codec_->parity_fragments());
+  return submit_encode(codec_ptr(), data, parity, frag_len);
+}
+
+std::future<void> BatchCoder::submit_encode(std::shared_ptr<const Codec> codec,
+                                            const uint8_t* const* data,
+                                            uint8_t* const* parity, size_t frag_len) {
+  if (!codec)
+    throw std::logic_error("BatchCoder: submit_encode on a session with no codec");
+  std::vector<const uint8_t*> d(data, data + codec->data_fragments());
+  std::vector<uint8_t*> p(parity, parity + codec->parity_fragments());
   ++submitted_;
   return queue_.submit(
-      [codec = codec_, d = std::move(d), p = std::move(p), frag_len] {
+      [codec = std::move(codec), d = std::move(d), p = std::move(p), frag_len] {
         codec->encode(d.data(), p.data(), frag_len);
       });
 }
@@ -134,10 +151,21 @@ std::future<void> BatchCoder::submit_reconstruct(std::vector<uint32_t> available
                                                  const uint8_t* const* available_frags,
                                                  std::vector<uint32_t> erased,
                                                  uint8_t* const* out, size_t frag_len) {
+  return submit_reconstruct(codec_ptr(), std::move(available), available_frags,
+                            std::move(erased), out, frag_len);
+}
+
+std::future<void> BatchCoder::submit_reconstruct(std::shared_ptr<const Codec> codec,
+                                                 std::vector<uint32_t> available,
+                                                 const uint8_t* const* available_frags,
+                                                 std::vector<uint32_t> erased,
+                                                 uint8_t* const* out, size_t frag_len) {
+  if (!codec)
+    throw std::logic_error("BatchCoder: submit_reconstruct on a session with no codec");
   std::vector<const uint8_t*> avail(available_frags, available_frags + available.size());
   std::vector<uint8_t*> o(out, out + erased.size());
   ++submitted_;
-  return queue_.submit([codec = codec_, available = std::move(available),
+  return queue_.submit([codec = std::move(codec), available = std::move(available),
                         erased = std::move(erased), avail = std::move(avail),
                         o = std::move(o), frag_len] {
     codec->reconstruct(available, avail.data(), erased, o.data(), frag_len);

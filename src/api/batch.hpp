@@ -63,20 +63,36 @@ class BatchCoder {
   /// key (auto | N >= 1) sizes this session; the rest builds the codec.
   explicit BatchCoder(const std::string& spec);
 
+  /// A codec-LESS session: the shard-affinity shape CodecService routes
+  /// mixed-codec traffic through. Every submit must carry its own codec
+  /// (the explicit-codec overloads below) or a plan; the codec-bound
+  /// conveniences throw std::logic_error. threads == 0 is "auto" again.
+  explicit BatchCoder(size_t threads);
+
   /// Destructor is a flush(): blocks until every submitted job has run.
   ~BatchCoder() = default;
 
   BatchCoder(const BatchCoder&) = delete;
   BatchCoder& operator=(const BatchCoder&) = delete;
 
-  const Codec& codec() const { return *codec_; }
+  /// False for codec-less shard sessions, where codec() throws.
+  bool has_codec() const { return codec_ != nullptr; }
+  const Codec& codec() const;
   std::shared_ptr<const Codec> codec_ptr() const { return codec_; }
   size_t threads() const { return queue_.threads(); }
   size_t submitted() const { return submitted_; }
+  /// Jobs submitted but not yet finished (the shard queue depth).
+  size_t pending() const { return queue_.depth(); }
 
   /// Encode one stripe: data_fragments() input pointers, parity_fragments()
   /// output pointers, frag_len as in Codec::encode.
   std::future<void> submit_encode(const uint8_t* const* data, uint8_t* const* parity,
+                                  size_t frag_len);
+
+  /// Explicit-codec encode: the multi-codec shard path (CodecService) —
+  /// this session's own codec, if any, is bypassed.
+  std::future<void> submit_encode(std::shared_ptr<const Codec> codec,
+                                  const uint8_t* const* data, uint8_t* const* parity,
                                   size_t frag_len);
 
   /// Repair one stripe with a prepared plan (the degraded-read fast path —
@@ -89,6 +105,13 @@ class BatchCoder {
   /// Plan-less convenience: the plan lookup happens inside the job (memoized
   /// per codec); bad ids / unrecoverable patterns surface via the future.
   std::future<void> submit_reconstruct(std::vector<uint32_t> available,
+                                       const uint8_t* const* available_frags,
+                                       std::vector<uint32_t> erased, uint8_t* const* out,
+                                       size_t frag_len);
+
+  /// Explicit-codec plan-less reconstruct (multi-codec shard path).
+  std::future<void> submit_reconstruct(std::shared_ptr<const Codec> codec,
+                                       std::vector<uint32_t> available,
                                        const uint8_t* const* available_frags,
                                        std::vector<uint32_t> erased, uint8_t* const* out,
                                        size_t frag_len);

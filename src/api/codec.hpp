@@ -69,7 +69,25 @@ struct CacheStats {
   size_t misses = 0;       // lookups that compiled
   size_t evictions = 0;    // entries LRU-evicted (capacity pressure)
   uint64_t compile_ns = 0; // total wall time spent compiling on misses
-  bool shared = false;     // true = the process-shared cache's counters
+  /// True for a process-wide view (the shared service cache, or the
+  /// all-instances aggregate xorec::plan_cache_stats() returns); false for
+  /// one private codec cache's counters.
+  bool shared = false;
+};
+
+/// A codec's footprint in its plan-compilation cache: the fingerprints its
+/// programs are keyed under and the pattern keys currently cached
+/// (MRU-first per cache shard). All-zero fingerprints mean the codec does
+/// not compile programs (the GF-table baseline, custom fallbacks).
+/// CodecService persists footprints as a warmup profile (ec/plan_cache_io)
+/// and replays them at startup to precompile the hot patterns.
+struct PlanFootprint {
+  uint64_t matrix_fp = 0;
+  uint64_t matrix_fp2 = 0;
+  uint64_t config_fp = 0;
+  std::vector<std::vector<uint32_t>> patterns;
+
+  bool has_identity() const { return matrix_fp || matrix_fp2 || config_fp; }
 };
 
 /// A validated, immutable, cacheable repair program for ONE erasure pattern
@@ -148,9 +166,18 @@ class Codec {
   virtual const slp::PipelineResult* encode_pipeline() const { return nullptr; }
 
   /// Counters of the plan cache this codec compiles through (process-shared
-  /// by default — see xorec::plan_cache_stats() for the service-wide view).
+  /// by default — see xorec::plan_cache_stats() for the all-caches view).
   /// All-zero for codecs without an SLP compile path.
   virtual CacheStats cache_stats() const { return {}; }
+
+  /// This codec's plan-cache footprint (identity fingerprints + cached
+  /// pattern keys) — what a warmup profile records. Default: no footprint.
+  virtual PlanFootprint plan_footprint() const { return {}; }
+
+  /// Just the number of programs cached for this codec's identity — the
+  /// cheap counterpart of plan_footprint() for stats polling (no pattern
+  /// materialization). Default: none.
+  virtual size_t cached_program_count() const { return 0; }
 
   /// data: data_fragments() pointers; parity: parity_fragments() pointers
   /// (written). frag_len must be a positive multiple of fragment_multiple().

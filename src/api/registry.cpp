@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "altcodes/evenodd.hpp"
+#include "api/autotune.hpp"
 #include "altcodes/lrc.hpp"
 #include "altcodes/rdp.hpp"
 #include "altcodes/rs16.hpp"
@@ -50,9 +51,21 @@ void apply_option(CodecSpec& cs, const std::string& key, const std::string& valu
   auto& opt = cs.options;
   const auto uint_value = [&] { return parse_uint(cs.spec, value, "option " + key); };
   if (key == "block") {
-    const size_t b = uint_value();
-    if (b == 0) fail(cs.spec, "block size must be positive");
-    opt.exec.block_size = b;
+    // block=auto defers to the measured per-machine sweep; resolution
+    // happens in make_codec / canonical_spec so parsing stays cheap.
+    if (value == "auto") {
+      cs.block_auto = true;
+    } else {
+      const size_t b = uint_value();
+      if (b == 0) fail(cs.spec, "block size must be positive");
+      opt.exec.block_size = b;
+      cs.block_auto = false;  // a later explicit block= overrides block=auto
+    }
+  } else if (key == "warmup") {
+    // Plan-profile replay for CodecService::acquire; make_codec refuses
+    // specs carrying it (below) so the key is never silently ignored.
+    if (value.empty()) fail(cs.spec, "warmup needs a profile path");
+    cs.warmup_path = value;
   } else if (key == "threads") {
     const size_t t = uint_value();
     if (t == 0) fail(cs.spec, "threads must be positive");
@@ -335,6 +348,16 @@ std::unique_ptr<Codec> make_codec(const CodecSpec& spec) {
       spec.option_keys.end())
     fail(spec.spec, "batch= configures a session, not a codec; construct "
                     "xorec::BatchCoder(spec) instead");
+  if (std::find(spec.option_keys.begin(), spec.option_keys.end(), "warmup") !=
+      spec.option_keys.end())
+    fail(spec.spec, "warmup= names a service profile, not a codec option; acquire "
+                    "through xorec::CodecService instead");
+  if (spec.block_auto) {
+    CodecSpec resolved = spec;
+    resolved.options.exec.block_size = auto_block_size();
+    resolved.block_auto = false;
+    return make_codec(resolved);
+  }
   CodecBuilder builder;
   {
     Registry& r = registry();
@@ -355,6 +378,129 @@ std::unique_ptr<Codec> make_codec(const std::string& spec) {
   return make_codec(parse_spec(spec));
 }
 
+std::string canonical_spec(const CodecSpec& given) {
+  CodecSpec cs = given;
+  if (cs.block_auto) {
+    cs.options.exec.block_size = auto_block_size();
+    cs.block_auto = false;
+  }
+  const ec::CodecOptions def;  // the defaults every canonical token is measured against
+  const auto& o = cs.options;
+
+  // The RS matrix families are one family with a matrix= override; the
+  // canonical form names the effective matrix through the family, so
+  // "rs(9,3)@matrix=cauchy" and "cauchy(9,3)" share a pool entry. Note the
+  // parsed options carry the matrix only when matrix= was spelled out — the
+  // family name itself implies it otherwise (build_rs applies it later).
+  std::string family = cs.family;
+  bool emit_matrix = has_option(cs, "matrix") && o.family != def.family;
+  if (family == "rs" || family == "vand" || family == "cauchy") {
+    if (has_option(cs, "matrix")) {
+      switch (o.family) {
+        case ec::MatrixFamily::IsalVandermonde: family = "rs"; break;
+        case ec::MatrixFamily::ReducedVandermonde: family = "vand"; break;
+        case ec::MatrixFamily::Cauchy: family = "cauchy"; break;
+      }
+    }
+    emit_matrix = false;
+  }
+
+  // Fill in the default-able positional args ("rs(10)" -> "rs(10,4)").
+  std::vector<size_t> args = cs.args;
+  if (args.size() == 1) {
+    if (family == "rs" || family == "vand" || family == "cauchy" ||
+        family == "naive_xor" || family == "isal" || family == "rs16")
+      args.push_back(kDefaultParity);
+    else if (family == "evenodd" || family == "rdp")
+      args.push_back(2);
+    else if (family == "star")
+      args.push_back(3);
+  }
+
+  // Pipeline spelling: invert the passes=/sched= presets (the same mapping
+  // rs_name() in ec/rs_codec.cpp uses — keep the three in sync). Shapes the
+  // grammar cannot spell (hand-built CodecOptions) keep the original
+  // spelling rather than canonicalize wrongly.
+  const auto& pl = o.pipeline;
+  const auto sched_name = [](slp::ScheduleKind k) {
+    switch (k) {
+      case slp::ScheduleKind::None: return "none";
+      case slp::ScheduleKind::Dfs: return "dfs";
+      case slp::ScheduleKind::Greedy: return "greedy";
+      case slp::ScheduleKind::Multilevel: return "multilevel";
+    }
+    return "none";
+  };
+  std::string passes_tok, sched_tok;
+  const bool xrp = pl.compress == slp::CompressKind::XorRePair;
+  if (xrp && pl.fuse) {
+    if (pl.schedule == slp::ScheduleKind::None)
+      passes_tok = "passes=fuse";
+    else if (pl.schedule != slp::ScheduleKind::Dfs)
+      sched_tok = std::string("sched=") + sched_name(pl.schedule);
+  } else if (pl.compress == slp::CompressKind::None && !pl.fuse) {
+    passes_tok = "passes=base";
+    if (pl.schedule != slp::ScheduleKind::None)
+      sched_tok = std::string("sched=") + sched_name(pl.schedule);
+  } else if (xrp && !pl.fuse) {
+    passes_tok = "passes=compress";
+    if (pl.schedule != slp::ScheduleKind::None)
+      sched_tok = std::string("sched=") + sched_name(pl.schedule);
+  } else {
+    return cs.spec;  // not grammar-expressible
+  }
+  const bool sched_takes_cap = pl.schedule == slp::ScheduleKind::Greedy ||
+                               pl.schedule == slp::ScheduleKind::Multilevel;
+  if ((pl.greedy_capacity != 0 && !sched_takes_cap) ||
+      (!pl.cache_levels.empty() && pl.schedule != slp::ScheduleKind::Multilevel))
+    return cs.spec;  // cap=/levels= would not re-parse under this schedule
+
+  // Option tokens in spec_option_keys() order; defaults are dropped, and
+  // the session/service keys (batch=, warmup=) never name a codec.
+  std::vector<std::string> opts;
+  if (o.exec.block_size != def.exec.block_size)
+    opts.push_back("block=" + std::to_string(o.exec.block_size));
+  if (o.exec.threads != def.exec.threads)
+    opts.push_back("threads=" + std::to_string(o.exec.threads));
+  if (o.exec.isa != def.exec.isa) {
+    const char* isa = o.exec.isa == kernel::Isa::Scalar   ? "scalar"
+                      : o.exec.isa == kernel::Isa::Word64 ? "word64"
+                                                          : "avx2";
+    opts.push_back(std::string("isa=") + isa);
+  }
+  if (!passes_tok.empty()) opts.push_back(passes_tok);
+  if (!sched_tok.empty()) opts.push_back(sched_tok);
+  if (pl.greedy_capacity != 0 && sched_takes_cap)
+    opts.push_back("cap=" + std::to_string(pl.greedy_capacity));
+  if (!pl.cache_levels.empty()) {
+    std::string levels = "levels=";
+    for (size_t i = 0; i < pl.cache_levels.size(); ++i)
+      levels += (i ? ":" : "") + std::to_string(pl.cache_levels[i]);
+    opts.push_back(std::move(levels));
+  }
+  if (!o.shared_cache && !o.plan_cache) {
+    opts.push_back(o.decode_cache_capacity == def.decode_cache_capacity
+                       ? "cache=private"
+                       : "cache=" + std::to_string(o.decode_cache_capacity));
+  }
+  if (emit_matrix) {
+    const char* m = o.family == ec::MatrixFamily::ReducedVandermonde ? "vand" : "cauchy";
+    opts.push_back(std::string("matrix=") + m);
+  }
+  if (o.exec.prefetch_next_block) opts.push_back("prefetch=1");
+
+  std::string out = family + "(";
+  for (size_t i = 0; i < args.size(); ++i)
+    out += (i ? "," : "") + std::to_string(args[i]);
+  out += ")";
+  for (size_t i = 0; i < opts.size(); ++i) out += (i ? "," : "@") + opts[i];
+  return out;
+}
+
+std::string canonical_spec(const std::string& spec) {
+  return canonical_spec(parse_spec(spec));
+}
+
 void register_codec_family(const std::string& family, CodecBuilder builder) {
   if (family.empty() || !builder)
     throw std::invalid_argument("register_codec_family: empty family or builder");
@@ -366,13 +512,13 @@ void register_codec_family(const std::string& family, CodecBuilder builder) {
 const std::vector<std::string>& spec_option_keys() {
   // Keep in sync with apply_option above and the grammar in registry.hpp —
   // this list is what help text and error messages print.
-  static const std::vector<std::string> keys = {"block",  "threads", "isa",      "passes",
-                                                "sched",  "cap",     "levels",   "cache",
-                                                "matrix", "prefetch", "batch"};
+  static const std::vector<std::string> keys = {"block",  "threads",  "isa",   "passes",
+                                                "sched",  "cap",      "levels", "cache",
+                                                "matrix", "prefetch", "batch", "warmup"};
   return keys;
 }
 
-CacheStats plan_cache_stats() { return ec::PlanCache::process_shared()->stats(); }
+CacheStats plan_cache_stats() { return ec::PlanCache::aggregate_stats(); }
 
 std::vector<std::string> registered_families() {
   Registry& r = registry();

@@ -11,7 +11,9 @@
 //                                        star, rs16, naive_xor, isal
 //   args    := unsigned integers, comma-separated (family-specific arity)
 //   options := key '=' value pairs, comma-separated:
-//     block=N        executor block size B in bytes          (default 2048)
+//     block=N|auto   executor block size B in bytes (default 2048); auto
+//                    resolves to a one-shot measured sweep of this machine
+//                    (api/autotune.hpp, memoized per process)
 //     threads=N      worker threads                          (default 1)
 //     isa=K          scalar | word64 | avx2 | auto           (default auto)
 //     passes=K       base | compress | fuse | full — optimizer preset
@@ -28,6 +30,10 @@
 //                    auto runs a one-shot measured calibration. Only
 //                    meaningful to BatchCoder(spec) — plain make_codec
 //                    rejects it rather than silently dropping it
+//     warmup=PATH    plan-profile file to replay before serving (no commas
+//                    or whitespace in PATH). Only meaningful to
+//                    CodecService::acquire (api/service.hpp) — plain
+//                    make_codec rejects it rather than silently dropping it
 //
 // Built-in families (k data + m parity fragments):
 //   rs(n[,p])        RS over GF(2^8), ISA-L Vandermonde matrix (p default 4)
@@ -65,6 +71,11 @@ struct CodecSpec {
   std::string spec;  // the original string, whitespace-stripped
   /// batch= value: 0 = auto; only meaningful when "batch" is in option_keys.
   size_t batch_threads = 0;
+  /// block=auto given: make_codec / canonical_spec resolve it through the
+  /// measured auto_block_size() sweep (api/autotune.hpp).
+  bool block_auto = false;
+  /// warmup= value: the plan-profile path CodecService::acquire replays.
+  std::string warmup_path;
 
   /// The positional arg at `i`, or `fallback` when fewer were given.
   size_t arg(size_t i, size_t fallback) const {
@@ -76,6 +87,18 @@ struct CodecSpec {
 /// spec quoted) on malformed input, unknown option keys or bad values.
 /// Does not check the family exists — make_codec does that.
 CodecSpec parse_spec(const std::string& spec);
+
+/// The canonical spelling of a spec — ONE string per semantic codec
+/// configuration, so equivalent spellings share a CodecService pool entry:
+/// key order is fixed, options equal to their defaults are dropped,
+/// default-able positional args are filled in ("rs(10)" -> "rs(10,4)"),
+/// matrix= folds into the RS family name ("rs(9,3)@matrix=cauchy" ->
+/// "cauchy(9,3)"), block=auto resolves to the measured byte count, and the
+/// session/service keys batch=/warmup= are stripped (they configure a
+/// session or service, not the codec). Idempotent; round-trips through
+/// parse_spec. Throws std::invalid_argument on malformed input.
+std::string canonical_spec(const std::string& spec);
+std::string canonical_spec(const CodecSpec& spec);
 
 /// Build a codec from a spec string or a parsed spec.
 /// Throws std::invalid_argument for unknown families or bad arguments.
@@ -95,9 +118,13 @@ std::vector<std::string> registered_families();
 /// the single source for help text and error messages (grammar above).
 const std::vector<std::string>& spec_option_keys();
 
-/// Counters of the process-shared plan-compilation cache (ec::PlanCache) —
-/// the service-wide view across every codec built with cache=shared (the
-/// default). Per-codec views: Codec::cache_stats().
+/// Process-global plan-compilation counters: the SUM over every live
+/// ec::PlanCache instance — the shared service cache plus all private and
+/// injected ones. Counters are scoped per cache instance, so this accessor
+/// aggregates without letting a private codec's traffic pollute the shared
+/// service's own hit rate: for the shared-cache-only view use
+/// Codec::cache_stats() on a shared-cache codec (or
+/// ec::PlanCache::process_shared()->stats()).
 CacheStats plan_cache_stats();
 
 }  // namespace xorec

@@ -141,8 +141,17 @@ BitmatrixCodecCore::BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks,
       m_(parity_blocks),
       w_(strips_per_block),
       opt_(std::move(opt)),
-      name_(std::move(name)),
-      config_fp_(PlanCache::fingerprint_config(opt_.pipeline, opt_.exec)) {
+      name_(std::move(name)) {
+  // Pin the multilevel default hierarchy NOW, while the executor block size
+  // is in hand: levels= unset means "this machine's cache topology divided
+  // by B" (sysfs-calibrated, 32:512 fallback). Resolving before the config
+  // fingerprint keeps cache identity honest — two codecs that would pebble
+  // different hierarchies never share compiled programs.
+  if (opt_.pipeline.schedule == slp::ScheduleKind::Multilevel &&
+      opt_.pipeline.cache_levels.empty())
+    opt_.pipeline.cache_levels =
+        slp::effective_cache_levels(opt_.pipeline, opt_.exec.block_size);
+  config_fp_ = PlanCache::fingerprint_config(opt_.pipeline, opt_.exec);
   std::tie(matrix_fp_, matrix_fp2_) = PlanCache::fingerprint_matrix(parity, k_, m_, w_);
   // Private caches are single-shard so cache=N keeps exact LRU capacity
   // semantics; the shared service spreads over PlanCache::kDefaultShards.
@@ -169,16 +178,39 @@ std::shared_ptr<CompiledProgram> BitmatrixCodecCore::cached(
 std::vector<uint32_t> BitmatrixCodecCore::decode_key(const std::vector<uint32_t>& erased,
                                                      const std::vector<uint32_t>& inputs) {
   std::vector<uint32_t> key = erased;
-  key.push_back(UINT32_MAX);
+  key.push_back(kPatternSep);
   key.insert(key.end(), inputs.begin(), inputs.end());
   return key;
 }
 
 std::vector<uint32_t> BitmatrixCodecCore::parity_key(const std::vector<uint32_t>& parity_ids) {
   std::vector<uint32_t> key = parity_ids;
-  key.push_back(UINT32_MAX);
-  key.push_back(UINT32_MAX);
+  key.push_back(kPatternSep);
+  key.push_back(kPatternSep);
   return key;
+}
+
+bool BitmatrixCodecCore::pattern_ids(const std::vector<uint32_t>& pattern,
+                                     size_t total_fragments,
+                                     std::vector<uint32_t>& available,
+                                     std::vector<uint32_t>& erased) {
+  available.clear();
+  erased.clear();
+  const auto sep = std::find(pattern.begin(), pattern.end(), kPatternSep);
+  if (sep == pattern.end()) return false;  // encoder key or foreign format
+  erased.assign(pattern.begin(), sep);
+  if (erased.empty()) return false;
+  const auto rest = sep + 1;
+  if (rest != pattern.end() && *rest == kPatternSep) {
+    // Parity subset: everything not erased is a survivor.
+    if (rest + 1 != pattern.end()) return false;
+    for (uint32_t id = 0; id < total_fragments; ++id)
+      if (std::find(erased.begin(), erased.end(), id) == erased.end())
+        available.push_back(id);
+    return true;
+  }
+  available.assign(rest, pattern.end());
+  return !available.empty();
 }
 
 void BitmatrixCodecCore::encode(const uint8_t* const* data, uint8_t* const* parity,

@@ -88,13 +88,29 @@ class BitmatrixCodecCore {
   /// Counters of the underlying cache (service-wide when shared).
   CacheStats cache_stats() const { return cache_->stats(); }
   const std::shared_ptr<PlanCache>& plan_cache() const { return cache_; }
+  /// This identity's cache footprint (xorec::Codec::plan_footprint).
+  PlanFootprint footprint() const {
+    return {matrix_fp_, matrix_fp2_, config_fp_, cache_->patterns_for(matrix_fp_, config_fp_)};
+  }
 
   /// Canonical cache keys: {erased ++ SEP ++ inputs} for decoders,
   /// {parity_ids ++ SEP ++ SEP} for parity re-encode subsets. (The encoder
-  /// uses the empty pattern internally.)
+  /// uses the empty pattern internally.) kPatternSep is the SEP marker —
+  /// the single source of truth for the key format; profile serialization
+  /// (ec/plan_cache_io) and warmup replay (pattern_ids below) build on it.
+  static constexpr uint32_t kPatternSep = UINT32_MAX;
   static std::vector<uint32_t> decode_key(const std::vector<uint32_t>& erased,
                                           const std::vector<uint32_t>& inputs);
   static std::vector<uint32_t> parity_key(const std::vector<uint32_t>& parity_ids);
+
+  /// Inverse of the key builders, for warmup replay: rebuild the
+  /// (available, erased) id sets a cached pattern key was planned under.
+  /// Decode keys replay against exactly the recorded inputs (reproducing
+  /// the original key for every codec family); parity keys against every
+  /// id outside the erased set. Returns false for the encoder key (empty —
+  /// nothing to replay) and malformed patterns.
+  static bool pattern_ids(const std::vector<uint32_t>& pattern, size_t total_fragments,
+                          std::vector<uint32_t>& available, std::vector<uint32_t>& erased);
 
   void encode(const uint8_t* const* data, uint8_t* const* parity, size_t frag_len) const;
 

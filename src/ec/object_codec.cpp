@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/batch.hpp"
+#include "api/service.hpp"
 #include "ec/rs_codec.hpp"
 
 namespace xorec::ec {
@@ -13,10 +14,12 @@ namespace {
 constexpr char kMagic[4] = {'X', 'S', 'L', 'P'};
 constexpr uint16_t kVersion = 1;
 
-/// A session may only route work for the codec it wraps — anything else
-/// would silently code with the wrong matrix.
+/// A codec-bound session may only route work for the codec it wraps —
+/// anything else would silently code with the wrong matrix. Codec-less
+/// shard sessions (CodecService) carry any codec: every submit below names
+/// this ObjectCodec's codec explicitly.
 void check_session(const BatchCoder* session, const Codec* codec) {
-  if (session && &session->codec() != codec)
+  if (session && session->has_codec() && &session->codec() != codec)
     throw std::invalid_argument(
         "ObjectCodec: session wraps a different codec instance (" +
         session->codec().name() + " vs " + codec->name() + ")");
@@ -29,8 +32,17 @@ ObjectCodec::ObjectCodec(std::shared_ptr<const Codec> codec) : codec_(std::move(
     throw std::invalid_argument("ObjectCodec: too many fragments for the wire header");
 }
 
+ObjectCodec::ObjectCodec(const xorec::ServiceHandle& handle)
+    : ObjectCodec(handle.codec_ptr()) {
+  default_session_ = &handle.session();
+}
+
 ObjectCodec::ObjectCodec(size_t n, size_t p, CodecOptions opt)
     : ObjectCodec(std::make_shared<RsCodec>(n, p, std::move(opt))) {}
+
+BatchCoder* ObjectCodec::session_or_default(BatchCoder* session) const {
+  return session ? session : default_session_;
+}
 
 size_t ObjectCodec::payload_len_for(size_t object_size) const {
   const size_t n = codec_->data_fragments();
@@ -71,6 +83,7 @@ std::optional<ObjectCodec::Header> ObjectCodec::read_header(
 
 EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size,
                                   BatchCoder* session) const {
+  session = session_or_default(session);
   check_session(session, codec_.get());
   const size_t n = codec_->data_fragments();
   const size_t p = codec_->parity_fragments();
@@ -96,7 +109,7 @@ EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size,
   for (size_t i = 0; i < p; ++i)
     parity.push_back(out.fragments[n + i].data() + kHeaderSize);
   if (session)
-    session->submit_encode(data.data(), parity.data(), payload).get();
+    session->submit_encode(codec_, data.data(), parity.data(), payload).get();
   else
     codec_->encode(data.data(), parity.data(), payload);
   return out;
@@ -104,6 +117,7 @@ EncodedObject ObjectCodec::encode(const uint8_t* object, size_t size,
 
 std::optional<std::vector<uint8_t>> ObjectCodec::decode(
     const std::vector<std::vector<uint8_t>>& fragments, BatchCoder* session) const {
+  session = session_or_default(session);
   check_session(session, codec_.get());
   const size_t n = codec_->data_fragments();
   const size_t p = codec_->parity_fragments();
@@ -149,8 +163,8 @@ std::optional<std::vector<uint8_t>> ObjectCodec::decode(
     try {
       if (session)
         session
-            ->submit_reconstruct(available, avail_ptrs.data(), erased_data, outs.data(),
-                                 payload)
+            ->submit_reconstruct(codec_, available, avail_ptrs.data(), erased_data,
+                                 outs.data(), payload)
             .get();  // get() rethrows a job failure here
       else
         codec_->reconstruct(available, avail_ptrs.data(), erased_data, outs.data(), payload);

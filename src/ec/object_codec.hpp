@@ -26,6 +26,7 @@
 
 namespace xorec {
 class BatchCoder;
+class ServiceHandle;
 }
 
 namespace xorec::ec {
@@ -42,6 +43,12 @@ class ObjectCodec {
   /// Wrap any codec (shared so callers can keep using it directly too).
   explicit ObjectCodec(std::shared_ptr<const Codec> codec);
 
+  /// Wrap a CodecService lease: the pooled codec plus its shard session as
+  /// the default routing — blob traffic joins the service's bounded worker
+  /// groups without per-call session plumbing. The service must outlive
+  /// this ObjectCodec.
+  explicit ObjectCodec(const xorec::ServiceHandle& handle);
+
   /// Convenience: RS(n, p) over GF(2^8), the default engine.
   ObjectCodec(size_t n, size_t p, CodecOptions opt = {});
 
@@ -52,9 +59,12 @@ class ObjectCodec {
   /// Split + pad + encode. Empty objects are legal (fragments carry only
   /// headers plus minimal padding). With a session, the parity computation
   /// runs as a submitted job on the session's workers — concurrent callers
-  /// share its bounded worker group instead of each coding inline. The
-  /// session must wrap the SAME codec instance (throws invalid_argument
-  /// otherwise); the call still returns synchronously.
+  /// share its bounded worker group instead of each coding inline. A
+  /// codec-bound session must wrap the SAME codec instance (throws
+  /// invalid_argument otherwise); codec-less shard sessions (CodecService)
+  /// route any codec. Passing no session uses the service-handle default
+  /// when constructed from one, else codes inline. The call still returns
+  /// synchronously.
   EncodedObject encode(const uint8_t* object, size_t size,
                        BatchCoder* session = nullptr) const;
 
@@ -84,8 +94,12 @@ class ObjectCodec {
   static std::optional<Header> read_header(const std::vector<uint8_t>& frag);
 
   size_t payload_len_for(size_t object_size) const;
+  BatchCoder* session_or_default(BatchCoder* session) const;
 
   std::shared_ptr<const Codec> codec_;
+  /// Default routing from the ServiceHandle constructor (shard session
+  /// owned by the service); null when constructed from a bare codec.
+  BatchCoder* default_session_ = nullptr;
 };
 
 }  // namespace xorec::ec

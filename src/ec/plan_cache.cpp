@@ -30,6 +30,19 @@ uint64_t splitmix_mix(uint64_t h, uint64_t v) {
 /// decode space is 1001 programs), small enough to bound memory.
 constexpr size_t kSharedCapacity = 4096;
 
+/// Every live PlanCache, so aggregate_stats() can sum the per-instance
+/// counters. Leaky singleton: it must outlive the process_shared() static
+/// and any cache destroyed during static teardown.
+struct InstanceRegistry {
+  std::mutex mu;
+  std::vector<const PlanCache*> caches;
+};
+
+InstanceRegistry& instances() {
+  static InstanceRegistry* r = new InstanceRegistry;
+  return *r;
+}
+
 }  // namespace
 
 size_t PlanKey::hash() const {
@@ -46,6 +59,15 @@ PlanCache::PlanCache(size_t capacity, size_t shards) {
   per_shard_cap_ = capacity == 0 ? 0 : std::max<size_t>(1, (capacity + n - 1) / n);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  InstanceRegistry& reg = instances();
+  std::lock_guard lk(reg.mu);
+  reg.caches.push_back(this);
+}
+
+PlanCache::~PlanCache() {
+  InstanceRegistry& reg = instances();
+  std::lock_guard lk(reg.mu);
+  reg.caches.erase(std::find(reg.caches.begin(), reg.caches.end(), this));
 }
 
 std::shared_ptr<CompiledProgram> PlanCache::get_or_build(const PlanKey& key,
@@ -103,6 +125,27 @@ size_t PlanCache::size() const {
   return n;
 }
 
+CacheStats PlanCache::aggregate_stats() {
+  // stats() compares against process_shared(); construct it now so its
+  // registration does not re-enter the registry mutex held below.
+  (void)process_shared();
+  // Registry mutex, then each cache's shard mutexes (inside stats());
+  // nothing locks in the other order.
+  CacheStats total;
+  total.shared = true;  // the process-wide view
+  InstanceRegistry& reg = instances();
+  std::lock_guard lk(reg.mu);
+  for (const PlanCache* c : reg.caches) {
+    const CacheStats s = c->stats();
+    total.entries += s.entries;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.compile_ns += s.compile_ns;
+  }
+  return total;
+}
+
 size_t PlanCache::size_for(uint64_t matrix_fp, uint64_t config_fp) const {
   size_t n = 0;
   for (const auto& s : shards_) {
@@ -111,6 +154,18 @@ size_t PlanCache::size_for(uint64_t matrix_fp, uint64_t config_fp) const {
       if (key.matrix_fp == matrix_fp && key.config_fp == config_fp) ++n;
   }
   return n;
+}
+
+std::vector<std::vector<uint32_t>> PlanCache::patterns_for(uint64_t matrix_fp,
+                                                           uint64_t config_fp) const {
+  std::vector<std::vector<uint32_t>> out;
+  for (const auto& s : shards_) {
+    std::lock_guard lk(s->mu);
+    for (const PlanKey& key : s->order)  // front = MRU
+      if (key.matrix_fp == matrix_fp && key.config_fp == config_fp)
+        out.push_back(key.pattern);
+  }
+  return out;
 }
 
 void PlanCache::clear() {

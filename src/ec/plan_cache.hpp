@@ -78,6 +78,10 @@ class PlanCache {
   /// exact per shard and approximate cache-wide. Use shards = 1 when exact
   /// global LRU order matters (tests, tiny private caches).
   explicit PlanCache(size_t capacity, size_t shards = kDefaultShards);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
 
   using Builder = std::function<std::shared_ptr<CompiledProgram>()>;
 
@@ -86,11 +90,22 @@ class PlanCache {
   std::shared_ptr<CompiledProgram> get_or_build(const PlanKey& key, const Builder& build);
 
   /// Cache-wide counters (entries, hits, misses, evictions, compile time).
+  /// Counters are scoped to THIS instance — a private codec cache's traffic
+  /// never leaks into the shared service's hit rate, or vice versa.
   CacheStats stats() const;
+  /// Sum of stats() over every live PlanCache in the process (the shared
+  /// service and all private/injected caches): the truly global view
+  /// xorec::plan_cache_stats() reports. Caches that have been destroyed
+  /// take their counters with them.
+  static CacheStats aggregate_stats();
   size_t size() const;
   /// Entries belonging to one codec identity — the per-codec "cache size"
   /// view onto the shared cache.
   size_t size_for(uint64_t matrix_fp, uint64_t config_fp) const;
+  /// The pattern keys cached for one codec identity, MRU-first per shard —
+  /// the replayable half of a warmup profile (ec/plan_cache_io.hpp).
+  std::vector<std::vector<uint32_t>> patterns_for(uint64_t matrix_fp,
+                                                  uint64_t config_fp) const;
   /// Drop every entry (counters keep accumulating). In-flight plans keep
   /// their programs alive via shared ownership.
   void clear();

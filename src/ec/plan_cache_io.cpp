@@ -1,0 +1,100 @@
+#include "ec/plan_cache_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ec/bitmatrix_codec_core.hpp"
+
+namespace xorec::ec {
+
+namespace {
+
+constexpr char kHeader[] = "xorec-plan-profile v1";
+// The key format's separator marker, written as '|' in the text form.
+constexpr uint32_t kSep = BitmatrixCodecCore::kPatternSep;
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("plan profile \"" + path + "\": " + why);
+}
+
+}  // namespace
+
+size_t PlanProfile::pattern_count() const {
+  size_t n = 0;
+  for (const Entry& e : entries) n += e.patterns.size();
+  return n;
+}
+
+void save_plan_profile(const std::string& path, const PlanProfile& profile) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  out << kHeader << "\n";
+  for (const PlanProfile::Entry& e : profile.entries) {
+    out << "codec " << e.spec << " fp " << e.matrix_fp << " " << e.matrix_fp2 << " "
+        << e.config_fp << "\n";
+    for (const std::vector<uint32_t>& pat : e.patterns) {
+      out << "pattern";
+      for (uint32_t v : pat) {
+        if (v == kSep)
+          out << " |";
+        else
+          out << " " << v;
+      }
+      out << "\n";
+    }
+  }
+  out.flush();
+  if (!out) fail(path, "write failed");
+}
+
+PlanProfile load_plan_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    fail(path, "missing header \"" + std::string(kHeader) + "\"");
+
+  PlanProfile profile;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "codec") {
+      PlanProfile::Entry e;
+      std::string fp_tag;
+      if (!(ls >> e.spec >> fp_tag >> e.matrix_fp >> e.matrix_fp2 >> e.config_fp) ||
+          fp_tag != "fp")
+        fail(path, "malformed codec record \"" + line + "\"");
+      profile.entries.push_back(std::move(e));
+    } else if (tag == "pattern") {
+      if (profile.entries.empty())
+        fail(path, "pattern record before any codec record");
+      std::vector<uint32_t> pat;
+      std::string tok;
+      while (ls >> tok) {
+        if (tok == "|") {
+          pat.push_back(kSep);
+          continue;
+        }
+        uint32_t v = 0;
+        for (char c : tok) {
+          if (c < '0' || c > '9') fail(path, "malformed pattern record \"" + line + "\"");
+          const uint64_t next = uint64_t{v} * 10 + static_cast<uint64_t>(c - '0');
+          if (next >= kSep) fail(path, "pattern id out of range in \"" + line + "\"");
+          v = static_cast<uint32_t>(next);
+        }
+        if (tok.empty()) fail(path, "malformed pattern record \"" + line + "\"");
+        pat.push_back(v);
+      }
+      profile.entries.back().patterns.push_back(std::move(pat));
+    } else {
+      fail(path, "unknown record \"" + line + "\"");
+    }
+  }
+  return profile;
+}
+
+}  // namespace xorec::ec

@@ -49,6 +49,10 @@ class RsCodec : public Codec {
   /// Plan-cache counters (service-wide when on the shared cache).
   CacheStats cache_stats() const override { return core_.cache_stats(); }
 
+  /// Cache identity + cached patterns, for warmup profiles.
+  PlanFootprint plan_footprint() const override { return core_.footprint(); }
+  size_t cached_program_count() const override { return core_.cache_size(); }
+
   /// Decode-side pipeline for a specific erasure pattern of data fragments,
   /// exposed so benches can measure the paper's P_dec tables offline.
   /// Survivors = choose_survivors(all fragments minus `erased_data`).

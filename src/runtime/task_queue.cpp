@@ -49,6 +49,11 @@ std::future<void> TaskQueue::submit(std::function<void()> fn) {
   return fut;
 }
 
+size_t TaskQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return queue_.size() + active_;
+}
+
 void TaskQueue::wait_idle() {
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [&] { return queue_.empty() && active_ == 0; });

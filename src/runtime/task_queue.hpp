@@ -31,6 +31,11 @@ class TaskQueue {
 
   size_t threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet finished (queued + executing) — the queue
+  /// depth a service scheduler balances shards by. Exact at the instant of
+  /// the lock; naturally stale the moment it returns.
+  size_t depth() const;
+
   /// Enqueue fn; the future completes when it has run. An exception thrown
   /// by fn is captured in the future (wait_idle does not rethrow it).
   std::future<void> submit(std::function<void()> fn);
@@ -40,7 +45,7 @@ class TaskQueue {
 
  private:
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_, cv_idle_;
   std::deque<std::packaged_task<void()>> queue_;
   size_t active_ = 0;

@@ -1,0 +1,75 @@
+#include "slp/cache_topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+
+namespace xorec::slp {
+
+namespace {
+
+/// First line of `path`, whitespace-trimmed; empty when unreadable.
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return {};
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+    line.pop_back();
+  return line;
+}
+
+/// Sysfs cache sizes read "32K" / "1M" / "1024"; 0 = unparseable.
+size_t parse_size(const std::string& s) {
+  size_t v = 0, i = 0;
+  for (; i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])); ++i)
+    v = v * 10 + static_cast<size_t>(s[i] - '0');
+  if (i == 0) return 0;
+  if (i == s.size()) return v;
+  if (i + 1 != s.size()) return 0;
+  switch (std::toupper(static_cast<unsigned char>(s[i]))) {
+    case 'K': return v << 10;
+    case 'M': return v << 20;
+    case 'G': return v << 30;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> parse_cache_dir(const std::string& dir) {
+  // level -> size; instruction caches are skipped, and when a level has
+  // several entries (should not happen for one cpu) the largest wins.
+  std::map<size_t, size_t> by_level;
+  for (size_t idx = 0; idx < 16; ++idx) {
+    const std::string base = dir + "/index" + std::to_string(idx) + "/";
+    const std::string type = read_line(base + "type");
+    if (type.empty()) continue;  // absent index — keep scanning (sparse ids exist)
+    if (type != "Data" && type != "Unified") continue;
+    const std::string level_s = read_line(base + "level");
+    const size_t size = parse_size(read_line(base + "size"));
+    if (level_s.empty() || size == 0) continue;
+    size_t level = 0;
+    for (char c : level_s) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) { level = 0; break; }
+      level = level * 10 + static_cast<size_t>(c - '0');
+    }
+    if (level == 0) continue;
+    by_level[level] = std::max(by_level[level], size);
+  }
+  std::vector<size_t> out;
+  for (const auto& [level, size] : by_level) out.push_back(size);  // map is level-sorted
+  // A usable hierarchy is strictly increasing; drop any level that is not.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](size_t a, size_t b) { return b <= a; }),
+            out.end());
+  return out;
+}
+
+const std::vector<size_t>& detected_cache_sizes() {
+  static const std::vector<size_t> sizes =
+      parse_cache_dir("/sys/devices/system/cpu/cpu0/cache");
+  return sizes;
+}
+
+}  // namespace xorec::slp

@@ -1,0 +1,28 @@
+// Real-machine cache topology for the multilevel scheduler's default
+// hierarchy. §6.2 derives the abstract-cache capacity from hardware (L1
+// size / block size); the multilevel pass generalizes that to a level
+// hierarchy — and the honest default is the machine's OWN hierarchy, read
+// from sysfs (/sys/devices/system/cpu/cpu0/cache/index*/), not a hardcoded
+// 32:512 guess. effective_cache_levels (slp/pipeline.hpp) converts these
+// byte sizes into per-level block capacities when the codec's block size is
+// known; the 32:512 constant remains the fallback for machines without
+// sysfs (containers, non-Linux).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xorec::slp {
+
+/// Data/unified cache sizes in bytes, L1..Ln ascending, of cpu0 — memoized
+/// for the process. Empty when the topology cannot be read (no sysfs).
+const std::vector<size_t>& detected_cache_sizes();
+
+/// Parse one sysfs-style cpu cache directory (the testable core of
+/// detected_cache_sizes): scans `dir`/index*/{level,type,size}, keeps Data
+/// and Unified caches, returns sizes in bytes ascending by level. Unreadable
+/// or malformed entries are skipped; an unusable directory yields {}.
+std::vector<size_t> parse_cache_dir(const std::string& dir);
+
+}  // namespace xorec::slp

@@ -1,5 +1,7 @@
 #include "slp/pipeline.hpp"
 
+#include "slp/cache_topology.hpp"
+
 #include <algorithm>
 
 #include "slp/fusion.hpp"
@@ -24,10 +26,28 @@ ExecForm PipelineResult::final_form() const {
   return ExecForm::Binary;
 }
 
-std::vector<size_t> effective_cache_levels(const PipelineOptions& opt) {
+std::vector<size_t> effective_cache_levels(const PipelineOptions& opt,
+                                           size_t block_size_bytes) {
   if (!opt.cache_levels.empty()) return opt.cache_levels;
-  const size_t l1 = opt.greedy_capacity ? opt.greedy_capacity : 32;
-  return {l1, std::max<size_t>(16 * l1, 512)};
+  if (opt.greedy_capacity) {
+    const size_t l1 = opt.greedy_capacity;
+    return {l1, std::max<size_t>(16 * l1, 512)};
+  }
+  if (block_size_bytes) {
+    // Calibrate from the machine's own hierarchy: capacity = level size / B
+    // per detected level (§6.2's rule). Levels that collapse below 2 blocks
+    // or stop growing after the division are dropped.
+    std::vector<size_t> levels;
+    for (size_t bytes : detected_cache_sizes()) {
+      const size_t blocks = bytes / block_size_bytes;
+      if (blocks < 2) continue;
+      if (!levels.empty() && blocks <= levels.back()) continue;
+      levels.push_back(blocks);
+    }
+    if (levels.size() >= 2) return levels;
+    if (levels.size() == 1) return {levels[0], std::max<size_t>(16 * levels[0], 512)};
+  }
+  return {32, 512};
 }
 
 PipelineResult optimize(const bitmatrix::BitMatrix& m, const PipelineOptions& opt,

@@ -33,10 +33,16 @@ struct PipelineOptions {
   std::vector<size_t> cache_levels;
 };
 
-/// The level capacities a Multilevel schedule would pebble against: the
-/// explicit cache_levels, else {cap, max(16*cap, 512)} with cap defaulting
-/// to 32 — the same L1 default the greedy scheduler uses.
-std::vector<size_t> effective_cache_levels(const PipelineOptions& opt);
+/// The level capacities a Multilevel schedule would pebble against:
+///   1. the explicit cache_levels (levels= spec key);
+///   2. else {cap, max(16*cap, 512)} when cap= was given;
+///   3. else, when the executor block size is known (block_size_bytes > 0)
+///      and sysfs exposes the machine's cache hierarchy
+///      (slp/cache_topology.hpp), each detected level's size divided by the
+///      block size — the paper's §6.2 "L1 size / B" rule per level;
+///   4. else the historical {32, 512} constant.
+std::vector<size_t> effective_cache_levels(const PipelineOptions& opt,
+                                           size_t block_size_bytes = 0);
 
 struct PipelineResult {
   Program base;                     // flat SLP of the bitmatrix ("Base")

@@ -10,6 +10,7 @@
 #include "altcodes/xor_code.hpp"
 #include "api/xorec.hpp"
 #include "ec/object_codec.hpp"
+#include "ec/rs_codec.hpp"
 
 using namespace xorec;
 
@@ -485,4 +486,29 @@ TEST(ObjectCodecGenericExtra, RebuildAllOverEvenodd) {
   const auto dec = blobs.decode(rebuilt->fragments);
   ASSERT_TRUE(dec.has_value());
   EXPECT_EQ(*dec, blob);
+}
+
+TEST(Registry, BlockAutoResolvesToAMeasuredByteCount) {
+  // block=auto resolves through the memoized machine sweep: a real codec
+  // comes back, its block size is one of the §7.4 candidates, and a second
+  // auto spec (memoized) agrees with the direct accessor.
+  const size_t measured = auto_block_size();
+  const std::vector<size_t> candidates{512, 1024, 2048, 4096, 8192};
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), measured),
+            candidates.end());
+
+  const auto codec = make_codec("rs(6,3)@block=auto");
+  const auto& rs = dynamic_cast<const ec::RsCodec&>(*codec);
+  EXPECT_EQ(rs.options().exec.block_size, measured);
+  // A later explicit block= overrides auto, and vice versa (last wins).
+  const auto explicit_codec = make_codec("rs(6,3)@block=auto,block=512");
+  EXPECT_EQ(dynamic_cast<const ec::RsCodec&>(*explicit_codec).options().exec.block_size,
+            512u);
+  const auto auto_codec = make_codec("rs(6,3)@block=512,block=auto");
+  EXPECT_EQ(dynamic_cast<const ec::RsCodec&>(*auto_codec).options().exec.block_size,
+            measured);
+  // canonical_spec pins the resolved byte count, so auto and its resolution
+  // share one service pool.
+  EXPECT_EQ(canonical_spec("rs(6,3)@block=auto"),
+            canonical_spec("rs(6,3)@block=" + std::to_string(measured)));
 }

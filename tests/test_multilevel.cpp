@@ -2,7 +2,13 @@
 // model, inclusion/monotonicity properties, and weighted-latency costs.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <fstream>
+#include <string>
+
 #include "slp/cache_model.hpp"
+#include "slp/cache_topology.hpp"
 #include "slp/multilevel_cache.hpp"
 #include "slp/pipeline.hpp"
 #include "slp_test_helpers.hpp"
@@ -89,4 +95,70 @@ TEST(Multilevel, SchedulingReducesMemoryTrafficOnRealCodec) {
   const auto a = simulate_multilevel(fu, {64, 1024}, ExecForm::Fused);
   const auto b = simulate_multilevel(sched, {64, 1024}, ExecForm::Fused);
   EXPECT_LE(b.memory_loads, a.memory_loads);
+}
+
+// ---- real-machine topology calibration (slp/cache_topology.hpp) ------------
+
+TEST(CacheTopology, ParsesSysfsStyleDirectories) {
+  // Build a fake sysfs cache dir: L1 data 32K + L1 instruction 32K (skipped)
+  // + L2 unified 1M + a malformed index (skipped).
+  const std::string dir = ::testing::TempDir() + "xorec_fake_cache_" +
+                          std::to_string(::getpid());
+  const auto write = [&](const std::string& rel, const std::string& content) {
+    const std::string sub = dir + "/" + rel.substr(0, rel.find('/'));
+    (void)::mkdir(dir.c_str(), 0755);
+    (void)::mkdir(sub.c_str(), 0755);
+    std::ofstream(dir + "/" + rel) << content << "\n";
+  };
+  write("index0/level", "1");
+  write("index0/type", "Data");
+  write("index0/size", "32K");
+  write("index1/level", "1");
+  write("index1/type", "Instruction");
+  write("index1/size", "32K");
+  write("index2/level", "2");
+  write("index2/type", "Unified");
+  write("index2/size", "1M");
+  write("index3/level", "bogus");
+  write("index3/type", "Unified");
+  write("index3/size", "8M");
+
+  const std::vector<size_t> sizes = parse_cache_dir(dir);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 32u << 10);
+  EXPECT_EQ(sizes[1], 1u << 20);
+}
+
+TEST(CacheTopology, MissingDirectoryYieldsEmpty) {
+  EXPECT_TRUE(parse_cache_dir("/nonexistent/xorec/cache/dir").empty());
+}
+
+TEST(CacheTopology, DetectedSizesAreStrictlyIncreasing) {
+  // Whatever this machine reports (possibly nothing in a container), the
+  // contract holds: strictly increasing byte sizes.
+  const auto& sizes = detected_cache_sizes();
+  for (size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(CacheTopology, EffectiveLevelsCalibrateFromTopology) {
+  PipelineOptions opt;
+  opt.schedule = ScheduleKind::Multilevel;
+  // Explicit levels always win.
+  opt.cache_levels = {8, 128};
+  EXPECT_EQ(effective_cache_levels(opt, 2048), (std::vector<size_t>{8, 128}));
+  // cap= drives the derived pair.
+  opt.cache_levels.clear();
+  opt.greedy_capacity = 16;
+  EXPECT_EQ(effective_cache_levels(opt, 2048), (std::vector<size_t>{16, 512}));
+  // No knobs + no block size: the historical constant.
+  opt.greedy_capacity = 0;
+  EXPECT_EQ(effective_cache_levels(opt), (std::vector<size_t>{32, 512}));
+  // No knobs + a block size: topology-calibrated when sysfs is readable,
+  // the constant otherwise — either way strictly increasing and >= 2.
+  const auto levels = effective_cache_levels(opt, 2048);
+  ASSERT_GE(levels.size(), 2u);
+  EXPECT_GE(levels.front(), 2u);
+  for (size_t i = 1; i < levels.size(); ++i) EXPECT_GT(levels[i], levels[i - 1]);
+  if (!detected_cache_sizes().empty())
+    EXPECT_EQ(levels.front(), detected_cache_sizes().front() / 2048);
 }
