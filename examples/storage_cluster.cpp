@@ -16,6 +16,8 @@
 //   ./build/examples/storage_cluster [objects] [object_mib] [spec] [profile]
 //   ./build/examples/storage_cluster 16 8 "evenodd(11)"
 //   ./build/examples/storage_cluster 8 2 "rs(10,4)@block=1024" /tmp/plans.profile
+//   ./build/examples/storage_cluster 8 2 "piggyback(10,4,2)"   # reduced-read repair
+//   ./build/examples/storage_cluster 8 2 "sparse(10,4,90,7)"   # seeded sparse draw
 //   ./build/examples/storage_cluster --list-codecs
 #include <algorithm>
 #include <chrono>

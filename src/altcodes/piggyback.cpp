@@ -1,0 +1,188 @@
+#include "altcodes/piggyback.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "bitmatrix/f2solve.hpp"
+#include "gf/gfmat.hpp"
+
+namespace xorec::altcodes {
+
+namespace {
+
+std::string family_name(size_t k, size_t m, size_t sub) {
+  return "piggyback(" + std::to_string(k) + "," + std::to_string(m) + "," +
+         std::to_string(sub) + ")";
+}
+
+/// Write the 8x8 companion bitmatrix of `coeff` at block (row_base, col_base).
+void put_companion(bitmatrix::BitMatrix& code, size_t row_base, size_t col_base,
+                   uint8_t coeff) {
+  const bitmatrix::BitMatrix c = bitmatrix::companion(coeff);
+  for (size_t r = 0; r < 8; ++r)
+    for (size_t col = 0; col < 8; ++col)
+      if (c.get(r, col)) code.set(row_base + r, col_base + col, true);
+}
+
+}  // namespace
+
+PiggybackLayout::PiggybackLayout(size_t k_, size_t m_, size_t sub_)
+    : k(k_), m(m_), sub(sub_) {
+  const std::string name = family_name(k, m, sub);
+  if (k == 0 || m < 2) throw std::invalid_argument(name + ": need k >= 1 and m >= 2");
+  if (sub < 2 || sub > m)
+    throw std::invalid_argument(name + ": need 2 <= sub <= m (each of a block's sub-1 "
+                                       "piggybacked symbols needs its own carrier parity)");
+  if (k + m > 255)
+    throw std::invalid_argument(name + ": Cauchy base code needs k + m <= 255");
+}
+
+size_t PiggybackLayout::group_of(size_t b) const {
+  // Contiguous groups over m-1 slots, first k % (m-1) groups one larger.
+  const size_t groups = m - 1, q = k / groups, r = k % groups;
+  if (b < r * (q + 1)) return b / (q + 1);
+  return r + (b - r * (q + 1)) / q;
+}
+
+size_t PiggybackLayout::carrier_parity(size_t b, size_t s) const {
+  return 1 + (group_of(b) + s) % (m - 1);
+}
+
+std::vector<std::pair<size_t, size_t>> PiggybackLayout::carried_by(size_t p) const {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t b = 0; b < k; ++b)
+    for (size_t s = 0; s + 1 < sub; ++s)
+      if (carrier_parity(b, s) == p) out.emplace_back(b, s);
+  return out;
+}
+
+std::vector<uint32_t> PiggybackLayout::repair_read_strips(size_t b) const {
+  const size_t w = strips_per_block(), last = 8 * (sub - 1);
+  std::vector<uint32_t> reads;
+  const auto push_sub = [&](size_t frag, size_t sub_off) {
+    for (size_t r = 0; r < 8; ++r)
+      reads.push_back(static_cast<uint32_t>(frag * w + sub_off + r));
+  };
+  // Step 1 — RS-decode the last substripe: every other data block's last
+  // substripe plus the clean parity 0 (k sub-symbols total).
+  for (size_t j = 0; j < k; ++j)
+    if (j != b) push_sub(j, last);
+  push_sub(k, last);
+  // Step 2 — peel each earlier symbol of b off its carrier: the carrier's
+  // last-substripe sub-symbol plus the piggyback set's other members.
+  for (size_t s = 0; s + 1 < sub; ++s) {
+    const size_t p = carrier_parity(b, s);
+    push_sub(k + p, last);
+    for (const auto& [j, t] : carried_by(p))
+      if (j != b) push_sub(j, 8 * t);
+  }
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  return reads;
+}
+
+std::vector<uint32_t> piggyback_repair_reads(size_t k, size_t m, size_t sub, size_t block) {
+  const PiggybackLayout layout(k, m, sub);
+  if (block >= k)
+    throw std::invalid_argument(family_name(k, m, sub) + ": repair block out of range");
+  return layout.repair_read_strips(block);
+}
+
+XorCodeSpec piggyback_spec(size_t k, size_t m, size_t sub) {
+  const PiggybackLayout layout(k, m, sub);
+  const size_t w = layout.strips_per_block();
+
+  XorCodeSpec spec;
+  spec.name = family_name(k, m, sub);
+  spec.data_blocks = k;
+  spec.parity_blocks = m;
+  spec.strips_per_block = w;
+  spec.code = bitmatrix::BitMatrix((k + m) * w, k * w);
+  for (size_t s = 0; s < k * w; ++s) spec.code.set(s, s, true);
+
+  // Base code: the Cauchy RS(k,m) applied to each substripe independently.
+  const gf::Matrix cauchy = gf::rs_cauchy_matrix(k, m);
+  for (size_t p = 0; p < m; ++p)
+    for (size_t s = 0; s < sub; ++s)
+      for (size_t j = 0; j < k; ++j)
+        put_companion(spec.code, (k + p) * w + 8 * s, j * w + 8 * s,
+                      cauchy.at(k + p, j));
+
+  // Piggybacks: parity p's LAST substripe additionally XORs in the earlier
+  // substripe symbols it carries (coefficient 1 = the 8x8 identity).
+  for (size_t p = 1; p < m; ++p)
+    for (const auto& [j, t] : layout.carried_by(p))
+      for (size_t r = 0; r < 8; ++r)
+        spec.code.set((k + p) * w + 8 * (sub - 1) + r, j * w + 8 * t + r, true);
+
+  spec.validate();
+  return spec;
+}
+
+namespace {
+
+/// PiggybackCodec derives reduced-read recovery programs the plain F2 solve
+/// over the same bitmatrix would not produce; salt the cache identity so a
+/// bare XorCodec(piggyback_spec(...)) on the shared plan cache never
+/// cross-serves programs with it (in either direction both programs are
+/// CORRECT, but the read-reduction guarantee would silently depend on who
+/// compiled first).
+XorCodeSpec with_reduced_read_salt(XorCodeSpec spec) {
+  spec.plan_strategy_salt = 0x70696767795F7631ull;  // "piggy_v1"
+  return spec;
+}
+
+}  // namespace
+
+PiggybackCodec::PiggybackCodec(size_t k, size_t m, size_t sub, ec::CodecOptions opt)
+    : XorCodec(with_reduced_read_salt(piggyback_spec(k, m, sub)), std::move(opt)),
+      layout_(k, m, sub) {}
+
+std::optional<std::vector<bitmatrix::BitRow>> PiggybackCodec::recovery_rows(
+    const std::vector<uint32_t>& erased_strips, const std::vector<uint32_t>& avail_strips,
+    const std::vector<uint32_t>& absent_strips) const {
+  const size_t w = layout_.strips_per_block(), k = layout_.k;
+  // The structured path covers the common repair: ONE lost data block, with
+  // the designed read set among the survivors.
+  const bool one_data_block = erased_strips.size() == w && erased_strips.front() % w == 0 &&
+                              erased_strips.front() / w < k &&
+                              erased_strips.back() == erased_strips.front() + w - 1;
+  if (one_data_block) {
+    const size_t b = erased_strips.front() / w;
+    const std::vector<uint32_t> reads = layout_.repair_read_strips(b);
+    if (std::includes(avail_strips.begin(), avail_strips.end(), reads.begin(),
+                      reads.end())) {
+      // Everything outside the read set is a don't-care: data strips join
+      // the solve as free unknowns, and only the read strips are offered as
+      // outputs — the solution provably reads nothing else.
+      std::vector<uint32_t> absent;
+      for (uint32_t strip = 0; strip < k * w; ++strip)
+        if (strip / w != b &&
+            !std::binary_search(reads.begin(), reads.end(), strip))
+          absent.push_back(strip);
+      if (auto rows = bitmatrix::f2_solve_erasures(spec().code, erased_strips, reads,
+                                                   absent)) {
+        // Re-express over the full avail_strips column space (the compiled
+        // program's input numbering), reads scattered to their positions.
+        std::vector<size_t> pos(reads.size());
+        for (size_t i = 0; i < reads.size(); ++i) {
+          const auto it = std::lower_bound(avail_strips.begin(), avail_strips.end(),
+                                           reads[i]);
+          pos[i] = static_cast<size_t>(it - avail_strips.begin());
+        }
+        std::vector<bitmatrix::BitRow> full;
+        full.reserve(rows->size());
+        for (const bitmatrix::BitRow& row : *rows) {
+          bitmatrix::BitRow wide(avail_strips.size());
+          for (uint32_t i : row.ones()) wide.set(pos[i], true);
+          full.push_back(std::move(wide));
+        }
+        return full;
+      }
+    }
+  }
+  return XorCodec::recovery_rows(erased_strips, avail_strips, absent_strips);
+}
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,87 @@
+// Piggybacked RS (Rashmi/Shah/Ramchandran's piggybacking framework): an RS
+// stripe is split into `sub` substripes, each independently Cauchy-RS
+// encoded, and parities 1..m-1 of the LAST substripe additionally carry XOR
+// "piggybacks" of earlier-substripe data symbols — folded straight into the
+// code bitmatrix, so the whole SLP optimizer / plan-cache / batch stack
+// applies unchanged.
+//
+// Fragment layout: every fragment holds its sub substripes back to back,
+// 8 strips each (w = 8·sub strips per block); substripe s of block b is
+// strips b·w+8s .. b·w+8s+7. The code stays MDS over whole-block erasures
+// (substripes 0..sub-2 decode as plain RS; the last substripe's piggybacks
+// are then known and cancel), which the F2 solver finds on its own.
+//
+// The draw is repair bandwidth: a single lost data block is rebuilt by
+// RS-decoding only the LAST substripe (k sub-symbol reads) and then peeling
+// each earlier symbol off its piggybacked parity (1 parity sub-symbol + the
+// piggyback set's other members) — piggyback_repair_reads() below, strictly
+// fewer strip reads than the sub·k a plain RS repair touches once m >= 3.
+// PiggybackCodec overrides XorCodec::recovery_rows to hand the don't-care
+// F2 solver exactly that read set, so the compiled repair plan provably
+// reads no more.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// Requires k >= 1, m >= 2, 2 <= sub <= m (each of a block's sub-1
+/// piggybacked symbols needs its own carrier parity) and k + m <= 255 (the
+/// base code is the GF(2^8) Cauchy construction). w = 8·sub strips.
+XorCodeSpec piggyback_spec(size_t k, size_t m, size_t sub);
+
+/// The piggyback layout arithmetic, shared by the spec builder, the codec's
+/// reduced-read repair and the conformance tests.
+struct PiggybackLayout {
+  size_t k = 0, m = 0, sub = 0;
+
+  PiggybackLayout(size_t k_, size_t m_, size_t sub_);
+
+  size_t strips_per_block() const { return 8 * sub; }
+  /// Data blocks are split into m-1 contiguous groups (sizes differing by
+  /// at most one, like lrc); the group of data block b.
+  size_t group_of(size_t b) const;
+  /// Which parity (1..m-1) carries the piggyback of data block b's
+  /// substripe-s symbol, s < sub-1: parity 1 + (group(b) + s) mod (m-1) —
+  /// distinct per s because sub - 1 <= m - 1.
+  size_t carrier_parity(size_t b, size_t s) const;
+  /// All (block, substripe) symbols piggybacked onto parity p (1..m-1).
+  std::vector<std::pair<size_t, size_t>> carried_by(size_t p) const;
+
+  /// The strip ids (over the whole (k+m)-fragment stripe) the by-design
+  /// repair of data block `b` reads: last substripe of every other data
+  /// block and of parity 0, the last substripe of b's carrier parities, and
+  /// the other members of each carrier's piggyback set. Sorted ascending.
+  std::vector<uint32_t> repair_read_strips(size_t b) const;
+};
+
+/// Convenience: repair_read_strips of piggyback(k,m,sub) for `block`.
+std::vector<uint32_t> piggyback_repair_reads(size_t k, size_t m, size_t sub, size_t block);
+
+class PiggybackCodec : public XorCodec {
+ public:
+  PiggybackCodec(size_t k, size_t m, size_t sub, ec::CodecOptions opt = {});
+
+  size_t substripes() const { return layout_.sub; }
+  const PiggybackLayout& layout() const { return layout_; }
+
+ protected:
+  /// Single lost data block with the designed read set available: solve
+  /// against exactly repair_read_strips(b) (everything else don't-care),
+  /// so the compiled plan reads ~k + |piggyback sets| sub-symbols instead
+  /// of sub·k. Any other pattern falls back to the full-read solve.
+  std::optional<std::vector<bitmatrix::BitRow>> recovery_rows(
+      const std::vector<uint32_t>& erased_strips,
+      const std::vector<uint32_t>& avail_strips,
+      const std::vector<uint32_t>& absent_strips) const override;
+
+ private:
+  PiggybackLayout layout_;
+};
+
+}  // namespace xorec::altcodes

@@ -1,0 +1,184 @@
+#include "altcodes/sparse.hpp"
+
+#include <map>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "bitmatrix/f2solve.hpp"
+#include "gf/gfmat.hpp"
+
+namespace xorec::altcodes {
+
+namespace {
+
+constexpr size_t kStrips = 8;       // w: strips per block
+constexpr size_t kMaxAttempts = 64; // rejection-sampling budget per seed
+constexpr size_t kCertMaxBlocks = 24;
+constexpr size_t kCertMaxPatterns = 2048;
+
+std::string family_name(size_t k, size_t m, size_t d, size_t seed) {
+  return "sparse(" + std::to_string(k) + "," + std::to_string(m) + "," +
+         std::to_string(d) + "," + std::to_string(seed) + ")";
+}
+
+/// C(n, r) capped at kCertMaxPatterns + 1 (enough to decide tractability).
+size_t binomial_capped(size_t n, size_t r) {
+  size_t v = 1;
+  for (size_t i = 0; i < r; ++i) {
+    v = v * (n - i) / (i + 1);
+    if (v > kCertMaxPatterns) return kCertMaxPatterns + 1;
+  }
+  return v;
+}
+
+/// Every t-block erasure pattern decodable? (Monotone: passing t covers
+/// every pattern of fewer erasures, which only has more survivors.)
+bool all_t_erasures_decodable(const bitmatrix::BitMatrix& code, size_t k, size_t m,
+                              size_t t) {
+  const size_t n = k + m;
+  std::vector<uint32_t> pick(t);
+  for (size_t i = 0; i < t; ++i) pick[i] = static_cast<uint32_t>(i);
+  while (true) {
+    std::vector<uint32_t> erased_strips, avail_strips;
+    size_t next = 0;
+    for (uint32_t f = 0; f < n; ++f) {
+      const bool erased = next < t && pick[next] == f;
+      if (erased) ++next;
+      for (size_t s = 0; s < kStrips; ++s) {
+        const uint32_t strip = static_cast<uint32_t>(f * kStrips + s);
+        if (erased && f < k) erased_strips.push_back(strip);
+        if (!erased) avail_strips.push_back(strip);
+      }
+    }
+    if (!erased_strips.empty() &&
+        !bitmatrix::f2_solve_erasures(code, erased_strips, avail_strips))
+      return false;
+    // Next t-combination of [0, n).
+    size_t i = t;
+    while (i > 0 && pick[i - 1] == n - t + i - 1) --i;
+    if (i == 0) return true;
+    ++pick[i - 1];
+    for (size_t j = i; j < t; ++j) pick[j] = pick[j - 1] + 1;
+  }
+}
+
+/// The certified tolerance of one draw: largest t with every t-pattern
+/// decodable, checked incrementally (0 when even single erasures fail).
+size_t certify_tolerance(const bitmatrix::BitMatrix& code, size_t k, size_t m) {
+  size_t t = 0;
+  while (t < m && all_t_erasures_decodable(code, k, m, t + 1)) ++t;
+  return t;
+}
+
+/// One seeded draw of the sparse parity coefficients (block-granular: a
+/// parity touches a data block with probability d%, through a random
+/// nonzero GF(2^8) coefficient). Degenerate draws are repaired in-stream:
+/// a zero parity row encodes nothing and would fail validate(); an
+/// uncovered data block would be unprotected by every parity.
+gf::Matrix draw_code(std::mt19937& rng, size_t k, size_t m, size_t density_pct) {
+  gf::Matrix parity(m, k);
+  for (size_t p = 0; p < m; ++p)
+    for (size_t j = 0; j < k; ++j)
+      if (rng() % 100 < density_pct)
+        parity.at(p, j) = static_cast<uint8_t>(1 + rng() % 255);
+  for (size_t p = 0; p < m; ++p) {
+    bool any = false;
+    for (size_t j = 0; j < k && !any; ++j) any = parity.at(p, j) != 0;
+    if (!any) parity.at(p, rng() % k) = static_cast<uint8_t>(1 + rng() % 255);
+  }
+  for (size_t j = 0; j < k; ++j) {
+    bool any = false;
+    for (size_t p = 0; p < m && !any; ++p) any = parity.at(p, j) != 0;
+    if (!any) parity.at(rng() % m, j) = static_cast<uint8_t>(1 + rng() % 255);
+  }
+  gf::Matrix code(k + m, k);
+  for (size_t j = 0; j < k; ++j) code.at(j, j) = 1;
+  for (size_t p = 0; p < m; ++p)
+    for (size_t j = 0; j < k; ++j) code.at(k + p, j) = parity.at(p, j);
+  return code;
+}
+
+/// The rejection loop both entry points share: walk kMaxAttempts seeded
+/// draws, certify each (small shapes), keep the best-certified one and
+/// short-circuit on an MDS (t == m) winner. Returns the winning bitmatrix
+/// and its certified tolerance (0 when the shape is uncertified). The
+/// result is deterministic in (k, m, d, seed) and the certification is the
+/// expensive part, so it is memoized process-wide — sparse_spec and
+/// sparse_certified_tolerance on the same shape pay the loop once.
+const std::pair<bitmatrix::BitMatrix, size_t>& best_draw(size_t k, size_t m,
+                                                         size_t density_pct, size_t seed) {
+  using Key = std::tuple<size_t, size_t, size_t, size_t>;
+  static std::mutex mu;
+  static std::map<Key, std::pair<bitmatrix::BitMatrix, size_t>> memo;
+  {
+    std::lock_guard lk(mu);
+    const auto it = memo.find(Key{k, m, density_pct, seed});
+    if (it != memo.end()) return it->second;
+  }
+  const std::string name = family_name(k, m, density_pct, seed);
+  if (k == 0 || m == 0 || k > 128 || m > 128)
+    throw std::invalid_argument(name + ": need 1 <= k, m <= 128");
+  if (density_pct == 0 || density_pct > 100)
+    throw std::invalid_argument(name + ": density is a percentage in 1..100");
+
+  std::mt19937 rng(static_cast<uint32_t>(static_cast<uint64_t>(seed) ^
+                                         (static_cast<uint64_t>(seed) >> 32)));
+  const bool certify = sparse_mds_checked(k, m);
+  bitmatrix::BitMatrix best;
+  size_t best_t = 0;
+  for (size_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    bitmatrix::BitMatrix code = bitmatrix::expand(draw_code(rng, k, m, density_pct));
+    if (!certify) {
+      std::lock_guard lk(mu);
+      return memo.try_emplace(Key{k, m, density_pct, seed}, std::move(code), size_t{0})
+          .first->second;
+    }
+    const size_t t = certify_tolerance(code, k, m);
+    if (t > best_t || best.rows() == 0) {
+      best = std::move(code);
+      best_t = t;
+    }
+    if (best_t == m) break;  // MDS certificate: nothing left to improve
+  }
+  if (certify && best_t == 0)
+    throw std::invalid_argument(
+        name + ": no draw in " + std::to_string(kMaxAttempts) +
+        " attempts repairs every single-block erasure — density too low for this "
+        "shape (raise d or change the seed)");
+  std::lock_guard lk(mu);
+  return memo.try_emplace(Key{k, m, density_pct, seed}, std::move(best), best_t)
+      .first->second;
+}
+
+}  // namespace
+
+bool sparse_mds_checked(size_t k, size_t m) {
+  if (k + m > kCertMaxBlocks) return false;
+  size_t total = 0;
+  for (size_t t = 1; t <= m; ++t) {
+    total += binomial_capped(k + m, t);
+    if (total > kCertMaxPatterns) return false;
+  }
+  return true;
+}
+
+size_t sparse_certified_tolerance(size_t k, size_t m, size_t density_pct, size_t seed) {
+  return best_draw(k, m, density_pct, seed).second;
+}
+
+XorCodeSpec sparse_spec(size_t k, size_t m, size_t density_pct, size_t seed) {
+  XorCodeSpec spec;
+  spec.name = family_name(k, m, density_pct, seed);
+  spec.data_blocks = k;
+  spec.parity_blocks = m;
+  spec.strips_per_block = kStrips;
+  spec.code = best_draw(k, m, density_pct, seed).first;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace xorec::altcodes

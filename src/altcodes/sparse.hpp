@@ -1,0 +1,54 @@
+// Sparse random codes (Founsure/LT-flavored): each parity block touches a
+// random d% of the data blocks, each touched block through a random nonzero
+// GF(2^8) coefficient, expanded to a sparse parity bitmatrix — so parity
+// rows carry ~d%·k block terms instead of all k, fewer XORs before the
+// optimizer even starts. The draw is regenerated deterministically from the
+// seed: "sparse(k,m,d,seed)" is a complete description of the codec
+// (warmup profiles and canonical-spec pooling replay onto identical
+// fingerprints).
+//
+// Small shapes are drawn by rejection sampling against exhaustive rank
+// checks: every draw's erasure tolerance t (all t-block erasure patterns
+// decodable, monotone in t) is certified over F2, non-MDS draws are
+// rejected in favor of the best-certified one in the attempt budget, and a
+// t = m winner is a true MDS certificate. Density bounds what is
+// achievable: a systematic MDS code must have EVERY parity touch EVERY
+// data block (erase a skipped block plus all parities but the skipping
+// one), so d near 100 converges to MDS draws while genuinely sparse
+// densities certify a smaller t — sparse_certified_tolerance() reports
+// which, and the conformance harness asserts exactly that guarantee. (The
+// GF(2^8) coefficients are what make rejection converge at all; a raw
+// random F2 bitmatrix is singular on some square pattern almost surely.)
+// Large shapes skip the certificate (sparse_mds_checked) and rely on
+// plan-time solving; every accepted draw still repairs single-block
+// erasures, has no zero parity rows and no uncovered data blocks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "altcodes/xor_code.hpp"
+
+namespace xorec::altcodes {
+
+/// Requires k >= 1, m >= 1, 1 <= density_pct <= 100; k, m <= 128 keeps the
+/// bitmatrix and the certificate tractable. w = 8 strips per block. Every
+/// accepted draw certifies at least single-block repair (t >= 1): the draw
+/// repair forces each data block under a nonzero — hence invertible —
+/// coefficient, so the rejection loop's density-too-low throw is a
+/// defensive invariant, not an expected path.
+XorCodeSpec sparse_spec(size_t k, size_t m, size_t density_pct, size_t seed);
+
+/// The accepted draw's certified erasure tolerance: the largest t such that
+/// every t-block erasure pattern was verified decodable by the rank checks
+/// (t == m is an MDS certificate). Deterministic replay of sparse_spec's
+/// rejection loop. Returns 0 for shapes sparse_mds_checked() excludes —
+/// uncertified, not intolerant.
+size_t sparse_certified_tolerance(size_t k, size_t m, size_t density_pct, size_t seed);
+
+/// True when sparse_spec(k, m, ...) runs the exhaustive decodability
+/// certificate (small shapes); false when the shape is too large and
+/// plan-time solving is the only authority.
+bool sparse_mds_checked(size_t k, size_t m);
+
+}  // namespace xorec::altcodes

@@ -68,7 +68,7 @@ BitMatrix parity_of(const XorCodeSpec& spec) {
 XorCodec::XorCodec(XorCodeSpec spec, ec::CodecOptions opt)
     : spec_(checked(std::move(spec))),
       core_(spec_.data_blocks, spec_.parity_blocks, spec_.strips_per_block,
-            parity_of(spec_), std::move(opt), spec_.name) {}
+            parity_of(spec_), std::move(opt), spec_.name, spec_.plan_strategy_salt) {}
 
 void XorCodec::encode_impl(const uint8_t* const* data, uint8_t* const* parity,
                            size_t frag_len) const {
@@ -101,14 +101,20 @@ std::shared_ptr<ec::CompiledProgram> XorCodec::recovery_program(
             for (size_t s = 0; s < w; ++s)
               absent_strips.push_back(static_cast<uint32_t>(b * w + s));
 
-        auto rows = bitmatrix::f2_solve_erasures(spec_.code, erased_strips, avail_strips,
-                                                 absent_strips);
+        auto rows = recovery_rows(erased_strips, avail_strips, absent_strips);
         if (!rows)
           throw std::invalid_argument(spec_.name + ": erasure pattern exceeds code tolerance");
         BitMatrix recovery(rows->size(), avail_strips.size());
         for (size_t r = 0; r < rows->size(); ++r) recovery.row(r) = (*rows)[r];
         return core_.compile(recovery, "dec");
       });
+}
+
+std::optional<std::vector<BitRow>> XorCodec::recovery_rows(
+    const std::vector<uint32_t>& erased_strips, const std::vector<uint32_t>& avail_strips,
+    const std::vector<uint32_t>& absent_strips) const {
+  return bitmatrix::f2_solve_erasures(spec_.code, erased_strips, avail_strips,
+                                      absent_strips);
 }
 
 std::shared_ptr<const ReconstructPlan> XorCodec::plan_reconstruct_impl(

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,12 @@ struct XorCodeSpec {
   size_t parity_blocks = 0;    // m
   size_t strips_per_block = 0; // w
   bitmatrix::BitMatrix code;   // ((k+m)w) x (kw), systematic
+  /// Folded into the plan-cache config fingerprint. A codec subclass that
+  /// overrides recovery_rows (a different plan DERIVATION over the same
+  /// matrix — piggyback's reduced-read repair) must set a nonzero salt, or
+  /// its compiled programs would be cross-served with the plain solve's
+  /// under one cache identity. 0 for plain XorCodec use.
+  uint64_t plan_strategy_salt = 0;
 
   void validate() const;  // shape + systematic top; throws on violation
 };
@@ -71,6 +78,20 @@ class XorCodec : public Codec {
   std::shared_ptr<const ReconstructPlan> plan_reconstruct_impl(
       const std::vector<uint32_t>& available,
       const std::vector<uint32_t>& erased) const override;
+
+  /// Recovery-row derivation hook: express each erased input strip (in the
+  /// given order) as an XOR over `avail_strips` (columns in that order);
+  /// nullopt when the survivors do not determine the erasures. The default
+  /// is the full-read don't-care F2 solve over the code bitmatrix. Families
+  /// with structured sub-fragment repair (piggyback) override this to
+  /// restrict which survivor strips the compiled program reads, falling
+  /// back here for patterns their structure does not cover. Results are
+  /// memoized under the (erased, available) plan-cache key, so overrides
+  /// must be deterministic functions of the pattern.
+  virtual std::optional<std::vector<bitmatrix::BitRow>> recovery_rows(
+      const std::vector<uint32_t>& erased_strips,
+      const std::vector<uint32_t>& avail_strips,
+      const std::vector<uint32_t>& absent_strips) const;
 
  private:
   std::shared_ptr<ec::CompiledProgram> recovery_program(

@@ -9,8 +9,10 @@
 #include "altcodes/evenodd.hpp"
 #include "api/autotune.hpp"
 #include "altcodes/lrc.hpp"
+#include "altcodes/piggyback.hpp"
 #include "altcodes/rdp.hpp"
 #include "altcodes/rs16.hpp"
+#include "altcodes/sparse.hpp"
 #include "altcodes/star.hpp"
 #include "altcodes/xor_code.hpp"
 #include "baseline/isal_style.hpp"
@@ -233,6 +235,42 @@ std::unique_ptr<Codec> build_lrc(const CodecSpec& cs) {
   return std::make_unique<altcodes::XorCodec>(altcodes::lrc_spec(k, l, g), cs.options);
 }
 
+constexpr size_t kDefaultSubstripes = 2;
+constexpr size_t kDefaultSparseSeed = 1;
+
+std::unique_ptr<Codec> build_piggyback(const CodecSpec& cs) {
+  need_args(cs, 2, 3);
+  if (has_option(cs, "matrix"))
+    fail(cs.spec, "family \"piggyback\" fixes its base matrix (Cauchy per substripe); "
+                  "matrix= does not apply");
+  const size_t k = cs.args[0], m = cs.args[1], sub = cs.arg(2, kDefaultSubstripes);
+  if (k > 128)
+    fail(cs.spec, "piggyback via the registry is limited to k <= 128 data blocks");
+  if (sub > 8)
+    fail(cs.spec, "piggyback via the registry is limited to sub <= 8 substripes "
+                  "(w = 8*sub strips scales SLP compile time fast)");
+  try {
+    return std::make_unique<altcodes::PiggybackCodec>(k, m, sub, cs.options);
+  } catch (const std::invalid_argument& e) {
+    fail(cs.spec, e.what());
+  }
+}
+
+std::unique_ptr<Codec> build_sparse(const CodecSpec& cs) {
+  need_args(cs, 3, 4);
+  if (has_option(cs, "matrix"))
+    fail(cs.spec, "family \"sparse\" draws its own random bitmatrix; matrix= does not "
+                  "apply");
+  const size_t k = cs.args[0], m = cs.args[1], d = cs.args[2];
+  const size_t seed = cs.arg(3, kDefaultSparseSeed);
+  try {
+    return std::make_unique<altcodes::XorCodec>(altcodes::sparse_spec(k, m, d, seed),
+                                                cs.options);
+  } catch (const std::invalid_argument& e) {
+    fail(cs.spec, e.what());
+  }
+}
+
 /// Array-code layouts need a prime parameter; deployments ask for k data
 /// disks. Pick the smallest legal prime and shorten (altcodes::shorten_spec).
 std::unique_ptr<Codec> build_array(const CodecSpec& cs, size_t parities,
@@ -276,6 +314,8 @@ Registry& registry() {
     f["isal"] = build_isal;
     f["rs16"] = build_rs16;
     f["lrc"] = build_lrc;
+    f["piggyback"] = build_piggyback;
+    f["sparse"] = build_sparse;
     f["evenodd"] = [](const CodecSpec& cs) {
       // EVENODD(p) has p data disks: smallest prime >= max(k, 3).
       return build_array(cs, 2, altcodes::evenodd_spec,
@@ -416,6 +456,10 @@ std::string canonical_spec(const CodecSpec& given) {
     else if (family == "star")
       args.push_back(3);
   }
+  // The families with a trailing default-able arg ("piggyback(10,3)" ->
+  // "piggyback(10,3,2)", "sparse(8,3,30)" -> "sparse(8,3,30,1)").
+  if (family == "piggyback" && args.size() == 2) args.push_back(kDefaultSubstripes);
+  if (family == "sparse" && args.size() == 3) args.push_back(kDefaultSparseSeed);
 
   // Pipeline spelling: invert the passes=/sched= presets (the same mapping
   // rs_name() in ec/rs_codec.cpp uses — keep the three in sync). Shapes the

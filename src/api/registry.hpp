@@ -44,6 +44,12 @@
 //   rdp(k[,2])       Row-Diagonal Parity, shortened to k data disks
 //   star(k[,3])      STAR (3 parities), shortened to k data disks
 //   lrc(k,l,g)       locality code: l local XOR groups + g Cauchy globals
+//   piggyback(k,m[,sub])  piggybacked RS: sub (default 2) Cauchy substripes
+//                    with last-substripe parity piggybacks — reduced-read
+//                    single-block repair once m >= 3 (w = 8*sub strips)
+//   sparse(k,m,d[,seed])  random sparse parity bitmatrix at density d%,
+//                    regenerated from seed (default 1); small shapes reject
+//                    non-MDS draws via rank checks
 //   naive_xor(n[,p]) RS with every optimizer pass disabled (the "Base")
 //   isal(n[,p])      GF-table ISA-L-style baseline (no SLP pipeline)
 //

@@ -247,8 +247,11 @@ ServiceStats CodecService::stats() const {
     ShardStats ss;
     ss.shard = i;
     ss.workers = s.session.threads();
-    ss.submitted = s.session.submitted();  // handle-routed + ObjectCodec blob jobs
+    // Depth BEFORE submitted: depth never exceeds the jobs submitted by the
+    // time it is read, and submitted only grows — read the other way, a job
+    // landing between the loads makes the snapshot show depth > submitted.
     ss.queue_depth = s.session.pending();
+    ss.submitted = s.session.submitted();  // handle-routed + ObjectCodec blob jobs
     ss.bytes_coded = s.bytes.load(std::memory_order_relaxed);
     ss.throughput_gbps =
         out.uptime_s > 0 ? static_cast<double>(ss.bytes_coded) / out.uptime_s / 1e9 : 0;

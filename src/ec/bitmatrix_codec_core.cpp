@@ -136,7 +136,7 @@ std::vector<uint8_t*> BitmatrixCodecCore::strip_pointers(uint8_t* const* frags, 
 BitmatrixCodecCore::BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks,
                                        size_t strips_per_block,
                                        const bitmatrix::BitMatrix& parity, CodecOptions opt,
-                                       std::string name)
+                                       std::string name, uint64_t strategy_salt)
     : k_(data_blocks),
       m_(parity_blocks),
       w_(strips_per_block),
@@ -151,7 +151,7 @@ BitmatrixCodecCore::BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks,
       opt_.pipeline.cache_levels.empty())
     opt_.pipeline.cache_levels =
         slp::effective_cache_levels(opt_.pipeline, opt_.exec.block_size);
-  config_fp_ = PlanCache::fingerprint_config(opt_.pipeline, opt_.exec);
+  config_fp_ = PlanCache::fingerprint_config(opt_.pipeline, opt_.exec) ^ strategy_salt;
   std::tie(matrix_fp_, matrix_fp2_) = PlanCache::fingerprint_matrix(parity, k_, m_, w_);
   // Private caches are single-shard so cache=N keeps exact LRU capacity
   // semantics; the shared service spreads over PlanCache::kDefaultShards.

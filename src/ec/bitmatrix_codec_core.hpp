@@ -62,10 +62,15 @@ class BitmatrixCodecCore {
  public:
   /// `parity` is the (m·w) x (k·w) parity bitmatrix; the encoding SLP is
   /// compiled through the configured pipeline immediately (a plan-cache hit
-  /// when an identical codec already compiled it).
+  /// when an identical codec already compiled it). `strategy_salt` is
+  /// folded into the config fingerprint for codecs whose plan DERIVATION
+  /// differs from the plain bitmatrix solve over the same matrix (the
+  /// piggyback reduced-read repair): two codecs that would compile
+  /// different programs for the same pattern key must never share cache
+  /// entries.
   BitmatrixCodecCore(size_t data_blocks, size_t parity_blocks, size_t strips_per_block,
                      const bitmatrix::BitMatrix& parity, CodecOptions opt,
-                     std::string name);
+                     std::string name, uint64_t strategy_salt = 0);
 
   size_t data_blocks() const { return k_; }
   size_t parity_blocks() const { return m_; }

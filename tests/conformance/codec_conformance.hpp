@@ -1,0 +1,488 @@
+// Registry-wide codec conformance harness.
+//
+// Three pieces, shared by test_conformance.cpp and the fuzz/stress suites:
+//
+//  - ReferenceModel: a naive, SLP-free, executor-free reference decoder
+//    derived EMPIRICALLY by probing Codec::encode with basis payloads. Every
+//    codec in the library is F2-linear; the model discovers the linear map
+//    (strip-granular XOR incidence for the bitmatrix codecs, bit-granular
+//    companion columns for byte-oriented GF codecs like isal) and re-derives
+//    repairs by plain Gauss-Jordan over bytes — no bitmatrix/, no slp/, no
+//    runtime/. Disagreement between a compiled plan and this model is a bug
+//    in the optimizer/executor stack by construction.
+//
+//  - conformance_table(): small representative shapes for every registered
+//    family, each with the erasure tolerance the family GUARANTEES at that
+//    shape (parity count for MDS families, the certified tolerance for
+//    sparse, 1 for lrc), plus the locality claims (group repair sets,
+//    strip-read bounds) for the families that make them. The suites iterate
+//    xorec::registered_families() and look shapes up here, so registering a
+//    new family without adding conformance shapes fails the suite loudly.
+//
+//  - Pattern drivers: enumerate every C(k+m, <= m) erasure pattern, check
+//    codec and reference agree on solvability, and byte-compare compiled
+//    plan output against both the original payload and the reference
+//    decode.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "altcodes/lrc.hpp"
+#include "altcodes/piggyback.hpp"
+#include "altcodes/sparse.hpp"
+#include "api/xorec.hpp"
+#include "slp/pipeline.hpp"
+
+namespace xorec::conformance {
+
+// ---- naive reference model -------------------------------------------------
+
+class ReferenceModel {
+ public:
+  /// Probes `codec` with basis payloads to learn its linear map. The codec
+  /// must be systematic (fragments 0..k-1 store the data verbatim — every
+  /// family here is).
+  explicit ReferenceModel(const Codec& codec)
+      : k_(codec.data_fragments()),
+        n_(codec.total_fragments()),
+        w_(codec.fragment_multiple()) {
+    if (!probe_strip_model(codec)) {
+      strip_model_ = false;
+      probe_bit_model(codec);
+    }
+  }
+
+  bool strip_model() const { return strip_model_; }
+  /// F2 symbols per fragment (strips, or bits of a byte).
+  size_t symbols() const { return strip_model_ ? w_ : 8; }
+
+  /// Can `erased` be rebuilt from exactly `available`? (Ids outside both
+  /// sets are treated as unread don't-cares, like the plan path does.)
+  bool solvable(const std::vector<uint32_t>& available,
+                const std::vector<uint32_t>& erased) const {
+    return solve(available, erased, nullptr, nullptr, 0);
+  }
+
+  /// Naive reference repair: Gauss-Jordan over the learned map, then plain
+  /// byte XORs. `available_frags` parallel to `available`. Returns one
+  /// buffer per erased id, or nullopt when the pattern is unsolvable.
+  std::optional<std::vector<std::vector<uint8_t>>> reconstruct(
+      const std::vector<uint32_t>& available,
+      const std::vector<const uint8_t*>& available_frags,
+      const std::vector<uint32_t>& erased, size_t frag_len) const {
+    std::vector<std::vector<uint8_t>> out;
+    if (!solve(available, erased, &available_frags, &out, frag_len)) return std::nullopt;
+    return out;
+  }
+
+ private:
+  // incidence over data symbols: inc_[output symbol] = 0/1 row of length
+  // k_*symbols(); output symbol s of fragment f is inc_[f*symbols() + s].
+  size_t k_, n_, w_;
+  bool strip_model_ = true;
+  std::vector<std::vector<uint8_t>> inc_;
+
+  struct Probe {
+    std::vector<std::vector<uint8_t>> frags;
+    std::vector<const uint8_t*> data;
+    std::vector<uint8_t*> parity;
+    Probe(size_t k, size_t n, size_t len) : frags(n, std::vector<uint8_t>(len, 0)) {
+      for (size_t f = 0; f < k; ++f) data.push_back(frags[f].data());
+      for (size_t f = k; f < n; ++f) parity.push_back(frags[f].data());
+    }
+    void clear(size_t len) {
+      for (auto& f : frags) std::fill(f.begin(), f.begin() + len, 0);
+    }
+  };
+
+  /// Strip-XOR model: output strip = XOR of selected input strips. Probe
+  /// one input strip at a time with the byte 1; a non-{0,1} response means
+  /// the byte map is a real GF multiplication, not an XOR — bail out.
+  bool probe_strip_model(const Codec& codec) {
+    const size_t S = w_;
+    inc_.assign(n_ * S, std::vector<uint8_t>(k_ * S, 0));
+    for (size_t f = 0; f < n_ && f < k_; ++f)
+      for (size_t s = 0; s < S; ++s) inc_[f * S + s][f * S + s] = 1;  // systematic top
+    Probe p(k_, n_, w_);  // frag_len = w: one byte per strip
+    for (size_t f = 0; f < k_; ++f) {
+      for (size_t s = 0; s < S; ++s) {
+        p.clear(w_);
+        p.frags[f][s] = 1;
+        codec.encode(p.data.data(), p.parity.data(), w_);
+        for (size_t pf = k_; pf < n_; ++pf) {
+          for (size_t t = 0; t < S; ++t) {
+            const uint8_t v = p.frags[pf][t];
+            if (v > 1) return false;
+            inc_[pf * S + t][f * S + s] = v;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Bit model for byte-oriented GF codecs (w == 1): the same F2-linear map
+  /// acts on the 8 bits of every byte position independently. Probe each
+  /// input bit; the response bytes are the companion columns.
+  void probe_bit_model(const Codec& codec) {
+    ASSERT_EQ(w_, 1u) << "non-XOR strip response from a multi-strip codec";
+    inc_.assign(n_ * 8, std::vector<uint8_t>(k_ * 8, 0));
+    for (size_t f = 0; f < k_; ++f)
+      for (size_t b = 0; b < 8; ++b) inc_[f * 8 + b][f * 8 + b] = 1;
+    Probe p(k_, n_, 1);
+    for (size_t f = 0; f < k_; ++f) {
+      for (size_t b = 0; b < 8; ++b) {
+        p.clear(1);
+        p.frags[f][0] = static_cast<uint8_t>(1u << b);
+        codec.encode(p.data.data(), p.parity.data(), 1);
+        for (size_t pf = k_; pf < n_; ++pf)
+          for (size_t r = 0; r < 8; ++r)
+            inc_[pf * 8 + r][f * 8 + b] = (p.frags[pf][0] >> r) & 1;
+      }
+    }
+  }
+
+  /// Symbol value of `sym` within a fragment buffer, as a byte array the
+  /// elimination can XOR: the strip's bytes (strip model) or the bit plane
+  /// as one 0/1 byte per position (bit model).
+  std::vector<uint8_t> symbol_value(const uint8_t* frag, size_t sym,
+                                    size_t frag_len) const {
+    if (strip_model_) {
+      const size_t sl = frag_len / w_;
+      return std::vector<uint8_t>(frag + sym * sl, frag + (sym + 1) * sl);
+    }
+    std::vector<uint8_t> v(frag_len);
+    for (size_t t = 0; t < frag_len; ++t) v[t] = (frag[t] >> sym) & 1;
+    return v;
+  }
+
+  static void xor_into(std::vector<uint8_t>& acc, const std::vector<uint8_t>& v) {
+    for (size_t i = 0; i < acc.size(); ++i) acc[i] ^= v[i];
+  }
+
+  /// The solver both entry points share. With `frags`/`out` null it only
+  /// decides solvability; otherwise it carries right-hand-side byte arrays
+  /// through the elimination and assembles the erased fragments.
+  bool solve(const std::vector<uint32_t>& available, const std::vector<uint32_t>& erased,
+             const std::vector<const uint8_t*>* frags,
+             std::vector<std::vector<uint8_t>>* out, size_t frag_len) const {
+    const size_t S = symbols();
+    std::vector<int> pos_of(n_, -1);  // fragment id -> index into available
+    for (size_t i = 0; i < available.size(); ++i) pos_of[available[i]] = static_cast<int>(i);
+
+    // Unknowns: every data symbol not directly readable.
+    std::vector<int> unknown_of(k_ * S, -1);
+    size_t n_unknown = 0;
+    for (size_t f = 0; f < k_; ++f)
+      if (pos_of[f] < 0)
+        for (size_t s = 0; s < S; ++s) unknown_of[f * S + s] = static_cast<int>(n_unknown++);
+
+    const bool values = frags != nullptr;
+    const size_t empty_len = values ? (strip_model_ ? frag_len / w_ : frag_len) : 0;
+
+    // Equations: every available PARITY symbol, rewritten over the unknowns
+    // (known data contributions fold into the right-hand side).
+    std::vector<std::vector<uint8_t>> eq;     // 0/1 rows over unknowns
+    std::vector<std::vector<uint8_t>> rhs;    // parallel byte arrays
+    for (uint32_t a : available) {
+      if (a < k_) continue;
+      for (size_t s = 0; s < S; ++s) {
+        const std::vector<uint8_t>& row = inc_[a * S + s];
+        std::vector<uint8_t> e(n_unknown, 0);
+        std::vector<uint8_t> r;
+        if (values) r = symbol_value((*frags)[pos_of[a]], s, frag_len);
+        bool usable = true;
+        for (size_t c = 0; c < k_ * S && usable; ++c) {
+          if (!row[c]) continue;
+          if (unknown_of[c] >= 0) {
+            e[unknown_of[c]] = 1;
+          } else if (values) {
+            xor_into(r, symbol_value((*frags)[pos_of[c / S]], c % S, frag_len));
+          }
+        }
+        eq.push_back(std::move(e));
+        if (values) rhs.push_back(std::move(r));
+      }
+    }
+
+    // Gauss-Jordan to reduced row-echelon form.
+    std::vector<int> pivot_row(n_unknown, -1);
+    size_t rank = 0;
+    for (size_t col = 0; col < n_unknown && rank < eq.size(); ++col) {
+      size_t sel = rank;
+      while (sel < eq.size() && !eq[sel][col]) ++sel;
+      if (sel == eq.size()) continue;
+      std::swap(eq[sel], eq[rank]);
+      if (values) std::swap(rhs[sel], rhs[rank]);
+      for (size_t r = 0; r < eq.size(); ++r) {
+        if (r == rank || !eq[r][col]) continue;
+        for (size_t c = 0; c < n_unknown; ++c) eq[r][c] ^= eq[rank][c];
+        if (values) xor_into(rhs[r], rhs[rank]);
+      }
+      pivot_row[col] = static_cast<int>(rank);
+      ++rank;
+    }
+
+    // An unknown is determined iff its pivot row involves no other unknown
+    // (free variables are the don't-cares of unread fragments).
+    const auto determined = [&](size_t u) {
+      if (pivot_row[u] < 0) return false;
+      const std::vector<uint8_t>& row = eq[static_cast<size_t>(pivot_row[u])];
+      for (size_t c = 0; c < n_unknown; ++c)
+        if (row[c] && c != u) return false;
+      return true;
+    };
+
+    if (out) out->clear();
+    for (uint32_t e : erased) {
+      std::vector<std::vector<uint8_t>> syms;
+      if (e < k_) {
+        for (size_t s = 0; s < S; ++s) {
+          const size_t u = static_cast<size_t>(unknown_of[e * S + s]);
+          if (!determined(u)) return false;
+          if (values) syms.push_back(rhs[static_cast<size_t>(pivot_row[u])]);
+        }
+      } else {
+        // Erased parity: re-encode its row; every touched data symbol must
+        // be readable or determined.
+        for (size_t s = 0; s < S; ++s) {
+          const std::vector<uint8_t>& row = inc_[e * S + s];
+          std::vector<uint8_t> v(empty_len, 0);
+          for (size_t c = 0; c < k_ * S; ++c) {
+            if (!row[c]) continue;
+            if (unknown_of[c] < 0) {
+              if (values)
+                xor_into(v, symbol_value((*frags)[pos_of[c / S]], c % S, frag_len));
+            } else {
+              const size_t u = static_cast<size_t>(unknown_of[c]);
+              if (!determined(u)) return false;
+              if (values) xor_into(v, rhs[static_cast<size_t>(pivot_row[u])]);
+            }
+          }
+          if (values) syms.push_back(std::move(v));
+        }
+      }
+      if (!values) continue;
+      std::vector<uint8_t> frag(frag_len, 0);
+      for (size_t s = 0; s < S; ++s) {
+        if (strip_model_) {
+          std::copy(syms[s].begin(), syms[s].end(), frag.begin() + s * (frag_len / w_));
+        } else {
+          for (size_t t = 0; t < frag_len; ++t)
+            frag[t] |= static_cast<uint8_t>((syms[s][t] & 1) << s);
+        }
+      }
+      out->push_back(std::move(frag));
+    }
+    return true;
+  }
+};
+
+// ---- conformance table -----------------------------------------------------
+
+struct ShapeCase {
+  std::string spec;
+  /// Erasure tolerance the family guarantees at this shape: every pattern
+  /// of <= guaranteed erased fragments MUST reconstruct (parity count for
+  /// MDS families; the certified tolerance for sparse; 1 for lrc).
+  size_t guaranteed = 0;
+};
+
+struct FamilyConformance {
+  std::vector<ShapeCase> shapes;
+  /// Locality claim (block granularity): for data block b, a survivor set
+  /// strictly smaller than data_fragments() that must suffice to repair b.
+  /// Null for families without the claim.
+  std::function<std::vector<uint32_t>(const Codec&, uint32_t)> local_group;
+  /// Reduced-read claim (strip granularity): upper bound on the input
+  /// strips a single-block repair plan may touch when every other fragment
+  /// is available. Null for families without the claim.
+  std::function<size_t(const Codec&, uint32_t)> repair_read_bound;
+};
+
+/// Families other suites register at runtime as fixtures (test_api's
+/// "test_mirror") are exempt from the registry sweep: they exist only when
+/// those tests ran first in the same process. Real families must never use
+/// the prefix.
+inline bool test_fixture_family(const std::string& family) {
+  return family.rfind("test_", 0) == 0;
+}
+
+/// Small conformance shapes for every registered family. The suites iterate
+/// xorec::registered_families() against this table, so a family missing
+/// here fails the suite (the intended tripwire for new families).
+inline const std::map<std::string, FamilyConformance>& conformance_table() {
+  static const auto* table = [] {
+    auto* t = new std::map<std::string, FamilyConformance>;
+    const auto args_of = [](const Codec& c) { return parse_spec(c.name()).args; };
+    // rs/naive_xor/isal share the ISA-L matrix, which is only VERIFIED MDS
+    // on the paper's grid — stick to it. vand/cauchy/rs16 are provably MDS.
+    (*t)["rs"] = {{{"rs(8,2)", 2}}, nullptr, nullptr};
+    (*t)["naive_xor"] = {{{"naive_xor(8,2)", 2}}, nullptr, nullptr};
+    (*t)["isal"] = {{{"isal(8,2)", 2}}, nullptr, nullptr};
+    (*t)["vand"] = {{{"vand(5,2)", 2}}, nullptr, nullptr};
+    (*t)["cauchy"] = {{{"cauchy(5,3)", 3}}, nullptr, nullptr};
+    (*t)["rs16"] = {{{"rs16(4,2)", 2}}, nullptr, nullptr};
+    (*t)["evenodd"] = {{{"evenodd(4)", 2}}, nullptr, nullptr};
+    (*t)["rdp"] = {{{"rdp(4)", 2}}, nullptr, nullptr};
+    (*t)["star"] = {{{"star(4)", 3}}, nullptr, nullptr};
+    (*t)["lrc"] = {
+        {{"lrc(6,2,2)", 1}},
+        [args_of](const Codec& c, uint32_t b) {
+          const auto a = args_of(c);
+          const altcodes::LrcGroup g = altcodes::lrc_group_of(a[0], a[1], b);
+          std::vector<uint32_t> ids;
+          for (uint32_t m = static_cast<uint32_t>(g.first); m < g.first + g.count; ++m)
+            if (m != b) ids.push_back(m);
+          ids.push_back(static_cast<uint32_t>(g.local_parity));
+          return ids;
+        },
+        nullptr};
+    (*t)["piggyback"] = {
+        {{"piggyback(6,3,2)", 3}},
+        nullptr,
+        [args_of](const Codec& c, uint32_t b) {
+          const auto a = args_of(c);
+          return altcodes::piggyback_repair_reads(a[0], a[1], a[2], b).size();
+        }};
+    // One near-dense MDS-certified draw, one genuinely sparse draw whose
+    // certified tolerance is whatever the rank checks proved.
+    (*t)["sparse"] = {{{"sparse(6,3,90,1)", altcodes::sparse_certified_tolerance(6, 3, 90, 1)},
+                       {"sparse(8,3,45,1)", altcodes::sparse_certified_tolerance(8, 3, 45, 1)}},
+                      nullptr,
+                      nullptr};
+    return t;
+  }();
+  return *table;
+}
+
+// ---- pattern drivers -------------------------------------------------------
+
+/// The complement survivor set: every fragment id of `codec` not in
+/// `erased`, ascending.
+inline std::vector<uint32_t> all_but(const Codec& codec,
+                                     const std::vector<uint32_t>& erased) {
+  std::vector<uint32_t> available;
+  for (uint32_t id = 0; id < codec.total_fragments(); ++id)
+    if (std::find(erased.begin(), erased.end(), id) == erased.end())
+      available.push_back(id);
+  return available;
+}
+
+/// All erasure patterns of 1..max_erased fragment ids out of n, ascending.
+inline std::vector<std::vector<uint32_t>> erasure_patterns(size_t n, size_t max_erased) {
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<uint32_t> cur;
+  const std::function<void(uint32_t)> rec = [&](uint32_t first) {
+    if (!cur.empty()) out.push_back(cur);
+    if (cur.size() == max_erased) return;
+    for (uint32_t i = first; i < n; ++i) {
+      cur.push_back(i);
+      rec(i + 1);
+      cur.pop_back();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+/// A random encoded stripe: data payload from `seed`, parities from the
+/// codec under test.
+struct Stripe {
+  std::vector<std::vector<uint8_t>> frags;
+  size_t frag_len = 0;
+};
+
+inline Stripe encoded_stripe(const Codec& codec, uint32_t seed, size_t stripes = 3) {
+  Stripe st;
+  st.frag_len = codec.fragment_multiple() * stripes;
+  st.frags.assign(codec.total_fragments(), std::vector<uint8_t>(st.frag_len));
+  std::mt19937 rng(seed);
+  std::vector<const uint8_t*> data;
+  std::vector<uint8_t*> parity;
+  for (size_t f = 0; f < codec.data_fragments(); ++f) {
+    for (auto& b : st.frags[f]) b = static_cast<uint8_t>(rng());
+    data.push_back(st.frags[f].data());
+  }
+  for (size_t f = codec.data_fragments(); f < codec.total_fragments(); ++f)
+    parity.push_back(st.frags[f].data());
+  codec.encode(data.data(), parity.data(), st.frag_len);
+  return st;
+}
+
+/// Distinct input strips the plan's compiled data-decode step reads — the
+/// repair-read measure of the reduced-read families. The flat base SLP is a
+/// safe superset of every optimized form (the optimizer never introduces
+/// constants). 0 when the plan has no SLP decode step.
+inline size_t plan_touched_input_strips(const ReconstructPlan& plan) {
+  const slp::PipelineResult* pipe = plan.decode_pipeline();
+  if (!pipe) return 0;
+  std::vector<uint32_t> ids;
+  for (const slp::Instruction& ins : pipe->base.body)
+    for (const slp::Term& term : ins.args)
+      if (term.is_const()) ids.push_back(term.id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+/// Run ONE pattern differentially: solvability must agree between codec and
+/// reference; when solvable, the compiled plan's output must byte-match
+/// both the original fragments and the naive reference decode.
+inline void check_pattern(const Codec& codec, const ReferenceModel& ref, const Stripe& st,
+                          const std::vector<uint32_t>& erased, size_t guaranteed) {
+  std::vector<uint32_t> available;
+  std::vector<const uint8_t*> avail_ptrs;
+  for (uint32_t id = 0; id < codec.total_fragments(); ++id)
+    if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
+      available.push_back(id);
+      avail_ptrs.push_back(st.frags[id].data());
+    }
+
+  std::shared_ptr<const ReconstructPlan> plan;
+  try {
+    plan = codec.plan_reconstruct(available, erased);
+  } catch (const std::invalid_argument&) {
+    EXPECT_GT(erased.size(), guaranteed)
+        << "codec rejected a pattern inside its guaranteed tolerance";
+    EXPECT_FALSE(ref.solvable(available, erased))
+        << "codec rejected a pattern the naive reference can solve";
+    return;
+  }
+  const auto ref_out = ref.reconstruct(available, avail_ptrs, erased, st.frag_len);
+  ASSERT_TRUE(ref_out.has_value())
+      << "codec accepted a pattern the naive reference cannot solve";
+
+  std::vector<std::vector<uint8_t>> out(erased.size(),
+                                        std::vector<uint8_t>(st.frag_len, 0xCD));
+  std::vector<uint8_t*> out_ptrs;
+  for (auto& o : out) out_ptrs.push_back(o.data());
+  plan->execute(avail_ptrs.data(), out_ptrs.data(), st.frag_len);
+  for (size_t i = 0; i < erased.size(); ++i) {
+    EXPECT_EQ(out[i], st.frags[erased[i]]) << "fragment " << erased[i] << " vs truth";
+    EXPECT_EQ(out[i], (*ref_out)[i]) << "fragment " << erased[i] << " vs reference";
+  }
+}
+
+/// Every C(n, <= m) erasure pattern of one codec, differentially.
+inline void check_all_patterns(const Codec& codec, size_t guaranteed, uint32_t seed) {
+  const ReferenceModel ref(codec);
+  const Stripe st = encoded_stripe(codec, seed);
+  for (const auto& erased :
+       erasure_patterns(codec.total_fragments(), codec.parity_fragments())) {
+    SCOPED_TRACE(::testing::Message() << codec.name() << " erased=" << erased.size()
+                                      << " first=" << erased.front());
+    check_pattern(codec, ref, st, erased, guaranteed);
+  }
+}
+
+}  // namespace xorec::conformance

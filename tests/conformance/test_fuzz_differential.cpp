@@ -1,0 +1,109 @@
+// Differential fuzz: seeded random payloads x random erasure patterns x
+// every registered family, compiled-plan decode vs the naive empirical
+// reference, byte for byte. Iterations are bounded so ctest stays fast;
+// the seeds are fixed so any failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "conformance/codec_conformance.hpp"
+
+using namespace xorec;
+using namespace xorec::conformance;
+
+namespace {
+
+constexpr size_t kRoundsPerShape = 12;
+
+/// A random erasure pattern of 1..m fragments (uniform size, then ids).
+std::vector<uint32_t> random_pattern(std::mt19937& rng, size_t n, size_t m) {
+  const size_t count = 1 + rng() % m;
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < count; ++i)
+    std::swap(ids[i], ids[i + rng() % (n - i)]);
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+TEST(conformanceFuzz, RandomPayloadsRandomPatternsEveryFamily) {
+  const auto& table = conformance_table();
+  for (const std::string& family : registered_families()) {
+    if (test_fixture_family(family)) continue;  // runtime fixtures of other suites
+    ASSERT_TRUE(table.count(family)) << family;
+    for (const ShapeCase& shape : table.at(family).shapes) {
+      SCOPED_TRACE(shape.spec);
+      const auto codec = make_codec(shape.spec);
+      const ReferenceModel ref(*codec);
+      std::mt19937 rng(0xF152 + std::hash<std::string>{}(shape.spec) % 0xFFFF);
+      for (size_t round = 0; round < kRoundsPerShape; ++round) {
+        // Vary both the payload and the stripe length (1..3 fragment
+        // multiples) so strip slicing and executor blocking get exercised.
+        const Stripe st =
+            encoded_stripe(*codec, static_cast<uint32_t>(rng()), 1 + round % 3);
+        const auto erased =
+            random_pattern(rng, codec->total_fragments(), codec->parity_fragments());
+        SCOPED_TRACE(::testing::Message()
+                     << "round " << round << " erased n=" << erased.size()
+                     << " first=" << erased.front());
+        check_pattern(*codec, ref, st, erased, shape.guaranteed);
+      }
+    }
+  }
+}
+
+// The one-shot reconstruct() path must agree with the plan path it wraps —
+// fuzz a few rounds through the other API entry point.
+TEST(conformanceFuzz, OneShotReconstructAgreesWithPlans) {
+  for (const std::string spec : {"piggyback(6,3,2)", "sparse(6,3,90,1)", "lrc(6,2,2)"}) {
+    SCOPED_TRACE(spec);
+    const auto codec = make_codec(spec);
+    std::mt19937 rng(0xD1FF);
+    for (size_t round = 0; round < 6; ++round) {
+      const Stripe st = encoded_stripe(*codec, static_cast<uint32_t>(rng()));
+      const auto erased =
+          random_pattern(rng, codec->total_fragments(), codec->parity_fragments());
+      std::vector<uint32_t> available;
+      std::vector<const uint8_t*> avail_ptrs;
+      for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+        if (std::find(erased.begin(), erased.end(), id) == erased.end()) {
+          available.push_back(id);
+          avail_ptrs.push_back(st.frags[id].data());
+        }
+      std::vector<std::vector<uint8_t>> plan_out(erased.size(),
+                                                 std::vector<uint8_t>(st.frag_len, 0xAA));
+      std::vector<std::vector<uint8_t>> oneshot_out(
+          erased.size(), std::vector<uint8_t>(st.frag_len, 0xBB));
+      std::vector<uint8_t*> plan_ptrs, oneshot_ptrs;
+      for (auto& o : plan_out) plan_ptrs.push_back(o.data());
+      for (auto& o : oneshot_out) oneshot_ptrs.push_back(o.data());
+
+      bool plan_ok = true, oneshot_ok = true;
+      try {
+        codec->plan_reconstruct(available, erased)
+            ->execute(avail_ptrs.data(), plan_ptrs.data(), st.frag_len);
+      } catch (const std::invalid_argument&) {
+        plan_ok = false;
+      }
+      try {
+        codec->reconstruct(available, avail_ptrs.data(), erased, oneshot_ptrs.data(),
+                           st.frag_len);
+      } catch (const std::invalid_argument&) {
+        oneshot_ok = false;
+      }
+      ASSERT_EQ(plan_ok, oneshot_ok);
+      if (plan_ok)
+        for (size_t i = 0; i < erased.size(); ++i) {
+          EXPECT_EQ(plan_out[i], oneshot_out[i]);
+          EXPECT_EQ(plan_out[i], st.frags[erased[i]]);
+        }
+    }
+  }
+}

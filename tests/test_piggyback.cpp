@@ -1,0 +1,210 @@
+// The piggyback(k,m,sub) family: layout arithmetic, encode semantics (clean
+// base RS on every substripe except the piggybacked last-substripe
+// parities), MDS round-trips, the reduced-read single-block repair plan,
+// and registry integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "altcodes/piggyback.hpp"
+#include "api/xorec.hpp"
+#include "conformance/codec_conformance.hpp"
+#include "slp/pipeline.hpp"
+
+using namespace xorec;
+using altcodes::PiggybackLayout;
+using conformance::Stripe;
+using conformance::all_but;
+using conformance::encoded_stripe;
+using conformance::plan_touched_input_strips;
+
+namespace {
+
+void expect_reconstructs(const Codec& codec, const Stripe& c,
+                         std::vector<uint32_t> available, std::vector<uint32_t> erased) {
+  std::sort(available.begin(), available.end());
+  std::vector<const uint8_t*> avail_ptrs;
+  for (uint32_t id : available) avail_ptrs.push_back(c.frags[id].data());
+  std::vector<std::vector<uint8_t>> out(erased.size(),
+                                        std::vector<uint8_t>(c.frag_len, 0xCD));
+  std::vector<uint8_t*> out_ptrs;
+  for (auto& o : out) out_ptrs.push_back(o.data());
+  codec.reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), c.frag_len);
+  for (size_t i = 0; i < erased.size(); ++i)
+    ASSERT_EQ(out[i], c.frags[erased[i]]) << "fragment " << erased[i];
+}
+
+}  // namespace
+
+TEST(Piggyback, LayoutArithmetic) {
+  const PiggybackLayout l(6, 3, 2);  // 2 carrier groups of 3 blocks
+  EXPECT_EQ(l.strips_per_block(), 16u);
+  EXPECT_EQ(l.group_of(0), 0u);
+  EXPECT_EQ(l.group_of(2), 0u);
+  EXPECT_EQ(l.group_of(3), 1u);
+  EXPECT_EQ(l.group_of(5), 1u);
+  EXPECT_EQ(l.carrier_parity(0, 0), 1u);
+  EXPECT_EQ(l.carrier_parity(3, 0), 2u);
+  // Every carried symbol lands on exactly one carrier, and a block's
+  // substripe symbols land on DISTINCT carriers (sub-1 <= m-1).
+  const PiggybackLayout l3(10, 4, 3);
+  std::set<std::pair<size_t, size_t>> seen;
+  for (size_t p = 1; p < l3.m; ++p)
+    for (const auto& sym : l3.carried_by(p)) EXPECT_TRUE(seen.insert(sym).second);
+  EXPECT_EQ(seen.size(), l3.k * (l3.sub - 1));
+  for (size_t b = 0; b < l3.k; ++b) {
+    std::set<size_t> carriers;
+    for (size_t s = 0; s + 1 < l3.sub; ++s)
+      EXPECT_TRUE(carriers.insert(l3.carrier_parity(b, s)).second);
+  }
+
+  EXPECT_THROW(PiggybackLayout(0, 3, 2), std::invalid_argument);
+  EXPECT_THROW(PiggybackLayout(6, 1, 2), std::invalid_argument);  // m < 2
+  EXPECT_THROW(PiggybackLayout(6, 3, 1), std::invalid_argument);  // sub < 2
+  EXPECT_THROW(PiggybackLayout(6, 3, 4), std::invalid_argument);  // sub > m
+  EXPECT_THROW(PiggybackLayout(200, 60, 2), std::invalid_argument);  // k+m > 255
+}
+
+TEST(Piggyback, GeometryAndSpecValidation) {
+  const auto spec = altcodes::piggyback_spec(6, 3, 2);
+  EXPECT_EQ(spec.name, "piggyback(6,3,2)");
+  EXPECT_EQ(spec.data_blocks, 6u);
+  EXPECT_EQ(spec.parity_blocks, 3u);
+  EXPECT_EQ(spec.strips_per_block, 16u);  // 8 * sub
+  EXPECT_NO_THROW(altcodes::piggyback_spec(3, 4, 4));
+  EXPECT_THROW(altcodes::piggyback_spec(6, 3, 5), std::invalid_argument);
+}
+
+TEST(Piggyback, FirstSubstripesAreCleanRs) {
+  // Substripes 0..sub-2 of every parity — and the last substripe of parity
+  // 0 — are the plain per-substripe Cauchy RS: encoding the same payload
+  // through cauchy(k,m) per substripe must reproduce those bytes.
+  const size_t k = 5, m = 3, sub = 2;
+  const auto pb = make_codec("piggyback(5,3,2)");
+  const auto rs = make_codec("cauchy(5,3)");
+  const Stripe c = encoded_stripe(*pb, 0xFEED, 1);  // frag_len = 16, 8 per substripe
+  const size_t half = c.frag_len / sub;
+
+  std::vector<std::vector<uint8_t>> sub0(k, std::vector<uint8_t>(half));
+  std::vector<const uint8_t*> data;
+  for (size_t i = 0; i < k; ++i) {
+    std::copy(c.frags[i].begin(), c.frags[i].begin() + half, sub0[i].begin());
+    data.push_back(sub0[i].data());
+  }
+  std::vector<std::vector<uint8_t>> par(m, std::vector<uint8_t>(half));
+  std::vector<uint8_t*> parity;
+  for (auto& p : par) parity.push_back(p.data());
+  rs->encode(data.data(), parity.data(), half);
+  for (size_t p = 0; p < m; ++p)
+    EXPECT_TRUE(std::equal(par[p].begin(), par[p].end(), c.frags[k + p].begin()))
+        << "substripe 0 of parity " << p << " is not clean RS";
+
+  // Parity 0's LAST substripe is clean too (it carries no piggybacks).
+  std::vector<std::vector<uint8_t>> sub1(k, std::vector<uint8_t>(half));
+  data.clear();
+  for (size_t i = 0; i < k; ++i) {
+    std::copy(c.frags[i].begin() + half, c.frags[i].end(), sub1[i].begin());
+    data.push_back(sub1[i].data());
+  }
+  rs->encode(data.data(), parity.data(), half);
+  EXPECT_TRUE(std::equal(par[0].begin(), par[0].end(), c.frags[k].begin() + half));
+  // And parity 1's last substripe is NOT clean — the piggyback is real.
+  EXPECT_FALSE(std::equal(par[1].begin(), par[1].end(), c.frags[k + 1].begin() + half));
+}
+
+TEST(Piggyback, MdsRoundTrips) {
+  const auto codec = make_codec("piggyback(6,3,2)");
+  const Stripe c = encoded_stripe(*codec, 0xBEEF);
+  const uint32_t n = static_cast<uint32_t>(codec->total_fragments());
+  for (std::vector<uint32_t> erased :
+       {std::vector<uint32_t>{0}, {5}, {6}, {8}, {0, 3}, {0, 6}, {7, 8},
+        {0, 1, 2}, {3, 6, 8}, {6, 7, 8}}) {
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < n; ++id)
+      if (std::find(erased.begin(), erased.end(), id) == erased.end())
+        available.push_back(id);
+    expect_reconstructs(*codec, c, available, erased);
+  }
+}
+
+TEST(Piggyback, SingleBlockRepairReadsReducedStripSet) {
+  const auto codec = make_codec("piggyback(6,3,2)");
+  const size_t k = 6, w = codec->fragment_multiple();
+  for (uint32_t b = 0; b < k; ++b) {
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+      if (id != b) available.push_back(id);
+    const auto plan = codec->plan_reconstruct(available, {b});
+    const auto designed = altcodes::piggyback_repair_reads(6, 3, 2, b);
+    const size_t touched = plan_touched_input_strips(*plan);
+    EXPECT_LE(touched, designed.size());
+    EXPECT_LT(touched, k * w) << "repair plan reads as much as plain RS";
+  }
+  // And the reduced plan still reconstructs correctly (checked vs truth).
+  const Stripe c = encoded_stripe(*codec, 0xACE5);
+  for (uint32_t b : {0u, 2u, 5u}) {
+    std::vector<uint32_t> available;
+    for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+      if (id != b) available.push_back(id);
+    expect_reconstructs(*codec, c, available, {b});
+  }
+}
+
+TEST(Piggyback, RepairReadSetShrinksAgainstNaive) {
+  // The design bound itself: reads < sub*k sub-symbols whenever there is
+  // more than one carrier (m >= 3); equal for m == 2 (documented no-win).
+  EXPECT_LT(altcodes::piggyback_repair_reads(6, 3, 2, 0).size(), 6u * 16u);
+  EXPECT_LT(altcodes::piggyback_repair_reads(10, 4, 3, 4).size(), 10u * 24u);
+  EXPECT_EQ(altcodes::piggyback_repair_reads(8, 2, 2, 0).size(), 8u * 16u);
+  EXPECT_THROW(altcodes::piggyback_repair_reads(6, 3, 2, 6), std::invalid_argument);
+}
+
+TEST(Piggyback, FallsBackToFullSolveWhenReadSetUnavailable) {
+  // Knock out a fragment the designed read set needs (parity 0): the repair
+  // must still succeed through the generic full solve.
+  const auto codec = make_codec("piggyback(6,3,2)");
+  const Stripe c = encoded_stripe(*codec, 0x50FA);
+  std::vector<uint32_t> available;
+  for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+    if (id != 0 && id != 6) available.push_back(id);  // lose data 0 AND parity 0
+  expect_reconstructs(*codec, c, available, {0});
+}
+
+TEST(Piggyback, ReducedReadStrategyHasItsOwnCacheIdentity) {
+  // A bare XorCodec over the same bitmatrix derives full-read programs; the
+  // two must never share plan-cache entries for the same pattern key.
+  const altcodes::PiggybackCodec pb(6, 3, 2);
+  const altcodes::XorCodec plain(altcodes::piggyback_spec(6, 3, 2));
+  const auto pb_fp = pb.plan_footprint();
+  const auto plain_fp = plain.plan_footprint();
+  EXPECT_EQ(pb_fp.matrix_fp, plain_fp.matrix_fp) << "same bitmatrix";
+  EXPECT_NE(pb_fp.config_fp, plain_fp.config_fp) << "different plan derivation";
+
+  // Order-independence of the reduced-read guarantee: even with the plain
+  // codec planning the same pattern FIRST on the shared cache, the
+  // piggyback plan still touches only the designed read set.
+  std::vector<uint32_t> available;
+  for (uint32_t id = 1; id < pb.total_fragments(); ++id) available.push_back(id);
+  (void)plain.plan_reconstruct(available, {0});
+  const auto plan = pb.plan_reconstruct(available, {0});
+  EXPECT_LE(plan_touched_input_strips(*plan),
+            altcodes::piggyback_repair_reads(6, 3, 2, 0).size());
+}
+
+TEST(Piggyback, RegistryIntegration) {
+  const auto families = registered_families();
+  EXPECT_NE(std::find(families.begin(), families.end(), "piggyback"), families.end());
+
+  const auto codec = make_codec("piggyback(10,4)");  // sub defaults to 2
+  EXPECT_EQ(codec->name(), "piggyback(10,4,2)");
+  EXPECT_EQ(codec->data_fragments(), 10u);
+  EXPECT_EQ(codec->parity_fragments(), 4u);
+  EXPECT_EQ(codec->fragment_multiple(), 16u);
+  EXPECT_NO_THROW((void)make_codec(codec->name()));
+  EXPECT_EQ(canonical_spec("piggyback(10,4)"), "piggyback(10,4,2)");
+
+  EXPECT_THROW((void)make_codec("piggyback(6,3,9)"), std::invalid_argument);
+  EXPECT_THROW((void)make_codec("piggyback(129,3,2)"), std::invalid_argument);
+}

@@ -1,0 +1,127 @@
+// The sparse(k,m,d,seed) family: seed determinism, density shaping, the
+// rank-check certificate (best-certified draw, MDS at near-full density,
+// partial tolerance at genuinely sparse density), round-trips at the
+// certified tolerance, and registry integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "altcodes/sparse.hpp"
+#include "api/xorec.hpp"
+#include "conformance/codec_conformance.hpp"
+
+using namespace xorec;
+using conformance::Stripe;
+using conformance::all_but;
+using conformance::encoded_stripe;
+
+namespace {
+
+void expect_reconstructs(const Codec& codec, const Stripe& c,
+                         const std::vector<uint32_t>& erased) {
+  const std::vector<uint32_t> available = all_but(codec, erased);
+  std::vector<const uint8_t*> avail_ptrs;
+  for (uint32_t id : available) avail_ptrs.push_back(c.frags[id].data());
+  std::vector<std::vector<uint8_t>> out(erased.size(),
+                                        std::vector<uint8_t>(c.frag_len, 0xCD));
+  std::vector<uint8_t*> out_ptrs;
+  for (auto& o : out) out_ptrs.push_back(o.data());
+  codec.reconstruct(available, avail_ptrs.data(), erased, out_ptrs.data(), c.frag_len);
+  for (size_t i = 0; i < erased.size(); ++i)
+    ASSERT_EQ(out[i], c.frags[erased[i]]) << "fragment " << erased[i];
+}
+
+}  // namespace
+
+TEST(Sparse, DeterministicFromSeed) {
+  const auto a = altcodes::sparse_spec(6, 3, 45, 7);
+  const auto b = altcodes::sparse_spec(6, 3, 45, 7);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.name, "sparse(6,3,45,7)");
+  // A different seed (or density) draws a different matrix.
+  EXPECT_NE(a.code, altcodes::sparse_spec(6, 3, 45, 8).code);
+  EXPECT_NE(a.code, altcodes::sparse_spec(6, 3, 60, 7).code);
+  // Identical instances share one plan-cache identity end to end.
+  const auto c1 = make_codec("sparse(6,3,45,7)");
+  const auto c2 = make_codec("sparse(6,3,45,7)");
+  EXPECT_EQ(c1->plan_footprint().matrix_fp, c2->plan_footprint().matrix_fp);
+}
+
+TEST(Sparse, DensityShapesTheParityRows) {
+  // Bit density of the parity side grows with d (companions are ~half
+  // ones, so block density d maps to roughly d/2 bit density).
+  const auto lo = altcodes::sparse_spec(10, 3, 20, 1);
+  const auto hi = altcodes::sparse_spec(10, 3, 95, 1);
+  const size_t kw = 10 * 8;
+  size_t lo_ones = 0, hi_ones = 0;
+  for (size_t r = kw; r < lo.code.rows(); ++r) lo_ones += lo.code.row(r).popcount();
+  for (size_t r = kw; r < hi.code.rows(); ++r) hi_ones += hi.code.row(r).popcount();
+  EXPECT_LT(lo_ones * 2, hi_ones) << "low-density draw is not actually sparser";
+}
+
+TEST(Sparse, CertificateMatchesDensityRegime) {
+  // Near-full density: rejection finds a true MDS draw (t* == m). A
+  // genuinely sparse draw certifies less but never 0 (single-block repair
+  // is the acceptance bar).
+  EXPECT_TRUE(altcodes::sparse_mds_checked(6, 3));
+  EXPECT_EQ(altcodes::sparse_certified_tolerance(6, 3, 90, 1), 3u);
+  const size_t t_sparse = altcodes::sparse_certified_tolerance(8, 3, 45, 1);
+  EXPECT_GE(t_sparse, 1u);
+  EXPECT_LE(t_sparse, 3u);
+  // Huge shapes skip the certificate entirely.
+  EXPECT_FALSE(altcodes::sparse_mds_checked(100, 28));
+  EXPECT_EQ(altcodes::sparse_certified_tolerance(100, 28, 50, 1), 0u);
+}
+
+TEST(Sparse, RoundTripsAtCertifiedTolerance) {
+  for (const char* spec : {"sparse(6,3,90,1)", "sparse(8,3,45,1)"}) {
+    SCOPED_TRACE(spec);
+    const auto codec = make_codec(spec);
+    const auto args = parse_spec(spec).args;
+    const size_t t = altcodes::sparse_certified_tolerance(args[0], args[1], args[2],
+                                                          args[3]);
+    ASSERT_GE(t, 1u);
+    const Stripe c = encoded_stripe(*codec, 0x5EED);
+    const uint32_t n = static_cast<uint32_t>(codec->total_fragments());
+    // Every single erasure, plus a sweep of size-t patterns.
+    for (uint32_t id = 0; id < n; ++id) expect_reconstructs(*codec, c, {id});
+    if (t >= 2) {
+      for (uint32_t a = 0; a < n; ++a)
+        for (uint32_t b = a + 1; b < n && t >= 2; ++b)
+          expect_reconstructs(*codec, c, {a, b});
+    }
+    if (t >= 3) expect_reconstructs(*codec, c, {0, 4, n - 1});
+  }
+}
+
+TEST(Sparse, EvenMinimalDensityCertifiesSingleBlockRepair) {
+  // The draw repair forces every data block under at least one nonzero
+  // GF(2^8) coefficient (invertible companion), so even a d=1 draw must
+  // certify t >= 1 — the floor any storage code needs.
+  EXPECT_GE(altcodes::sparse_certified_tolerance(12, 1, 1, 1), 1u);
+  EXPECT_GE(altcodes::sparse_certified_tolerance(8, 3, 5, 2), 1u);
+  const auto codec = make_codec("sparse(8,3,5,2)");
+  const Stripe c = encoded_stripe(*codec, 0x10D);
+  for (uint32_t id = 0; id < codec->total_fragments(); ++id)
+    expect_reconstructs(*codec, c, {id});
+}
+
+TEST(Sparse, RegistryIntegration) {
+  const auto families = registered_families();
+  EXPECT_NE(std::find(families.begin(), families.end(), "sparse"), families.end());
+
+  const auto codec = make_codec("sparse(8,3,45)");  // seed defaults to 1
+  EXPECT_EQ(codec->name(), "sparse(8,3,45,1)");
+  EXPECT_EQ(codec->data_fragments(), 8u);
+  EXPECT_EQ(codec->parity_fragments(), 3u);
+  EXPECT_EQ(codec->fragment_multiple(), 8u);
+  EXPECT_NO_THROW((void)make_codec(codec->name()));
+  EXPECT_EQ(canonical_spec("sparse(8,3,45)"), "sparse(8,3,45,1)");
+
+  EXPECT_THROW((void)make_codec("sparse(6,3,0,1)"), std::invalid_argument);
+  EXPECT_THROW((void)make_codec("sparse(6,3,101,1)"), std::invalid_argument);
+  EXPECT_THROW((void)make_codec("sparse(129,3,50,1)"), std::invalid_argument);
+  EXPECT_THROW((void)make_codec("sparse(6,3,50,1)@matrix=isal"), std::invalid_argument);
+}
