@@ -1,257 +1,125 @@
-// storage_cluster: a miniature HDFS-style object store — the workload §1
-// motivates — served through xorec::CodecService, the sharded multi-codec
-// façade. n+p simulated nodes hold one fragment each; two tenants lease the
-// SAME pooled codec through equivalent (key-reordered) spec spellings;
-// objects are written through the pool's shard session (stripe-parallel
-// ingest); then several failure rounds hit the cluster, and each repair
-// solves its erasure pattern ONCE (plan_reconstruct), executing it per
-// object — the degraded-read fast path.
+// storage_cluster: the fleet-scale repair experiment — a simulated
+// racks × nodes × disks cluster (src/cluster/) holding erasure-coded stripes
+// under a rack-aware placement, hit by a node failure and a correlated rack
+// failure, repaired by the RepairOrchestrator through one shared
+// xorec::CodecService. The SAME failure trace runs against three codec
+// families of equal stripe width (k + m = 10):
 //
-// With a profile path, the run becomes the warmup experiment: the first run
-// compiles every repair pattern cold and persists the plan-cache key set at
-// exit; the second run replays the profile at startup and serves the same
-// patterns at ~100% plan-cache hits (the ServiceStats line at the end
-// reports the measured rate).
+//   rs(6,4)            plain Reed-Solomon — reads k full fragments per repair
+//   lrc(6,2,2)         local reconstruction — single losses repair in-group
+//   piggyback(6,4,2)   sub-stripe piggybacks — reduced single-block reads
 //
-//   ./build/examples/storage_cluster [objects] [object_mib] [spec] [profile]
-//   ./build/examples/storage_cluster 16 8 "evenodd(11)"
-//   ./build/examples/storage_cluster 8 2 "rs(10,4)@block=1024" /tmp/plans.profile
-//   ./build/examples/storage_cluster 8 2 "piggyback(10,4,2)"   # reduced-read repair
-//   ./build/examples/storage_cluster 8 2 "sparse(10,4,90,7)"   # seeded sparse draw
+// and the printed traffic table is the XORing-Elephants comparison: the
+// locality families must move strictly fewer cross-rack bytes than rs for
+// the identical failures. The example verifies that (and that every lost
+// chunk was repaired and byte-verified) and exits non-zero otherwise, so CI
+// can use it as the cluster smoke. All output is a pure function of the
+// arguments — run it twice and diff to check determinism.
+//
+//   ./build/examples/storage_cluster [stripes] [racks] [seed]
+//   ./build/examples/storage_cluster            # 64 stripes, 12 racks
+//   ./build/examples/storage_cluster 256 16 7
 //   ./build/examples/storage_cluster --list-codecs
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <future>
-#include <random>
 #include <string>
 #include <vector>
 
-#include "api/xorec.hpp"
+#include "api/service.hpp"
+#include "cluster/failure.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/repair.hpp"
+#include "cluster/topology.hpp"
 #include "example_util.hpp"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-struct Object {
-  std::vector<std::vector<uint8_t>> fragments;  // by node id; empty = lost
-  size_t frag_len = 0;
-};
-
-/// An equivalent spelling of `spec` (reordered/extended with a default-value
-/// key) — the second tenant's request, which canonicalization must resolve
-/// to the same pool entry.
-std::string reordered_spelling(const std::string& spec) {
-  if (spec.find("@") != std::string::npos) {
-    // "fam(...)@k1=v1,k2=v2" -> "fam(...)@k2=v2,k1=v1"
-    const size_t at = spec.find('@');
-    const std::string opts = spec.substr(at + 1);
-    const size_t comma = opts.find(',');
-    if (comma != std::string::npos)
-      return spec.substr(0, at + 1) + opts.substr(comma + 1) + "," +
-             opts.substr(0, comma);
-    return spec;  // single option: nothing to reorder
-  }
-  return spec;
-}
+double mib(uint64_t bytes) { return static_cast<double>(bytes) / (1ull << 20); }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace xorec::cluster;
+
   if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
-  const size_t n_objects = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
-  const size_t object_mib = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
-  const std::string spec = argc > 3 ? argv[3] : "rs(10,4)@block=1024,threads=1";
-  const std::string profile = argc > 4 ? argv[4] : "";
+  const size_t stripes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  uint32_t racks = argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10)) : 12;
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  // A stripe is 10 chunks wide; with racks >= 10 the rack-aware placement
+  // puts one chunk per rack, so a whole-rack failure costs each stripe at
+  // most one chunk — every family below recovers that.
+  if (racks < 10) racks = 10;
 
-  // The service owns the shard sessions and the codec pools; tenants only
-  // hold leases.
+  const Topology topo(racks, /*nodes_per_rack=*/2, /*disks_per_node=*/2);
+  const std::vector<std::string> specs{"rs(6,4)", "lrc(6,2,2)", "piggyback(6,4,2)"};
+
+  // One node failure, then a correlated whole-rack failure two virtual
+  // seconds later (targets drawn from the seed, away from each other).
+  const uint32_t dead_node = static_cast<uint32_t>(seed % topo.node_count());
+  const uint32_t dead_rack = (topo.rack_of_node(dead_node) + 1 + static_cast<uint32_t>(seed % (racks - 1))) % racks;
+  FailureTrace trace;
+  trace.add_node(0.0, dead_node).add_rack(2.0, dead_rack);
+
+  RepairOptions base;
+  base.chunk_bytes = 4ull << 20;       // virtual 4 MiB chunks
+  base.node_bandwidth = 64ull << 20;   // 64 MiB per node per virtual second
+  base.execute_stripes = 4;            // first 4 repairs carry real payload
+  base.exec_frag_len = 4096;
+  base.seed = seed;
+
+  std::printf("fleet: %u racks x %u nodes x %u disks  (%u nodes, %u disks)\n",
+              topo.racks, topo.nodes_per_rack, topo.disks_per_node, topo.node_count(),
+              topo.disk_count());
+  std::printf("load:  %zu stripes x 10 chunks, rack-aware placement, seed %llu\n",
+              stripes, static_cast<unsigned long long>(seed));
+  std::printf("trace: node %u fails at t=0, rack %u fails at t=2  (fingerprint %llx)\n\n",
+              dead_node, dead_rack,
+              static_cast<unsigned long long>(trace.fingerprint()));
+
   xorec::CodecService service({.shards = 2, .workers_per_shard = 2});
+  const std::vector<RepairReport> reports = compare_families(
+      topo, PlacementPolicy::RackAware, stripes, specs, trace, service, base, seed);
 
-  // Warm start when a previous run saved its profile.
-  if (!profile.empty() && std::ifstream(profile).good()) {
-    const auto t0 = Clock::now();
-    const auto rep = service.warmup(profile);
-    std::printf("warmup(%s): %zu codecs, %zu patterns replayed (%zu compiled, "
-                "%zu already cached, %zu skipped) in %.1f ms\n",
-                profile.c_str(), rep.codecs, rep.patterns, rep.compiled,
-                rep.already_cached, rep.skipped, seconds_since(t0) * 1e3);
-  }
+  std::printf("%-18s %6s %6s %8s %12s %12s %8s %6s\n", "family", "lost", "jobs",
+              "strips", "x-rack MiB", "in-rack MiB", "x-frac", "ticks");
+  for (const RepairReport& r : reports)
+    std::printf("%-18s %6zu %6zu %8zu %12.1f %12.1f %8.3f %6llu\n", r.spec.c_str(),
+                r.chunks_lost, r.repair_jobs, r.strips_read, mib(r.cross_rack_bytes),
+                mib(r.intra_rack_bytes), r.cross_rack_fraction(),
+                static_cast<unsigned long long>(r.time_to_safe_ticks));
+  std::printf("\n");
 
-  // Two tenants, two spellings, ONE pooled codec.
-  std::vector<xorec::ServiceHandle> tenants;
-  try {
-    tenants.push_back(service.acquire(spec));
-    tenants.push_back(service.acquire(reordered_spelling(spec)));
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
-  }
-  const xorec::ServiceHandle& tenant_a = tenants[0];
-  const xorec::ServiceHandle& tenant_b = tenants[1];
-  const xorec::Codec& codec = tenant_a.codec();
-  if (&codec != &tenant_b.codec()) {
-    std::fprintf(stderr, "pooling FAILED: equivalent specs got distinct codecs\n");
-    return 1;
-  }
-
-  const size_t k_data = codec.data_fragments();
-  const size_t k_parity = codec.parity_fragments();
-  const size_t k_nodes = k_data + k_parity;
-  const size_t unit = codec.fragment_multiple() * 8;
-  const size_t frag_len =
-      std::max(unit, object_mib * (1u << 20) / k_data / unit * unit);
-
-  std::printf("cluster: %zu nodes, pool \"%s\" (2 clients), %zu-byte fragments, "
-              "%zu shards x %zu workers\n",
-              k_nodes, tenant_a.spec().c_str(), frag_len, service.shard_count(),
-              service.stats().shards[0].workers);
-  std::mt19937_64 rng(7);
-
-  // ---- ingest: tenants alternate; one encode job per object ----------------
-  std::vector<Object> store(n_objects);
-  auto t0 = Clock::now();
-  {
-    std::vector<std::vector<const uint8_t*>> data(n_objects);
-    std::vector<std::vector<uint8_t*>> parity(n_objects);
-    std::vector<std::future<void>> jobs;  // the futures are the error channel
-    for (size_t o = 0; o < n_objects; ++o) {
-      Object& obj = store[o];
-      obj.frag_len = frag_len;
-      obj.fragments.assign(k_nodes, std::vector<uint8_t>(frag_len));
-      for (size_t i = 0; i < k_data; ++i)
-        for (auto& b : obj.fragments[i]) b = static_cast<uint8_t>(rng());
-      for (size_t i = 0; i < k_data; ++i) data[o].push_back(obj.fragments[i].data());
-      for (size_t i = 0; i < k_parity; ++i)
-        parity[o].push_back(obj.fragments[k_data + i].data());
-      const xorec::ServiceHandle& tenant = (o % 2 == 0) ? tenant_a : tenant_b;
-      jobs.push_back(tenant.encode(data[o].data(), parity[o].data(), frag_len));
+  // Self-verification — this example doubles as the CI cluster smoke.
+  bool ok = true;
+  const auto check = [&](bool cond, const char* what, const std::string& who) {
+    if (!cond) {
+      std::printf("FAIL: %s (%s)\n", what, who.c_str());
+      ok = false;
     }
-    service.flush();
-    for (auto& j : jobs) j.get();  // all ready; rethrows any job failure
+  };
+  for (const RepairReport& r : reports) {
+    check(r.stripes_unrecoverable == 0, "stripes lost", r.spec);
+    check(r.chunks_unplaced == 0, "chunks had no replacement target", r.spec);
+    check(r.chunks_repaired == r.chunks_lost, "not every lost chunk repaired", r.spec);
+    check(r.verify_failures == 0, "payload verification failed", r.spec);
+    check(r.executed_stripes > 0 && r.verified_stripes == r.executed_stripes,
+          "no payload-verified repairs", r.spec);
   }
-  const double ingest_s = seconds_since(t0);
-  const double ingest_gb = n_objects * k_data * frag_len / 1e9;
-  std::printf("ingested %zu objects (%.2f GB data) in %.3f s  ->  %.2f GB/s encode\n",
-              n_objects, ingest_gb, ingest_s, ingest_gb / ingest_s);
-
-  // ---- failure rounds: distinct patterns, one plan per round ----------------
-  const size_t rounds = 3;
-  size_t repaired = 0;
-  t0 = Clock::now();
-  for (size_t round = 0; round < rounds; ++round) {
-    // Pick a failure pattern the codec can survive (a non-MDS family like
-    // lrc may refuse the worst case — back off one node at a time), and
-    // solve it ONCE before any fragment is dropped.
-    std::vector<uint32_t> failed, available;
-    std::shared_ptr<const xorec::ReconstructPlan> plan;
-    for (size_t fail_count = k_parity; fail_count > 0 && !plan; --fail_count) {
-      failed.clear();
-      while (failed.size() < fail_count) {
-        const uint32_t node = static_cast<uint32_t>(rng() % k_nodes);
-        if (std::find(failed.begin(), failed.end(), node) == failed.end())
-          failed.push_back(node);
-      }
-      std::sort(failed.begin(), failed.end());
-      available.clear();
-      for (uint32_t id = 0; id < k_nodes; ++id)
-        if (std::find(failed.begin(), failed.end(), id) == failed.end())
-          available.push_back(id);
-      try {
-        plan = tenant_a.plan_reconstruct(available, failed);
-      } catch (const std::invalid_argument&) {
-        continue;  // pattern exceeds this code's tolerance — fail fewer nodes
-      }
-    }
-    if (!plan) {
-      std::fprintf(stderr, "no recoverable failure pattern found\n");
-      return 1;
-    }
-    for (Object& obj : store)
-      for (uint32_t f : failed) obj.fragments[f].clear();
-    std::printf("round %zu: nodes", round + 1);
-    for (uint32_t f : failed) std::printf(" %u", f);
-    std::printf(" failed; repair plan: %zu XORs over %zu survivors\n",
-                plan->xor_count(), plan->available().size());
-
-    std::vector<std::vector<const uint8_t*>> avail_ptrs(store.size());
-    std::vector<std::vector<std::vector<uint8_t>>> rebuilt(store.size());
-    std::vector<std::vector<uint8_t*>> out_ptrs(store.size());
-    std::vector<std::future<void>> jobs;
-    for (size_t o = 0; o < store.size(); ++o) {
-      Object& obj = store[o];
-      for (uint32_t id : available) avail_ptrs[o].push_back(obj.fragments[id].data());
-      rebuilt[o].assign(failed.size(), std::vector<uint8_t>(obj.frag_len));
-      for (auto& r : rebuilt[o]) out_ptrs[o].push_back(r.data());
-      const xorec::ServiceHandle& tenant = (o % 2 == 0) ? tenant_a : tenant_b;
-      jobs.push_back(tenant.reconstruct(plan, avail_ptrs[o].data(), out_ptrs[o].data(),
-                                        obj.frag_len));
-    }
-    service.flush();
-    for (auto& j : jobs) j.get();
-    for (size_t o = 0; o < store.size(); ++o) {
-      for (size_t i = 0; i < failed.size(); ++i)
-        store[o].fragments[failed[i]] = std::move(rebuilt[o][i]);
-      repaired += failed.size();
-    }
+  const RepairReport& rs = reports[0];
+  for (size_t i = 1; i < reports.size(); ++i) {
+    check(reports[i].cross_rack_bytes < rs.cross_rack_bytes,
+          "locality family moved >= rs cross-rack bytes", reports[i].spec);
+    check(reports[i].bytes_read < rs.bytes_read,
+          "locality family read >= rs bytes", reports[i].spec);
   }
-  const double repair_s = seconds_since(t0);
-  const double repair_gb = repaired * frag_len / 1e9;
-  std::printf("repaired %zu fragments over %zu rounds (%.2f GB written) in %.3f s  ->  "
-              "%.2f GB/s reconstruction output\n",
-              repaired, rounds, repair_gb, repair_s, repair_gb / repair_s);
+  if (!ok) return 1;
 
-  // ---- verify: re-encode parity from data and compare every fragment --------
-  size_t verified = 0;
-  for (const Object& obj : store) {
-    std::vector<const uint8_t*> data;
-    for (size_t i = 0; i < k_data; ++i) data.push_back(obj.fragments[i].data());
-    std::vector<std::vector<uint8_t>> parity(k_parity,
-                                             std::vector<uint8_t>(obj.frag_len));
-    std::vector<uint8_t*> pptr;
-    for (auto& p : parity) pptr.push_back(p.data());
-    codec.encode(data.data(), pptr.data(), obj.frag_len);
-    for (size_t i = 0; i < k_parity; ++i) {
-      if (parity[i] != obj.fragments[k_data + i]) {
-        std::printf("VERIFY FAILED on parity %zu\n", i);
-        return 1;
-      }
-    }
-    ++verified;
-  }
-  std::printf("verified %zu objects end-to-end. cluster healthy again.\n", verified);
-
-  // Persist the hot patterns so the next process starts warm.
-  if (!profile.empty()) {
-    const size_t saved = service.save_profile(profile);
-    std::printf("saved %zu plan patterns to %s\n", saved, profile.c_str());
-  }
-
-  // ---- the service's own view of all of the above ---------------------------
-  const xorec::ServiceStats stats = service.stats();
-  for (const xorec::ShardStats& s : stats.shards)
-    std::printf("shard %zu: %zu workers, %zu jobs, depth %zu, %.2f GB coded "
-                "(%.2f GB/s avg)\n",
-                s.shard, s.workers, s.submitted, s.queue_depth, s.bytes_coded / 1e9,
-                s.throughput_gbps);
-  for (const xorec::PoolStats& p : stats.pools)
-    std::printf("pool \"%s\" (shard %zu): %zu clients, %zu encodes, %zu plans, "
-                "%zu reconstructs, %zu cached programs\n",
-                p.spec.c_str(), p.shard, p.clients, p.encodes, p.plans, p.reconstructs,
-                p.cached_programs);
-  std::printf("plan cache: %zu entries, %zu hits, %zu misses, %.2f ms compiling\n",
-              stats.cache.entries, stats.cache.hits, stats.cache.misses,
-              stats.cache.compile_ns / 1e6);
-  std::printf("serving-window plan lookups: %zu hits, %zu misses  ->  %.0f%% hit "
-              "rate%s\n",
-              stats.warm_hits, stats.warm_misses, stats.warm_hit_rate() * 100,
-              stats.warm_misses == 0 && stats.warm_hits > 0 ? " (warmed start)" : "");
+  std::printf("ok: every lost chunk repaired and byte-verified; lrc and piggyback both\n"
+              "    moved fewer cross-rack bytes than rs on the identical trace\n");
+  std::printf("decision fingerprints:");
+  for (const RepairReport& r : reports)
+    std::printf(" %s=%llx", r.spec.c_str(),
+                static_cast<unsigned long long>(r.decision_fingerprint));
+  std::printf("\n");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "api/codec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace xorec {
@@ -17,6 +18,22 @@ ReconstructPlan::ReconstructPlan(std::string codec_name, size_t fragment_multipl
 const PlanStats& ReconstructPlan::schedule_stats() const {
   std::call_once(stats_once_, [&] { stats_ = compute_stats(); });
   return stats_;
+}
+
+const PlanReadSet& ReconstructPlan::read_set() const {
+  std::call_once(read_set_once_, [&] { read_set_ = compute_read_set(); });
+  return read_set_;
+}
+
+PlanReadSet ReconstructPlan::compute_read_set() const {
+  PlanReadSet rs;
+  if (erased_.empty()) return rs;  // no-op plan reads nothing
+  rs.fragments = available_;
+  std::sort(rs.fragments.begin(), rs.fragments.end());
+  rs.fragment_strips.assign(rs.fragments.size(),
+                            static_cast<uint32_t>(fragment_multiple_));
+  rs.strips = rs.fragments.size() * fragment_multiple_;
+  return rs;
 }
 
 void ReconstructPlan::execute(const uint8_t* const* available_frags, uint8_t* const* out,

@@ -75,6 +75,26 @@ struct CacheStats {
   bool shared = false;
 };
 
+/// What a plan's execute() actually READS from the survivor buffers — the
+/// repair-traffic measure of a recovery plan. A plain RS repair reads k full
+/// fragments; the reduced-read families (lrc, piggyback) compile plans that
+/// touch fewer fragments and/or fewer strips per fragment, and this is where
+/// that saving becomes visible to a caller (the cluster repair orchestrator
+/// prices network moves with it). Derived from the compiled programs' flat
+/// base SLPs, which are a safe superset of every optimized form — so the set
+/// is an upper bound on actual reads, never an undercount.
+struct PlanReadSet {
+  /// Survivor fragment ids the plan dereferences, sorted ascending —
+  /// a subset of ReconstructPlan::available().
+  std::vector<uint32_t> fragments;
+  /// Strips read per entry of `fragments` (parallel). Each fragment holds
+  /// fragment_multiple() strips, so a partial read of a fragment (piggyback
+  /// reads only the last substripe of most blocks) counts < that.
+  std::vector<uint32_t> fragment_strips;
+  /// Total distinct input strips read across all steps (Σ fragment_strips).
+  size_t strips = 0;
+};
+
 /// A codec's footprint in its plan-compilation cache: the fingerprints its
 /// programs are keyed under and the pattern keys currently cached
 /// (MRU-first per cache shard). All-zero fingerprints mean the codec does
@@ -119,6 +139,16 @@ class ReconstructPlan {
   /// Full static cost measures (computed lazily on first call, then cached).
   const PlanStats& schedule_stats() const;
 
+  /// Strips a codec slices each fragment into (the codec's
+  /// fragment_multiple() at plan time) — the strip granularity of read_set().
+  size_t fragment_multiple() const { return fragment_multiple_; }
+
+  /// The survivor fragments/strips this plan reads (computed lazily, then
+  /// cached). Default: every fragment of available(), all strips — correct
+  /// for fallback and non-SLP plans; the compiled bitmatrix plans override
+  /// compute_read_set() with the true (reduced) set.
+  const PlanReadSet& read_set() const;
+
   /// Optimizer artifacts of the data-decode step, where applicable (null
   /// for parity-only plans, non-SLP codecs and fallbacks).
   virtual const slp::PipelineResult* decode_pipeline() const { return nullptr; }
@@ -138,6 +168,9 @@ class ReconstructPlan {
                             size_t frag_len) const = 0;
   /// Compute the stats once; called lazily under a once-flag.
   virtual PlanStats compute_stats() const { return {}; }
+  /// Compute the read set once; called lazily under a once-flag. The default
+  /// charges every survivor in full (no compiled program to inspect).
+  virtual PlanReadSet compute_read_set() const;
 
  private:
   std::string codec_name_;
@@ -145,6 +178,8 @@ class ReconstructPlan {
   std::vector<uint32_t> available_, erased_;
   mutable std::once_flag stats_once_;
   mutable PlanStats stats_;
+  mutable std::once_flag read_set_once_;
+  mutable PlanReadSet read_set_;
 };
 
 class Codec {

@@ -21,6 +21,9 @@ struct CodecService::Pool {
   std::atomic<size_t> encodes{0};
   std::atomic<size_t> plans{0};
   std::atomic<size_t> reconstructs{0};
+  std::atomic<size_t> strips_read{0};
+  std::atomic<uint64_t> repair_bytes_in{0};
+  std::atomic<uint64_t> repair_bytes_out{0};
 };
 
 struct CodecService::Shard {
@@ -75,6 +78,15 @@ std::future<void> ServiceHandle::reconstruct(std::shared_ptr<const ReconstructPl
   pool.reconstructs.fetch_add(1, std::memory_order_relaxed);
   shard.bytes.fetch_add(static_cast<uint64_t>(plan->erased().size()) * frag_len,
                         std::memory_order_relaxed);
+  // Repair-traffic accounting at the plan's true read granularity: strips
+  // the compiled programs dereference, priced in bytes of this job.
+  const PlanReadSet& reads = plan->read_set();
+  pool.strips_read.fetch_add(reads.strips, std::memory_order_relaxed);
+  pool.repair_bytes_in.fetch_add(
+      static_cast<uint64_t>(reads.strips) * (frag_len / plan->fragment_multiple()),
+      std::memory_order_relaxed);
+  pool.repair_bytes_out.fetch_add(static_cast<uint64_t>(plan->erased().size()) * frag_len,
+                                  std::memory_order_relaxed);
   return shard.session.submit_reconstruct(std::move(plan), available_frags, out, frag_len);
 }
 
@@ -87,6 +99,14 @@ std::future<void> ServiceHandle::rebuild(std::vector<uint32_t> available,
   pool.reconstructs.fetch_add(1, std::memory_order_relaxed);
   shard.bytes.fetch_add(static_cast<uint64_t>(erased.size()) * frag_len,
                         std::memory_order_relaxed);
+  // Plan-less rebuild: no compiled program to inspect, so every survivor is
+  // charged in full (the conservative ceiling — route plans for less).
+  pool.strips_read.fetch_add(available.size() * pool.codec->fragment_multiple(),
+                             std::memory_order_relaxed);
+  pool.repair_bytes_in.fetch_add(static_cast<uint64_t>(available.size()) * frag_len,
+                                 std::memory_order_relaxed);
+  pool.repair_bytes_out.fetch_add(static_cast<uint64_t>(erased.size()) * frag_len,
+                                  std::memory_order_relaxed);
   return shard.session.submit_reconstruct(pool.codec, std::move(available),
                                           available_frags, std::move(erased), out,
                                           frag_len);
@@ -274,6 +294,9 @@ ServiceStats CodecService::stats() const {
       ps.plans = pool->plans.load(std::memory_order_relaxed);
       ps.reconstructs = pool->reconstructs.load(std::memory_order_relaxed);
       ps.cached_programs = pool->codec->cached_program_count();
+      ps.strips_read = pool->strips_read.load(std::memory_order_relaxed);
+      ps.repair_bytes_in = pool->repair_bytes_in.load(std::memory_order_relaxed);
+      ps.repair_bytes_out = pool->repair_bytes_out.load(std::memory_order_relaxed);
       out.pools.push_back(std::move(ps));
     }
     out.warm_hits = out.cache.hits > baseline_hits_ ? out.cache.hits - baseline_hits_ : 0;

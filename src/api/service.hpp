@@ -77,6 +77,13 @@ struct PoolStats {
   size_t plans = 0;         // plan_reconstruct calls through handles
   size_t reconstructs = 0;  // routed reconstruct/rebuild jobs
   size_t cached_programs = 0;  // plan-cache entries for this codec identity
+  /// Repair traffic of the routed reconstruct/rebuild jobs — what a repair
+  /// orchestrator moves over the network. `strips_read` and bytes-in follow
+  /// each plan's read_set() (reduced-read families charge less than plain
+  /// RS); plan-less rebuild() jobs charge every survivor in full.
+  size_t strips_read = 0;        // survivor strips read by repair jobs
+  uint64_t repair_bytes_in = 0;  // survivor bytes read by repair jobs
+  uint64_t repair_bytes_out = 0; // rebuilt bytes written by repair jobs
 };
 
 struct ServiceStats {

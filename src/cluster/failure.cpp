@@ -1,0 +1,108 @@
+#include "cluster/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace xorec::cluster {
+
+namespace {
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) from the top 53 bits — exact in a double, stable
+/// everywhere.
+double unit(uint64_t bits) { return static_cast<double>(bits >> 11) * 0x1.0p-53; }
+
+bool event_less(const FailureEvent& a, const FailureEvent& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.target < b.target;
+}
+
+}  // namespace
+
+FailureTrace& FailureTrace::insert(FailureEvent ev) {
+  events.insert(std::upper_bound(events.begin(), events.end(), ev, event_less), ev);
+  return *this;
+}
+
+FailureTrace& FailureTrace::add_disk(double time_s, uint32_t disk) {
+  return insert({time_s, FailureKind::Disk, disk});
+}
+FailureTrace& FailureTrace::add_node(double time_s, uint32_t node) {
+  return insert({time_s, FailureKind::Node, node});
+}
+FailureTrace& FailureTrace::add_rack(double time_s, uint32_t rack) {
+  return insert({time_s, FailureKind::Rack, rack});
+}
+
+FailureTrace FailureTrace::poisson_storm(const Topology& topo, double rate_per_s,
+                                         double duration_s, uint64_t seed,
+                                         double node_fraction, double rack_fraction) {
+  if (rate_per_s <= 0 || duration_s <= 0)
+    throw std::invalid_argument("poisson_storm: rate and duration must be positive");
+  if (node_fraction < 0 || rack_fraction < 0 || node_fraction + rack_fraction > 1)
+    throw std::invalid_argument("poisson_storm: fractions must be >= 0 and sum <= 1");
+  FailureTrace trace;
+  uint64_t state = mix64(seed ^ 0x5707a11u);
+  const auto next = [&] { return state = mix64(state); };
+  double t = 0;
+  for (;;) {
+    // Inverse-CDF exponential inter-arrival; 1 - u keeps log's argument
+    // strictly positive.
+    t += -std::log(1.0 - unit(next())) / rate_per_s;
+    if (t >= duration_s) break;
+    const double what = unit(next());
+    FailureEvent ev;
+    ev.time_s = t;
+    if (what < rack_fraction) {
+      ev.kind = FailureKind::Rack;
+      ev.target = static_cast<uint32_t>(next() % topo.racks);
+    } else if (what < rack_fraction + node_fraction) {
+      ev.kind = FailureKind::Node;
+      ev.target = static_cast<uint32_t>(next() % topo.node_count());
+    } else {
+      ev.kind = FailureKind::Disk;
+      ev.target = static_cast<uint32_t>(next() % topo.disk_count());
+    }
+    trace.insert(ev);
+  }
+  return trace;
+}
+
+size_t FailureTrace::apply(const FailureEvent& ev, HealthMap& health) {
+  switch (ev.kind) {
+    case FailureKind::Disk: return health.fail_disk(ev.target);
+    case FailureKind::Node: return health.fail_node(ev.target);
+    case FailureKind::Rack: return health.fail_rack(ev.target);
+  }
+  throw std::logic_error("FailureTrace: unknown event kind");
+}
+
+uint64_t FailureTrace::fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto fold = [&](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const FailureEvent& ev : events) {
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof ev.time_s);
+    std::memcpy(&bits, &ev.time_s, sizeof bits);
+    fold(bits);
+    fold(static_cast<uint64_t>(ev.kind));
+    fold(ev.target);
+  }
+  return h;
+}
+
+}  // namespace xorec::cluster

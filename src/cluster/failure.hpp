@@ -1,0 +1,60 @@
+// Failure injection for the cluster repair orchestrator: a FailureTrace is
+// an immutable, time-sorted list of device failures — single disk, whole
+// node, correlated rack — either scripted one event at a time or drawn as a
+// Poisson "failure storm". Generation is fully deterministic and PORTABLE:
+// the storm uses an explicit splitmix64 + inverse-CDF exponential draw, not
+// std::*_distribution (whose value mapping is implementation-defined), so
+// the same seed yields byte-identical traces on every compiler. A trace
+// fingerprint makes that testable in one comparison.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.hpp"
+
+namespace xorec::cluster {
+
+enum class FailureKind : uint8_t { Disk = 0, Node = 1, Rack = 2 };
+
+struct FailureEvent {
+  double time_s = 0;  // virtual seconds from trace start
+  FailureKind kind = FailureKind::Disk;
+  uint32_t target = 0;  // disk / node / rack id, per kind
+
+  bool operator==(const FailureEvent&) const = default;
+};
+
+struct FailureTrace {
+  std::vector<FailureEvent> events;  // kept sorted by (time, kind, target)
+
+  FailureTrace& add_disk(double time_s, uint32_t disk);
+  FailureTrace& add_node(double time_s, uint32_t node);
+  FailureTrace& add_rack(double time_s, uint32_t rack);
+
+  /// A Poisson failure storm: events arrive with exponential inter-arrival
+  /// times at `rate_per_s` for `duration_s` virtual seconds; each event is a
+  /// node failure with probability `node_fraction`, a whole-rack failure
+  /// with `rack_fraction`, and a single disk otherwise. Targets are drawn
+  /// uniformly over the topology. Deterministic per seed.
+  static FailureTrace poisson_storm(const Topology& topo, double rate_per_s,
+                                    double duration_s, uint64_t seed,
+                                    double node_fraction = 0.25,
+                                    double rack_fraction = 0.05);
+
+  /// Apply one event to a health map; returns disks newly failed.
+  static size_t apply(const FailureEvent& ev, HealthMap& health);
+
+  size_t size() const { return events.size(); }
+  double duration() const { return events.empty() ? 0.0 : events.back().time_s; }
+
+  /// FNV-1a over every event's (time bits, kind, target) — two traces are
+  /// byte-identical iff fingerprints match (the determinism assertion).
+  uint64_t fingerprint() const;
+
+ private:
+  FailureTrace& insert(FailureEvent ev);
+};
+
+}  // namespace xorec::cluster

@@ -1,0 +1,153 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+namespace xorec::cluster {
+
+namespace {
+
+/// splitmix64 — the usual seeded stateless mixer; stable across platforms
+/// (unlike std::uniform_int_distribution, whose mapping is
+/// implementation-defined), which the byte-identical-trace guarantee needs.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PlacementRegistry::PlacementRegistry(Topology topo, uint32_t chunks_per_stripe,
+                                     PlacementPolicy policy, uint64_t seed)
+    : topo_(topo), n_(chunks_per_stripe), policy_(policy), seed_(seed) {
+  if (n_ == 0) throw std::invalid_argument("PlacementRegistry: chunks_per_stripe == 0");
+  if (n_ > topo_.node_count())
+    throw std::invalid_argument("PlacementRegistry: a stripe needs " + std::to_string(n_) +
+                                " distinct nodes but the fleet has " +
+                                std::to_string(topo_.node_count()));
+  disk_load_.assign(topo_.disk_count(), 0);
+}
+
+uint32_t PlacementRegistry::place_one(size_t stripe, uint32_t idx,
+                                      const std::vector<uint32_t>& used_nodes) {
+  const auto node_used = [&](uint32_t node) {
+    return std::find(used_nodes.begin(), used_nodes.end(), node) != used_nodes.end();
+  };
+  // Least-loaded disk of `node` (ties to the lowest id).
+  const auto best_disk_of = [&](uint32_t node) {
+    const uint32_t first = topo_.first_disk_of_node(node);
+    uint32_t best = first;
+    for (uint32_t d = first + 1; d < first + topo_.disks_per_node; ++d)
+      if (disk_load_[d] < disk_load_[best]) best = d;
+    return best;
+  };
+
+  switch (policy_) {
+    case PlacementPolicy::RoundRobin: {
+      uint32_t node = static_cast<uint32_t>((stripe + idx) % topo_.node_count());
+      while (node_used(node)) node = (node + 1) % topo_.node_count();
+      return best_disk_of(node);
+    }
+    case PlacementPolicy::RackAware: {
+      // Walk racks from (stripe + idx) mod racks until one has a free node;
+      // inside, the least-loaded free node, then its least-loaded disk.
+      for (uint32_t probe = 0; probe < topo_.racks; ++probe) {
+        const uint32_t rack =
+            static_cast<uint32_t>((stripe + idx + probe) % topo_.racks);
+        uint32_t best_node = std::numeric_limits<uint32_t>::max();
+        uint32_t best_load = std::numeric_limits<uint32_t>::max();
+        const uint32_t first = topo_.first_node_of_rack(rack);
+        for (uint32_t node = first; node < first + topo_.nodes_per_rack; ++node) {
+          if (node_used(node)) continue;
+          const uint32_t load = disk_load_[best_disk_of(node)];
+          if (load < best_load) {
+            best_load = load;
+            best_node = node;
+          }
+        }
+        if (best_node != std::numeric_limits<uint32_t>::max())
+          return best_disk_of(best_node);
+      }
+      throw std::logic_error("PlacementRegistry: no free node (checked in ctor)");
+    }
+    case PlacementPolicy::Random: {
+      uint64_t h = mix64(seed_ ^ mix64(stripe * 0x10001 + idx));
+      for (;;) {
+        const uint32_t node = static_cast<uint32_t>(h % topo_.node_count());
+        if (!node_used(node)) return best_disk_of(node);
+        h = mix64(h);
+      }
+    }
+  }
+  throw std::logic_error("PlacementRegistry: unknown policy");
+}
+
+void PlacementRegistry::add_stripes(size_t count) {
+  const size_t first = stripe_count();
+  chunk_disk_.reserve(chunk_disk_.size() + count * n_);
+  std::vector<uint32_t> used_nodes;
+  used_nodes.reserve(n_);
+  for (size_t s = first; s < first + count; ++s) {
+    used_nodes.clear();
+    for (uint32_t i = 0; i < n_; ++i) {
+      const uint32_t disk = place_one(s, i, used_nodes);
+      used_nodes.push_back(topo_.node_of_disk(disk));
+      chunk_disk_.push_back(disk);
+      ++disk_load_[disk];
+    }
+  }
+}
+
+std::vector<uint32_t> PlacementRegistry::rack_profile(size_t stripe) const {
+  std::vector<uint32_t> per_rack(topo_.racks, 0);
+  for (uint32_t i = 0; i < n_; ++i) ++per_rack[rack_of(stripe, i)];
+  return per_rack;
+}
+
+void PlacementRegistry::move_chunk(size_t stripe, uint32_t idx, uint32_t new_disk) {
+  uint32_t& slot = chunk_disk_[stripe * n_ + idx];
+  --disk_load_[slot];
+  slot = new_disk;
+  ++disk_load_[new_disk];
+}
+
+uint32_t PlacementRegistry::pick_replacement(size_t stripe, uint32_t idx,
+                                             const HealthMap& health) const {
+  const std::vector<uint32_t> per_rack = rack_profile(stripe);
+  // Nodes already carrying one of the stripe's OTHER chunks are off limits
+  // (idx's own failed node may be reused only if another disk there lives —
+  // simplest to exclude it too; its disk is failed anyway).
+  std::vector<uint32_t> used_nodes;
+  used_nodes.reserve(n_);
+  for (uint32_t i = 0; i < n_; ++i) used_nodes.push_back(node_of(stripe, i));
+
+  uint32_t best = std::numeric_limits<uint32_t>::max();
+  uint32_t best_rack_chunks = 0, best_load = 0;
+  for (uint32_t d = 0; d < topo_.disk_count(); ++d) {
+    if (!health.disk_ok(d)) continue;
+    const uint32_t node = topo_.node_of_disk(d);
+    if (std::find(used_nodes.begin(), used_nodes.end(), node) != used_nodes.end())
+      continue;
+    const uint32_t rack_chunks = per_rack[topo_.rack_of_disk(d)];
+    const uint32_t load = disk_load_[d];
+    if (best == std::numeric_limits<uint32_t>::max() ||
+        std::tie(rack_chunks, load, d) < std::tie(best_rack_chunks, best_load, best)) {
+      best = d;
+      best_rack_chunks = rack_chunks;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void PlacementRegistry::for_each_lost(const HealthMap& health,
+                                      const std::function<void(size_t, uint32_t)>& fn) const {
+  for (size_t c = 0; c < chunk_disk_.size(); ++c)
+    if (!health.disk_ok(chunk_disk_[c])) fn(c / n_, static_cast<uint32_t>(c % n_));
+}
+
+}  // namespace xorec::cluster

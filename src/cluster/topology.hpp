@@ -1,0 +1,100 @@
+// Simulated fleet topology for the cluster repair orchestrator: a fixed
+// racks × nodes × disks grid with pure-arithmetic id mapping (no per-device
+// objects), plus a disk-granular health map failures are injected into.
+//
+// Ids are dense and hierarchical:
+//   disk d  ->  node d / disks_per_node  ->  rack node / nodes_per_rack
+// so a chunk record needs only its disk id (4 bytes) and every locality
+// question — "is this read cross-rack?" — is integer division away. Node and
+// rack failures are modeled as failing every disk underneath; a chunk is
+// readable iff its disk is healthy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace xorec::cluster {
+
+struct Topology {
+  uint32_t racks = 0;
+  uint32_t nodes_per_rack = 0;
+  uint32_t disks_per_node = 0;
+
+  Topology() = default;
+  Topology(uint32_t racks_, uint32_t nodes_per_rack_, uint32_t disks_per_node_)
+      : racks(racks_), nodes_per_rack(nodes_per_rack_), disks_per_node(disks_per_node_) {
+    if (!racks || !nodes_per_rack || !disks_per_node)
+      throw std::invalid_argument("Topology: racks, nodes_per_rack and disks_per_node "
+                                  "must all be >= 1");
+  }
+
+  uint32_t node_count() const { return racks * nodes_per_rack; }
+  uint32_t disk_count() const { return node_count() * disks_per_node; }
+
+  uint32_t node_of_disk(uint32_t disk) const { return disk / disks_per_node; }
+  uint32_t rack_of_node(uint32_t node) const { return node / nodes_per_rack; }
+  uint32_t rack_of_disk(uint32_t disk) const { return rack_of_node(node_of_disk(disk)); }
+
+  uint32_t first_disk_of_node(uint32_t node) const { return node * disks_per_node; }
+  uint32_t first_node_of_rack(uint32_t rack) const { return rack * nodes_per_rack; }
+};
+
+/// Which disks are alive right now. Failures only accumulate (a failed
+/// device never returns within one trace) — the repair orchestrator's job is
+/// to re-create the lost chunks elsewhere, not to heal devices.
+class HealthMap {
+ public:
+  explicit HealthMap(const Topology& topo)
+      : topo_(topo), disk_ok_(topo.disk_count(), true) {}
+
+  const Topology& topology() const { return topo_; }
+
+  bool disk_ok(uint32_t disk) const { return disk_ok_[disk]; }
+  /// A node serves reads/writes iff at least one of its disks is healthy;
+  /// callers placing chunks still check the specific disk.
+  bool node_ok(uint32_t node) const {
+    const uint32_t first = topo_.first_disk_of_node(node);
+    for (uint32_t d = first; d < first + topo_.disks_per_node; ++d)
+      if (disk_ok_[d]) return true;
+    return false;
+  }
+
+  /// Fail one disk / every disk of a node / every disk of a rack. Returns
+  /// the number of disks that transitioned healthy -> failed (0 when the
+  /// target was already fully failed — storms may re-hit a device).
+  size_t fail_disk(uint32_t disk) {
+    if (disk >= disk_ok_.size()) throw std::out_of_range("HealthMap: disk id out of range");
+    if (!disk_ok_[disk]) return 0;
+    disk_ok_[disk] = false;
+    ++failed_disks_;
+    return 1;
+  }
+  size_t fail_node(uint32_t node) {
+    if (node >= topo_.node_count())
+      throw std::out_of_range("HealthMap: node id out of range");
+    size_t n = 0;
+    const uint32_t first = topo_.first_disk_of_node(node);
+    for (uint32_t d = first; d < first + topo_.disks_per_node; ++d) n += fail_disk(d);
+    return n;
+  }
+  size_t fail_rack(uint32_t rack) {
+    if (rack >= topo_.racks) throw std::out_of_range("HealthMap: rack id out of range");
+    size_t n = 0;
+    const uint32_t first = topo_.first_node_of_rack(rack);
+    for (uint32_t node = first; node < first + topo_.nodes_per_rack; ++node)
+      n += fail_node(node);
+    return n;
+  }
+
+  size_t failed_disks() const { return failed_disks_; }
+  size_t healthy_disks() const { return disk_ok_.size() - failed_disks_; }
+
+ private:
+  Topology topo_;
+  std::vector<bool> disk_ok_;
+  size_t failed_disks_ = 0;
+};
+
+}  // namespace xorec::cluster

@@ -97,6 +97,48 @@ class BitmatrixReconstructPlan final : public ReconstructPlan {
     }
   }
 
+  /// The true repair read set, from the flat base SLPs (a safe superset of
+  /// every optimized form — the optimizer never introduces constants). Data
+  /// step constants index the strips of its input subset; parity step
+  /// constants index the k·w data strips, where from_out sources are the
+  /// plan's own outputs (already local to the repairing caller) and survivor
+  /// sources are real reads.
+  PlanReadSet compute_read_set() const override {
+    // Collect (survivor fragment id, strip) pairs as flat codes so one
+    // sort/unique dedupes strips read by both steps.
+    std::vector<uint64_t> codes;
+    if (data_) {
+      for (const slp::Instruction& ins : data_->program->pipeline.base.body)
+        for (const slp::Term& t : ins.args)
+          if (t.is_const() && t.id / w_ < data_->in_pos.size())
+            codes.push_back(static_cast<uint64_t>(available()[data_->in_pos[t.id / w_]]) *
+                                w_ +
+                            t.id % w_);
+    }
+    if (parity_) {
+      for (const slp::Instruction& ins : parity_->program->pipeline.base.body)
+        for (const slp::Term& t : ins.args) {
+          if (!t.is_const() || t.id / w_ >= parity_->data_src.size()) continue;
+          const RepairLayout::Source& src = parity_->data_src[t.id / w_];
+          if (src.from_out) continue;  // rebuilt by this plan — no survivor read
+          codes.push_back(static_cast<uint64_t>(available()[src.pos]) * w_ + t.id % w_);
+        }
+    }
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    PlanReadSet rs;
+    rs.strips = codes.size();
+    for (uint64_t code : codes) {
+      const uint32_t frag = static_cast<uint32_t>(code / w_);
+      if (rs.fragments.empty() || rs.fragments.back() != frag) {
+        rs.fragments.push_back(frag);
+        rs.fragment_strips.push_back(0);
+      }
+      ++rs.fragment_strips.back();
+    }
+    return rs;
+  }
+
   PlanStats compute_stats() const override {
     PlanStats s;
     for (const CompiledProgram* prog :

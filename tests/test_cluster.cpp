@@ -1,0 +1,376 @@
+// The cluster repair subsystem: topology id math, placement determinism,
+// failure-storm determinism, and the repair orchestrator end to end — the
+// XORing-Elephants assertions (lrc/piggyback move fewer cross-rack bytes
+// than rs on the SAME failure trace), scheduler ordering (lowest remaining
+// redundancy first), bandwidth throttling, and byte-identical reports under
+// a fixed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "api/service.hpp"
+#include "cluster/failure.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/repair.hpp"
+#include "cluster/topology.hpp"
+
+using namespace xorec;
+using namespace xorec::cluster;
+
+// ---- topology --------------------------------------------------------------
+
+TEST(ClusterTopology, IdMathIsHierarchical) {
+  const Topology topo(4, 3, 2);  // 4 racks x 3 nodes x 2 disks
+  EXPECT_EQ(topo.node_count(), 12u);
+  EXPECT_EQ(topo.disk_count(), 24u);
+  EXPECT_EQ(topo.node_of_disk(0), 0u);
+  EXPECT_EQ(topo.node_of_disk(5), 2u);
+  EXPECT_EQ(topo.rack_of_node(2), 0u);
+  EXPECT_EQ(topo.rack_of_node(3), 1u);
+  EXPECT_EQ(topo.rack_of_disk(23), 3u);
+  EXPECT_EQ(topo.first_disk_of_node(2), 4u);
+  EXPECT_EQ(topo.first_node_of_rack(2), 6u);
+  EXPECT_THROW(Topology(0, 1, 1), std::invalid_argument);
+}
+
+TEST(ClusterTopology, HealthMapAccumulatesFailures) {
+  const Topology topo(2, 2, 2);  // 8 disks
+  HealthMap health(topo);
+  EXPECT_EQ(health.healthy_disks(), 8u);
+  EXPECT_EQ(health.fail_disk(3), 1u);
+  EXPECT_EQ(health.fail_disk(3), 0u);  // idempotent
+  EXPECT_FALSE(health.disk_ok(3));
+  EXPECT_TRUE(health.node_ok(1));  // disk 2 still alive
+  EXPECT_EQ(health.fail_node(1), 1u);  // only disk 2 newly fails
+  EXPECT_FALSE(health.node_ok(1));
+  EXPECT_EQ(health.fail_rack(0), 2u);  // disks 0,1 (2,3 already dead)
+  EXPECT_EQ(health.failed_disks(), 4u);
+  EXPECT_THROW(health.fail_disk(99), std::out_of_range);
+}
+
+// ---- placement -------------------------------------------------------------
+
+TEST(ClusterPlacement, EveryPolicyUsesDistinctNodesPerStripe) {
+  const Topology topo(4, 4, 2);
+  for (PlacementPolicy policy :
+       {PlacementPolicy::RoundRobin, PlacementPolicy::RackAware, PlacementPolicy::Random}) {
+    PlacementRegistry reg(topo, 6, policy, 42);
+    reg.add_stripes(20);
+    for (size_t s = 0; s < reg.stripe_count(); ++s) {
+      std::set<uint32_t> nodes;
+      for (uint32_t i = 0; i < 6; ++i) nodes.insert(reg.node_of(s, i));
+      EXPECT_EQ(nodes.size(), 6u) << policy_name(policy) << " stripe " << s;
+    }
+  }
+}
+
+TEST(ClusterPlacement, RackAwareSpreadsOneChunkPerRack) {
+  // racks >= chunks_per_stripe: a stripe never doubles up in a rack, so one
+  // rack failure costs it at most one chunk (the CI-smoke safety property).
+  const Topology topo(10, 2, 2);
+  PlacementRegistry reg(topo, 8, PlacementPolicy::RackAware, 1);
+  reg.add_stripes(50);
+  for (size_t s = 0; s < reg.stripe_count(); ++s)
+    for (uint32_t per_rack : reg.rack_profile(s)) EXPECT_LE(per_rack, 1u);
+}
+
+TEST(ClusterPlacement, PlacementIsDeterministicPerSeed) {
+  const Topology topo(5, 3, 2);
+  PlacementRegistry a(topo, 6, PlacementPolicy::Random, 99);
+  PlacementRegistry b(topo, 6, PlacementPolicy::Random, 99);
+  a.add_stripes(64);
+  b.add_stripes(32);
+  b.add_stripes(32);  // incremental growth must not change earlier stripes
+  for (size_t s = 0; s < 64; ++s)
+    for (uint32_t i = 0; i < 6; ++i) EXPECT_EQ(a.disk_of(s, i), b.disk_of(s, i));
+}
+
+TEST(ClusterPlacement, ReplacementAvoidsStripeNodesAndDeadDisks) {
+  const Topology topo(4, 4, 2);
+  PlacementRegistry reg(topo, 6, PlacementPolicy::RackAware, 7);
+  reg.add_stripes(4);
+  HealthMap health(topo);
+  health.fail_disk(reg.disk_of(0, 2));
+
+  const uint32_t disk = reg.pick_replacement(0, 2, health);
+  ASSERT_NE(disk, UINT32_MAX);
+  EXPECT_TRUE(health.disk_ok(disk));
+  for (uint32_t i = 0; i < 6; ++i)
+    EXPECT_NE(topo.node_of_disk(disk), reg.node_of(0, i));
+
+  // for_each_lost finds exactly the chunk on the failed disk.
+  size_t hits = 0;
+  reg.for_each_lost(health, [&](size_t s, uint32_t idx) {
+    EXPECT_FALSE(health.disk_ok(reg.disk_of(s, idx)));
+    ++hits;
+  });
+  EXPECT_GE(hits, 1u);
+}
+
+// ---- failure traces --------------------------------------------------------
+
+TEST(ClusterFailure, TraceKeepsTimeOrderAndFingerprints) {
+  FailureTrace trace;
+  trace.add_node(5.0, 1).add_disk(1.0, 3).add_rack(2.5, 0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.events[0].kind, FailureKind::Disk);
+  EXPECT_EQ(trace.events[1].kind, FailureKind::Rack);
+  EXPECT_EQ(trace.events[2].kind, FailureKind::Node);
+  EXPECT_DOUBLE_EQ(trace.duration(), 5.0);
+
+  FailureTrace same;
+  same.add_rack(2.5, 0).add_node(5.0, 1).add_disk(1.0, 3);
+  EXPECT_EQ(trace.fingerprint(), same.fingerprint());
+  same.add_disk(6.0, 0);
+  EXPECT_NE(trace.fingerprint(), same.fingerprint());
+}
+
+TEST(ClusterFailure, PoissonStormIsDeterministicPerSeed) {
+  const Topology topo(8, 4, 4);
+  const FailureTrace a = FailureTrace::poisson_storm(topo, 0.5, 300.0, 1234);
+  const FailureTrace b = FailureTrace::poisson_storm(topo, 0.5, 300.0, 1234);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_GT(a.size(), 10u);  // ~150 expected events
+
+  const FailureTrace c = FailureTrace::poisson_storm(topo, 0.5, 300.0, 1235);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  // Sanity on the mix: with default fractions a long storm has all kinds.
+  std::set<FailureKind> kinds;
+  for (const auto& ev : a.events) {
+    kinds.insert(ev.kind);
+    EXPECT_LT(ev.time_s, 300.0);
+    EXPECT_GE(ev.time_s, 0.0);
+  }
+  EXPECT_EQ(kinds.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(a.events.begin(), a.events.end(),
+                             [](const FailureEvent& x, const FailureEvent& y) {
+                               return x.time_s < y.time_s;
+                             }));
+}
+
+// ---- orchestrator ----------------------------------------------------------
+
+namespace {
+
+RepairOptions small_options(const std::string& spec) {
+  RepairOptions opt;
+  opt.spec = spec;
+  opt.chunk_bytes = 1ull << 20;
+  opt.node_bandwidth = 64ull << 20;
+  opt.execute_stripes = 3;
+  opt.exec_frag_len = 2048;
+  opt.seed = 11;
+  return opt;
+}
+
+}  // namespace
+
+TEST(ClusterRepair, GeometryMismatchAndWideStripesThrow) {
+  const Topology topo(4, 4, 2);
+  CodecService service;
+  PlacementRegistry reg(topo, 9, PlacementPolicy::RackAware, 1);
+  EXPECT_THROW(RepairOrchestrator(reg, service, small_options("rs(6,4)")),
+               std::invalid_argument);  // 9 != 10
+}
+
+TEST(ClusterRepair, RepairsEveryLostChunkAndVerifiesPayload) {
+  const Topology topo(12, 2, 2);
+  CodecService service;
+  PlacementRegistry reg(topo, 10, PlacementPolicy::RackAware, 5);
+  reg.add_stripes(24);
+
+  FailureTrace trace;
+  trace.add_node(0.0, 7).add_rack(1.5, 2);
+
+  RepairOrchestrator orch(reg, service, small_options("rs(6,4)"));
+  const RepairReport report = orch.run(trace);
+
+  EXPECT_GT(report.chunks_lost, 0u);
+  EXPECT_EQ(report.chunks_repaired, report.chunks_lost);
+  EXPECT_EQ(report.stripes_unrecoverable, 0u);
+  EXPECT_EQ(report.chunks_unplaced, 0u);
+  EXPECT_GT(report.repair_jobs, 0u);
+  EXPECT_GT(report.strips_read, 0u);
+  EXPECT_EQ(report.strips_read, report.cross_rack_strips + report.intra_rack_strips);
+  EXPECT_EQ(report.bytes_written,
+            static_cast<uint64_t>(report.chunks_repaired) * (1ull << 20));
+  EXPECT_GT(report.time_to_safe_ticks, 0u);
+  // Real payload ran through the CodecService and matched byte for byte.
+  EXPECT_EQ(report.executed_stripes, 3u);
+  EXPECT_EQ(report.verified_stripes, 3u);
+  EXPECT_EQ(report.verify_failures, 0u);
+
+  // After the run the placement holds no chunk on a failed disk.
+  HealthMap health(topo);
+  for (const auto& ev : trace.events) FailureTrace::apply(ev, health);
+  size_t still_lost = 0;
+  reg.for_each_lost(health, [&](size_t, uint32_t) { ++still_lost; });
+  EXPECT_EQ(still_lost, 0u);
+
+  // The service-level repair counters saw this traffic (executed stripes).
+  size_t strips = 0;
+  for (const auto& pool : service.stats().pools) strips += pool.strips_read;
+  EXPECT_GT(strips, 0u);
+}
+
+TEST(ClusterRepair, LowestRedundancyStripeRepairsFirst) {
+  const Topology topo(12, 2, 2);
+  CodecService service;
+  PlacementRegistry reg(topo, 10, PlacementPolicy::RackAware, 5);
+  reg.add_stripes(6);
+
+  // Stripe 0 loses two chunks, some other stripe loses one — all at t = 0.
+  // The double-loss stripe is closest to data loss and must dispatch first.
+  FailureTrace trace;
+  trace.add_disk(0.0, reg.disk_of(0, 0)).add_disk(0.0, reg.disk_of(0, 1));
+  uint32_t extra = UINT32_MAX;
+  for (uint32_t i = 0; i < 10 && extra == UINT32_MAX; ++i) {
+    const uint32_t d = reg.disk_of(1, i);
+    bool in_stripe0 = false;
+    for (uint32_t j = 0; j < 10; ++j) in_stripe0 = in_stripe0 || reg.disk_of(0, j) == d;
+    if (!in_stripe0) extra = d;
+  }
+  ASSERT_NE(extra, UINT32_MAX);
+  trace.add_disk(0.0, extra);
+
+  RepairOptions opt = small_options("rs(6,4)");
+  opt.record_jobs = true;
+  opt.execute_stripes = 0;
+  RepairOrchestrator orch(reg, service, opt);
+  const RepairReport report = orch.run(trace);
+
+  ASSERT_GE(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].stripe, 0u);
+  EXPECT_EQ(report.jobs[0].erased.size(), 2u);
+  EXPECT_EQ(report.jobs[0].redundancy_left, 2u);  // 4 parities - 2 lost
+  // Within one tick, dispatch order never goes from fewer to more losses.
+  for (size_t j = 1; j < report.jobs.size(); ++j)
+    if (report.jobs[j].tick == report.jobs[j - 1].tick)
+      EXPECT_LE(report.jobs[j].erased.size(), report.jobs[j - 1].erased.size());
+}
+
+TEST(ClusterRepair, BandwidthThrottleSpreadsRepairsOverTicks) {
+  const Topology topo(12, 2, 2);
+  CodecService service;
+  FailureTrace trace;
+  trace.add_node(0.0, 3).add_node(0.0, 20);
+
+  const auto run_with_bandwidth = [&](uint64_t bandwidth) {
+    PlacementRegistry reg(topo, 10, PlacementPolicy::RackAware, 5);
+    reg.add_stripes(24);
+    RepairOptions opt = small_options("rs(6,4)");
+    opt.node_bandwidth = bandwidth;
+    opt.record_jobs = true;
+    opt.execute_stripes = 0;
+    RepairOrchestrator orch(reg, service, opt);
+    return orch.run(trace);
+  };
+
+  const RepairReport fat = run_with_bandwidth(1ull << 40);
+  const RepairReport thin = run_with_bandwidth(1ull << 20);  // one chunk/tick/node
+
+  // Unthrottled: everything dispatches the moment it is lost.
+  for (const auto& job : fat.jobs) EXPECT_EQ(job.tick, 0u);
+  EXPECT_EQ(fat.time_to_safe_ticks, 1u);
+
+  // Throttled: the same repairs exist but are rationed across ticks.
+  EXPECT_EQ(thin.chunks_repaired, fat.chunks_repaired);
+  EXPECT_GT(thin.time_to_safe_ticks, fat.time_to_safe_ticks);
+  EXPECT_GT(thin.jobs.back().tick, 0u);
+}
+
+TEST(ClusterRepair, ExceedingCodeToleranceIsReportedNotRepaired) {
+  const Topology topo(4, 2, 1);  // 8 nodes, 8 disks
+  CodecService service;
+  PlacementRegistry reg(topo, 6, PlacementPolicy::RackAware, 3);
+  reg.add_stripes(2);
+
+  // rs(4,2) dies at 3 losses: fail rack 0 (two of stripe 0's chunks) plus a
+  // third disk of stripe 0 in another rack, all before the first tick ends.
+  FailureTrace trace;
+  trace.add_rack(0.0, 0);
+  for (uint32_t i = 0; i < 6; ++i)
+    if (topo.rack_of_disk(reg.disk_of(0, i)) != 0) {
+      trace.add_disk(0.0, reg.disk_of(0, i));
+      break;
+    }
+
+  RepairOptions opt = small_options("rs(4,2)");
+  opt.execute_stripes = 0;
+  RepairOrchestrator orch(reg, service, opt);
+  const RepairReport report = orch.run(trace);
+  EXPECT_GE(report.stripes_unrecoverable, 1u);
+  EXPECT_LT(report.chunks_repaired, report.chunks_lost);
+}
+
+// ---- the controlled experiment ---------------------------------------------
+
+TEST(ClusterRepair, LocalityFamiliesBeatRsOnTheSameTrace) {
+  const Topology topo(12, 2, 2);
+  CodecService service;
+  const std::vector<std::string> specs{"rs(6,4)", "lrc(6,2,2)", "piggyback(6,4,2)"};
+
+  FailureTrace trace;
+  trace.add_node(0.0, 7).add_rack(2.5, 4).add_disk(5.0, 40);
+
+  RepairOptions base = small_options("rs(6,4)");
+  const auto reports = compare_families(topo, PlacementPolicy::RackAware, 24, specs,
+                                        trace, service, base, /*placement_seed=*/5);
+  ASSERT_EQ(reports.size(), 3u);
+  const RepairReport& rs = reports[0];
+  const RepairReport& lrc = reports[1];
+  const RepairReport& pb = reports[2];
+
+  for (const RepairReport& r : reports) {
+    EXPECT_EQ(r.trace_fingerprint, trace.fingerprint());
+    EXPECT_EQ(r.stripes_unrecoverable, 0u) << r.spec;
+    EXPECT_EQ(r.chunks_repaired, r.chunks_lost) << r.spec;
+    EXPECT_EQ(r.verify_failures, 0u) << r.spec;
+    EXPECT_GT(r.repair_jobs, 0u) << r.spec;
+  }
+  // Identical placement seed + equal n: the same chunks are lost everywhere.
+  EXPECT_EQ(rs.chunks_lost, lrc.chunks_lost);
+  EXPECT_EQ(rs.chunks_lost, pb.chunks_lost);
+
+  // The XORing-Elephants claim, asserted: locality-aware families move
+  // strictly fewer strips and bytes — total and cross-rack — than plain RS
+  // repairing the same failures.
+  EXPECT_LT(lrc.strips_read, rs.strips_read);
+  EXPECT_LT(lrc.bytes_read, rs.bytes_read);
+  EXPECT_LT(lrc.cross_rack_bytes, rs.cross_rack_bytes);
+  EXPECT_LT(pb.bytes_read, rs.bytes_read);
+  EXPECT_LT(pb.cross_rack_bytes, rs.cross_rack_bytes);
+}
+
+TEST(ClusterRepair, ReportsAreByteIdenticalPerSeed) {
+  const Topology topo(10, 2, 2);
+  CodecService service;
+  const std::vector<std::string> specs{"rs(6,4)", "lrc(6,2,2)"};
+  const FailureTrace trace = FailureTrace::poisson_storm(topo, 0.2, 20.0, 77);
+
+  RepairOptions base = small_options("rs(6,4)");
+  base.execute_stripes = 1;
+  const auto first = compare_families(topo, PlacementPolicy::RackAware, 16, specs, trace,
+                                      service, base, 9);
+  const auto second = compare_families(topo, PlacementPolicy::RackAware, 16, specs, trace,
+                                       service, base, 9);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].decision_fingerprint, second[i].decision_fingerprint);
+    std::ostringstream a, b;
+    first[i].write_json(a);
+    second[i].write_json(b);
+    EXPECT_EQ(a.str(), b.str()) << specs[i];
+  }
+
+  std::ostringstream doc;
+  write_comparison_json(doc, topo, PlacementPolicy::RackAware, 16, trace, first);
+  EXPECT_NE(doc.str().find("\"bench\": \"repair_traffic\""), std::string::npos);
+  EXPECT_NE(doc.str().find("\"spec\": \"rs(6,4)\""), std::string::npos);
+}

@@ -285,3 +285,79 @@ TEST(Plan, FallbackPlanCoversPlanlessCodecs) {
   plan->execute(avail, &outp, 32);
   EXPECT_EQ(out, a);
 }
+
+// ---- read sets (repair traffic) --------------------------------------------
+
+TEST(PlanReadSet, RsSingleRepairReadsKFullFragments) {
+  const auto codec = make_codec("rs(6,3)");
+  const uint32_t w = static_cast<uint32_t>(codec->fragment_multiple());
+  const auto plan = codec->plan_reconstruct(survivors_of(*codec, {0}), {0});
+  const PlanReadSet& reads = plan->read_set();
+  // Plain RS decodes from exactly k survivors, every strip of each.
+  EXPECT_EQ(reads.fragments.size(), codec->data_fragments());
+  EXPECT_TRUE(std::is_sorted(reads.fragments.begin(), reads.fragments.end()));
+  ASSERT_EQ(reads.fragment_strips.size(), reads.fragments.size());
+  for (uint32_t strips : reads.fragment_strips) EXPECT_EQ(strips, w);
+  EXPECT_EQ(reads.strips, codec->data_fragments() * w);
+  // Every read fragment is one of the plan's survivors.
+  for (uint32_t f : reads.fragments)
+    EXPECT_TRUE(std::find(plan->available().begin(), plan->available().end(), f) !=
+                plan->available().end());
+}
+
+TEST(PlanReadSet, ParityRepairReadsTheDataFragments) {
+  const auto codec = make_codec("rs(6,3)");
+  const uint32_t parity_id = 6;
+  const auto plan =
+      codec->plan_reconstruct(survivors_of(*codec, {parity_id}), {parity_id});
+  const PlanReadSet& reads = plan->read_set();
+  // Re-encoding a parity reads exactly the k data fragments, never itself.
+  const std::vector<uint32_t> expect{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(reads.fragments, expect);
+  EXPECT_EQ(reads.strips, codec->data_fragments() * codec->fragment_multiple());
+}
+
+TEST(PlanReadSet, LrcSingleRepairStaysInsideTheGroup) {
+  // lrc(6,2,2): 6 data in 2 groups of 3, one local parity each + 2 globals.
+  // Repairing one data block must read only its group (2 siblings + local),
+  // not the k fragments plain RS would.
+  const auto lrc = make_codec("lrc(6,2,2)");
+  const uint32_t w = static_cast<uint32_t>(lrc->fragment_multiple());
+  const auto plan = lrc->plan_reconstruct(survivors_of(*lrc, {0}), {0});
+  const PlanReadSet& reads = plan->read_set();
+  EXPECT_LE(reads.fragments.size(), 3u);
+  EXPECT_LT(reads.strips, lrc->data_fragments() * w);
+  EXPECT_GT(reads.strips, 0u);
+}
+
+TEST(PlanReadSet, PiggybackSingleRepairReadsFewerStripsThanRs) {
+  // piggyback(6,4,2) embeds sub-stripe piggybacks: single-block repair reads
+  // strictly fewer strips than the k full fragments an MDS decode needs.
+  const auto pb = make_codec("piggyback(6,4,2)");
+  const uint32_t w = static_cast<uint32_t>(pb->fragment_multiple());
+  const auto plan = pb->plan_reconstruct(survivors_of(*pb, {0}), {0});
+  const PlanReadSet& reads = plan->read_set();
+  EXPECT_LT(reads.strips, pb->data_fragments() * w);
+  EXPECT_GT(reads.strips, 0u);
+  // Partial-fragment reads are the point: at least one survivor contributes
+  // fewer than all of its strips.
+  EXPECT_TRUE(std::any_of(reads.fragment_strips.begin(), reads.fragment_strips.end(),
+                          [&](uint32_t s) { return s < w; }));
+}
+
+TEST(PlanReadSet, FallbackChargesEverySurvivorInFull) {
+  TinyMirrorCodec codec;
+  const auto plan = codec.plan_reconstruct({1, 2}, {0});
+  const PlanReadSet& reads = plan->read_set();
+  const std::vector<uint32_t> expect{1, 2};
+  EXPECT_EQ(reads.fragments, expect);  // no compiled program: assume all reads
+  EXPECT_EQ(reads.strips, 2u);
+  EXPECT_EQ(plan->fragment_multiple(), 1u);
+}
+
+TEST(PlanReadSet, EmptyErasedReadsNothing) {
+  const auto codec = make_codec("rs(4,2)");
+  const auto plan = codec->plan_reconstruct({0, 1, 2, 3}, {});
+  EXPECT_TRUE(plan->read_set().fragments.empty());
+  EXPECT_EQ(plan->read_set().strips, 0u);
+}

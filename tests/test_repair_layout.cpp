@@ -1,0 +1,115 @@
+// Direct unit tests for ec::RepairLayout — the one shared id -> buffer-index
+// resolution both plan builders (SLP bitmatrix core, GF-table baseline)
+// freeze their repair index maps from. The conformance harness exercises it
+// end to end; these tests pin the split/lookup contract itself.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "ec/repair_layout.hpp"
+
+using xorec::ec::RepairLayout;
+
+namespace {
+
+// Geometry used throughout: k = 4 data (ids 0..3), 2 parity (ids 4..5).
+constexpr size_t kData = 4;
+constexpr size_t kTotal = 6;
+
+}  // namespace
+
+TEST(RepairLayout, ResolvesAvailableAndMarksAbsent) {
+  // Survivors listed out of id order: positions must follow SUBMISSION
+  // order (the caller's buffer order), not id order.
+  const std::vector<uint32_t> available{3, 0, 5};
+  const std::vector<uint32_t> erased{1, 4};
+  const RepairLayout layout(kData, kTotal, available, erased);
+
+  ASSERT_EQ(layout.pos_of_id.size(), kTotal);
+  EXPECT_EQ(layout.pos_of_id[3], 0u);
+  EXPECT_EQ(layout.pos_of_id[0], 1u);
+  EXPECT_EQ(layout.pos_of_id[5], 2u);
+  EXPECT_EQ(layout.pos_of_id[1], RepairLayout::kAbsent);
+  EXPECT_EQ(layout.pos_of_id[2], RepairLayout::kAbsent);
+  EXPECT_EQ(layout.pos_of_id[4], RepairLayout::kAbsent);
+}
+
+TEST(RepairLayout, SplitsErasedIntoDataAndParityKeepingOutPositions) {
+  // Mixed erasures, deliberately interleaved: parity, data, parity, data.
+  const std::vector<uint32_t> available{0, 2};
+  const std::vector<uint32_t> erased{5, 1, 4, 3};
+  const RepairLayout layout(kData, kTotal, available, erased);
+
+  const std::vector<uint32_t> want_data{1, 3};
+  const std::vector<uint32_t> want_parity{5, 4};
+  EXPECT_EQ(layout.erased_data, want_data);
+  EXPECT_EQ(layout.erased_parity, want_parity);
+  // out_pos_* index into the caller's `out` array, which is parallel to the
+  // ORIGINAL erased list — the split must remember where each id came from.
+  const std::vector<size_t> want_data_pos{1, 3};
+  const std::vector<size_t> want_parity_pos{0, 2};
+  EXPECT_EQ(layout.out_pos_data, want_data_pos);
+  EXPECT_EQ(layout.out_pos_parity, want_parity_pos);
+}
+
+TEST(RepairLayout, DataSourceReadsSurvivorBuffers) {
+  const std::vector<uint32_t> available{2, 0, 4, 5};
+  const std::vector<uint32_t> erased{1, 3};
+  const RepairLayout layout(kData, kTotal, available, erased);
+
+  const auto src = layout.data_source(0, layout.erased_data, layout.out_pos_data, "t");
+  EXPECT_FALSE(src.from_out);
+  EXPECT_EQ(src.pos, 1u);  // id 0 sits at submission position 1
+}
+
+TEST(RepairLayout, DataSourceReadsThePlansOwnOutputs) {
+  // The parity step may consume data fragments the SAME plan rebuilds. The
+  // (erased_order, out_pos_order) indirection lets each engine keep its own
+  // decode-output ordering; resolution must land on the right `out` slot.
+  const std::vector<uint32_t> available{0, 2, 4, 5};
+  const std::vector<uint32_t> erased{3, 1};  // submission order
+  const RepairLayout layout(kData, kTotal, available, erased);
+
+  // Submission-order engine (GF-table): outputs parallel to `erased`.
+  auto src = layout.data_source(1, layout.erased_data, layout.out_pos_data, "t");
+  EXPECT_TRUE(src.from_out);
+  EXPECT_EQ(src.pos, 1u);
+
+  // Sorted-row engine (SLP codecs): decode emits ids in sorted order {1, 3}
+  // but each still writes its submission slot — id 1 -> out[1], id 3 -> out[0].
+  const std::vector<uint32_t> sorted_order{1, 3};
+  const std::vector<size_t> sorted_out_pos{1, 0};
+  src = layout.data_source(1, sorted_order, sorted_out_pos, "t");
+  EXPECT_TRUE(src.from_out);
+  EXPECT_EQ(src.pos, 1u);
+  src = layout.data_source(3, sorted_order, sorted_out_pos, "t");
+  EXPECT_TRUE(src.from_out);
+  EXPECT_EQ(src.pos, 0u);
+}
+
+TEST(RepairLayout, DataSourceThrowsWhenNeitherAvailableNorErased) {
+  // The documented out-of-contract case: a parity repair needs data id 1,
+  // but the caller neither supplied it nor asked for it to be rebuilt.
+  const std::vector<uint32_t> available{0, 2, 3, 5};
+  const std::vector<uint32_t> erased{4};
+  const RepairLayout layout(kData, kTotal, available, erased);
+
+  try {
+    layout.data_source(1, layout.erased_data, layout.out_pos_data, "mycodec");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mycodec"), std::string::npos);
+    EXPECT_NE(what.find("list it in erased"), std::string::npos);
+  }
+}
+
+TEST(RepairLayout, EmptyErasedYieldsEmptySplits) {
+  const std::vector<uint32_t> available{0, 1, 2, 3};
+  const RepairLayout layout(kData, kTotal, available, {});
+  EXPECT_TRUE(layout.erased_data.empty());
+  EXPECT_TRUE(layout.erased_parity.empty());
+  EXPECT_TRUE(layout.out_pos_data.empty());
+  EXPECT_TRUE(layout.out_pos_parity.empty());
+}

@@ -351,3 +351,35 @@ TEST(CodecService, ObjectCodecRoutesThroughTheLeaseShard) {
   const ServiceStats stats = service.stats();
   EXPECT_GT(stats.shards[handle.shard()].submitted, 0u);
 }
+
+TEST(CodecService, PoolStatsAccountRepairTraffic) {
+  CodecService service(isolated());
+  const ServiceHandle handle = service.acquire("rs(6,3)");
+  const Codec& codec = handle.codec();
+  const size_t frag_len = codec.fragment_multiple() * 32;
+
+  roundtrip(handle, {0}, 21);  // one plan-routed repair of one fragment
+
+  ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.pools.size(), 1u);
+  const PoolStats& pool = stats.pools[0];
+  // The plan read k survivors in full: k * w strips, k fragments of bytes
+  // in, one rebuilt fragment out.
+  const size_t k = codec.data_fragments();
+  const size_t w = codec.fragment_multiple();
+  EXPECT_EQ(pool.strips_read, k * w);
+  EXPECT_EQ(pool.repair_bytes_in, k * frag_len);
+  EXPECT_EQ(pool.repair_bytes_out, frag_len);
+
+  // A reduced-read family charges LESS than survivors x full strips: the
+  // whole point of exposing read_set() at the service boundary.
+  const ServiceHandle lrc = service.acquire("lrc(6,2,2)");
+  roundtrip(lrc, {0}, 22);
+  stats = service.stats();
+  ASSERT_EQ(stats.pools.size(), 2u);
+  const PoolStats& lrc_pool = stats.pools[1];
+  const size_t survivors = lrc.codec().total_fragments() - 1;
+  EXPECT_GT(lrc_pool.strips_read, 0u);
+  EXPECT_LT(lrc_pool.strips_read, survivors * lrc.codec().fragment_multiple());
+  EXPECT_LT(lrc_pool.repair_bytes_in, survivors * frag_len);
+}
