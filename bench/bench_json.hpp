@@ -1,0 +1,66 @@
+// Machine-readable benchmark artifacts: every BENCH_*.json the bench
+// binaries leave at the repo root shares one stable record schema so CI (or
+// a plotting script) can consume any of them without per-bench parsing:
+//
+//   {
+//     "bench": "<binary name>",
+//     "config": { "<key>": "<value>", ... },        // the fixed parameters
+//     "records": [
+//       {"name": "...", "config": "...", "metric": "...", "value": N},
+//       ...
+//     ]
+//   }
+//
+// `name` is the benchmark family, `config` one cell of its sweep (e.g.
+// "rs(6,4)/loss=10%"), `metric` the measured quantity. Values that are
+// whole numbers print without a decimal point so byte-identical reruns stay
+// byte-identical. Header-only; benches fill a vector and call
+// write_bench_json on an ofstream.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xorec::bench {
+
+struct BenchRecord {
+  std::string name;
+  std::string config;
+  std::string metric;
+  double value = 0;
+};
+
+inline void write_bench_value(std::ostream& os, double value) {
+  if (std::floor(value) == value && std::fabs(value) < 9.0e15)
+    os << static_cast<long long>(value);
+  else
+    os << value;
+}
+
+inline void write_bench_json(
+    std::ostream& os, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const std::vector<BenchRecord>& records) {
+  os << "{\n";
+  os << "  \"bench\": \"" << bench << "\",\n";
+  os << "  \"config\": {";
+  for (size_t i = 0; i < config.size(); ++i)
+    os << (i ? ", " : "") << "\"" << config[i].first << "\": \"" << config[i].second
+       << "\"";
+  os << "},\n";
+  os << "  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    os << "    {\"name\": \"" << r.name << "\", \"config\": \"" << r.config
+       << "\", \"metric\": \"" << r.metric << "\", \"value\": ";
+    write_bench_value(os, r.value);
+    os << "}" << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace xorec::bench

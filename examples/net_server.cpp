@@ -1,0 +1,106 @@
+// net_server — stand up the network serving front-end over a CodecService.
+//
+//   ./net_server                          # ephemeral ports, printed on stdout
+//   ./net_server --tcp-port 9901 --udp-port 9902
+//   ./net_server --port-file ports.txt    # write "tcp udp\n" for scripts/CI
+//   ./net_server --seconds 30             # serve for N seconds, then report
+//
+// Serves until --seconds elapse (default: forever, SIGINT/SIGTERM to stop),
+// then prints the serving report: requests, degraded reads, backpressure
+// stalls and the per-pool net counters from ServiceStats.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "api/service.hpp"
+#include "example_util.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (xorec::examples::handle_list_codecs(argc, argv)) return 0;
+
+  xorec::net::ServerOptions opt;
+  std::string port_file;
+  int seconds = 0;  // 0 = run until signaled
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--tcp-port") == 0)
+      opt.tcp_port = static_cast<uint16_t>(std::atoi(next("--tcp-port")));
+    else if (std::strcmp(argv[i], "--udp-port") == 0)
+      opt.udp_port = static_cast<uint16_t>(std::atoi(next("--udp-port")));
+    else if (std::strcmp(argv[i], "--host") == 0)
+      opt.host = next("--host");
+    else if (std::strcmp(argv[i], "--port-file") == 0)
+      port_file = next("--port-file");
+    else if (std::strcmp(argv[i], "--seconds") == 0)
+      seconds = std::atoi(next("--seconds"));
+    else {
+      std::fprintf(stderr,
+                   "usage: net_server [--host H] [--tcp-port P] [--udp-port P]\n"
+                   "                  [--port-file PATH] [--seconds N]\n");
+      return 2;
+    }
+  }
+
+  xorec::CodecService service;
+  xorec::net::NetServer server(service, opt);
+  server.start();
+  std::printf("net_server: tcp %s:%u  udp %s:%u\n", opt.host.c_str(),
+              server.tcp_port(), opt.host.c_str(), server.udp_port());
+  std::fflush(stdout);
+
+  if (!port_file.empty()) {
+    // Written after start(): the ports are live by the time the file exists,
+    // so a script can poll for the file and connect immediately.
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "net_server: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u %u\n", server.tcp_port(), server.udp_port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (!g_stop && (seconds == 0 || std::chrono::steady_clock::now() < deadline))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+
+  const xorec::net::NetServerStats s = server.stats();
+  std::printf("\nserving report\n");
+  std::printf("  connections accepted   %zu\n", s.connections_accepted);
+  std::printf("  tcp requests/responses %zu / %zu (errors %zu)\n", s.requests,
+              s.responses, s.errors);
+  std::printf("  tcp bytes in/out       %llu / %llu\n",
+              static_cast<unsigned long long>(s.tcp_bytes_in),
+              static_cast<unsigned long long>(s.tcp_bytes_out));
+  std::printf("  backpressure stalls    %zu\n", s.backpressure_stalls);
+  std::printf("  udp groups             %zu (degraded reads %zu, unrecoverable %zu)\n",
+              s.udp_groups, s.udp_degraded_reads, s.udp_unrecoverable);
+  std::printf("\nper-pool net traffic\n");
+  for (const auto& pool : service.stats().pools)
+    std::printf("  %-40s net_requests %zu  in %llu  out %llu\n", pool.spec.c_str(),
+                pool.net_requests, static_cast<unsigned long long>(pool.net_bytes_in),
+                static_cast<unsigned long long>(pool.net_bytes_out));
+  return 0;
+}

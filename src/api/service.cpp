@@ -24,6 +24,9 @@ struct CodecService::Pool {
   std::atomic<size_t> strips_read{0};
   std::atomic<uint64_t> repair_bytes_in{0};
   std::atomic<uint64_t> repair_bytes_out{0};
+  std::atomic<size_t> net_requests{0};
+  std::atomic<uint64_t> net_bytes_in{0};
+  std::atomic<uint64_t> net_bytes_out{0};
 };
 
 struct CodecService::Shard {
@@ -110,6 +113,13 @@ std::future<void> ServiceHandle::rebuild(std::vector<uint32_t> available,
   return shard.session.submit_reconstruct(pool.codec, std::move(available),
                                           available_frags, std::move(erased), out,
                                           frag_len);
+}
+
+void ServiceHandle::note_net_request(uint64_t bytes_in, uint64_t bytes_out) const {
+  CodecService::Pool& pool = XOREC_POOL(pool_);
+  pool.net_requests.fetch_add(1, std::memory_order_relaxed);
+  pool.net_bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+  pool.net_bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
 }
 
 #undef XOREC_POOL
@@ -297,6 +307,9 @@ ServiceStats CodecService::stats() const {
       ps.strips_read = pool->strips_read.load(std::memory_order_relaxed);
       ps.repair_bytes_in = pool->repair_bytes_in.load(std::memory_order_relaxed);
       ps.repair_bytes_out = pool->repair_bytes_out.load(std::memory_order_relaxed);
+      ps.net_requests = pool->net_requests.load(std::memory_order_relaxed);
+      ps.net_bytes_in = pool->net_bytes_in.load(std::memory_order_relaxed);
+      ps.net_bytes_out = pool->net_bytes_out.load(std::memory_order_relaxed);
       out.pools.push_back(std::move(ps));
     }
     out.warm_hits = out.cache.hits > baseline_hits_ ? out.cache.hits - baseline_hits_ : 0;

@@ -84,6 +84,12 @@ struct PoolStats {
   size_t strips_read = 0;        // survivor strips read by repair jobs
   uint64_t repair_bytes_in = 0;  // survivor bytes read by repair jobs
   uint64_t repair_bytes_out = 0; // rebuilt bytes written by repair jobs
+  /// Wire traffic attributed to this pool by the network front-end
+  /// (net::NetServer / DatagramReceiver call note_net_request per served
+  /// request or stripe group); zero for purely in-process pools.
+  size_t net_requests = 0;
+  uint64_t net_bytes_in = 0;
+  uint64_t net_bytes_out = 0;
 };
 
 struct ServiceStats {
@@ -143,6 +149,10 @@ class ServiceHandle {
 
   /// The shard session carrying this pool's traffic (ObjectCodec routing).
   BatchCoder& session() const;
+
+  /// Attribute one served network request's wire bytes to this pool
+  /// (PoolStats::net_*) — called by the net front-end, not by codecs.
+  void note_net_request(uint64_t bytes_in, uint64_t bytes_out) const;
 
  private:
   friend class CodecService;

@@ -42,14 +42,26 @@ FailureTrace& FailureTrace::add_node(double time_s, uint32_t node) {
 FailureTrace& FailureTrace::add_rack(double time_s, uint32_t rack) {
   return insert({time_s, FailureKind::Rack, rack});
 }
+FailureTrace& FailureTrace::add_disk_restore(double time_s, uint32_t disk) {
+  return insert({time_s, FailureKind::DiskRestore, disk});
+}
+FailureTrace& FailureTrace::add_node_restore(double time_s, uint32_t node) {
+  return insert({time_s, FailureKind::NodeRestore, node});
+}
+FailureTrace& FailureTrace::add_rack_restore(double time_s, uint32_t rack) {
+  return insert({time_s, FailureKind::RackRestore, rack});
+}
 
 FailureTrace FailureTrace::poisson_storm(const Topology& topo, double rate_per_s,
                                          double duration_s, uint64_t seed,
-                                         double node_fraction, double rack_fraction) {
+                                         double node_fraction, double rack_fraction,
+                                         double restore_delay_s) {
   if (rate_per_s <= 0 || duration_s <= 0)
     throw std::invalid_argument("poisson_storm: rate and duration must be positive");
   if (node_fraction < 0 || rack_fraction < 0 || node_fraction + rack_fraction > 1)
     throw std::invalid_argument("poisson_storm: fractions must be >= 0 and sum <= 1");
+  if (restore_delay_s < 0)
+    throw std::invalid_argument("poisson_storm: restore_delay_s must be >= 0");
   FailureTrace trace;
   uint64_t state = mix64(seed ^ 0x5707a11u);
   const auto next = [&] { return state = mix64(state); };
@@ -73,6 +85,15 @@ FailureTrace FailureTrace::poisson_storm(const Topology& topo, double rate_per_s
       ev.target = static_cast<uint32_t>(next() % topo.disk_count());
     }
     trace.insert(ev);
+    if (restore_delay_s > 0) {
+      // The matching re-admission: same target, kind shifted into the
+      // restore range, fixed replacement delay (may land past duration_s —
+      // the tail of the trace is devices coming back).
+      FailureEvent restore = ev;
+      restore.time_s = t + restore_delay_s;
+      restore.kind = static_cast<FailureKind>(static_cast<uint8_t>(ev.kind) + 3);
+      trace.insert(restore);
+    }
   }
   return trace;
 }
@@ -82,6 +103,9 @@ size_t FailureTrace::apply(const FailureEvent& ev, HealthMap& health) {
     case FailureKind::Disk: return health.fail_disk(ev.target);
     case FailureKind::Node: return health.fail_node(ev.target);
     case FailureKind::Rack: return health.fail_rack(ev.target);
+    case FailureKind::DiskRestore: return health.restore_disk(ev.target);
+    case FailureKind::NodeRestore: return health.restore_node(ev.target);
+    case FailureKind::RackRestore: return health.restore_rack(ev.target);
   }
   throw std::logic_error("FailureTrace: unknown event kind");
 }

@@ -16,7 +16,20 @@
 
 namespace xorec::cluster {
 
-enum class FailureKind : uint8_t { Disk = 0, Node = 1, Rack = 2 };
+/// Failure kinds 0-2 take devices out; restore kinds 3-5 re-admit them
+/// (PR 6 follow-up: a repaired/replaced device returns to service instead
+/// of failures only accumulating). The numbering extends the original enum,
+/// so failure-only traces keep their historical fingerprints.
+enum class FailureKind : uint8_t {
+  Disk = 0,
+  Node = 1,
+  Rack = 2,
+  DiskRestore = 3,
+  NodeRestore = 4,
+  RackRestore = 5,
+};
+
+constexpr bool is_restore(FailureKind kind) { return kind >= FailureKind::DiskRestore; }
 
 struct FailureEvent {
   double time_s = 0;  // virtual seconds from trace start
@@ -32,18 +45,27 @@ struct FailureTrace {
   FailureTrace& add_disk(double time_s, uint32_t disk);
   FailureTrace& add_node(double time_s, uint32_t node);
   FailureTrace& add_rack(double time_s, uint32_t rack);
+  FailureTrace& add_disk_restore(double time_s, uint32_t disk);
+  FailureTrace& add_node_restore(double time_s, uint32_t node);
+  FailureTrace& add_rack_restore(double time_s, uint32_t rack);
 
   /// A Poisson failure storm: events arrive with exponential inter-arrival
   /// times at `rate_per_s` for `duration_s` virtual seconds; each event is a
   /// node failure with probability `node_fraction`, a whole-rack failure
   /// with `rack_fraction`, and a single disk otherwise. Targets are drawn
-  /// uniformly over the topology. Deterministic per seed.
+  /// uniformly over the topology. When `restore_delay_s` > 0, every failure
+  /// spawns the matching restore event `restore_delay_s` virtual seconds
+  /// later (devices return to service after a fixed replacement time); the
+  /// default 0 reproduces the historical failure-only traces bit-for-bit.
+  /// Deterministic per seed.
   static FailureTrace poisson_storm(const Topology& topo, double rate_per_s,
                                     double duration_s, uint64_t seed,
                                     double node_fraction = 0.25,
-                                    double rack_fraction = 0.05);
+                                    double rack_fraction = 0.05,
+                                    double restore_delay_s = 0);
 
-  /// Apply one event to a health map; returns disks newly failed.
+  /// Apply one event to a health map; returns the disks whose state changed
+  /// (newly failed for failure kinds, newly healthy for restore kinds).
   static size_t apply(const FailureEvent& ev, HealthMap& health);
 
   size_t size() const { return events.size(); }

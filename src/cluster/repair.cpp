@@ -223,7 +223,10 @@ RepairReport RepairOrchestrator::run(const FailureTrace& trace) {
 
   HealthMap health(topo);
   std::vector<uint64_t> lost(stripes, 0);
-  std::vector<bool> dead(stripes, false);  // unrecoverable, dropped from queue
+  // Why a stripe was dropped from the queue — restores can revive it, and an
+  // unrecoverable revival must give back its stripes_unrecoverable count.
+  enum : uint8_t { kAlive = 0, kUnrecoverable = 1, kUnplaced = 2 };
+  std::vector<uint8_t> dead(stripes, kAlive);
 
   // Max-heap on (lost count, lower stripe id wins ties): the stripe with
   // the LEAST remaining redundancy repairs first. Entries are lazy — a
@@ -250,13 +253,39 @@ RepairReport RepairOrchestrator::run(const FailureTrace& trace) {
   bool any_dispatch = false;
 
   const auto absorb_event = [&](const FailureEvent& ev) {
+    if (is_restore(ev.kind)) {
+      report.disks_restored += FailureTrace::apply(ev, health);
+      // A re-admitted device still holds every chunk repair had not yet
+      // re-created elsewhere: clear those lost bits for free (no repair
+      // traffic), revive stripes the scheduler had given up on, and requeue
+      // whatever damage remains.
+      for (size_t s = 0; s < stripes; ++s) {
+        uint64_t mask = lost[s];
+        if (!mask) continue;
+        uint64_t back = 0;
+        for (uint32_t i = 0; mask; ++i, mask >>= 1)
+          if ((mask & 1) && health.disk_ok(placement_.disk_of(s, i)))
+            back |= 1ull << i;
+        if (!back) continue;
+        lost[s] &= ~back;
+        report.chunks_readmitted += static_cast<size_t>(std::popcount(back));
+        if (dead[s] != kAlive) {
+          if (dead[s] == kUnrecoverable) --report.stripes_unrecoverable;
+          dead[s] = kAlive;  // chunks_unplaced stays: those repairs really
+                             // had nowhere to land when they ran
+        }
+        if (lost[s])
+          queue.push({static_cast<uint32_t>(std::popcount(lost[s])), s});
+      }
+      return;
+    }
     report.disks_failed += FailureTrace::apply(ev, health);
     placement_.for_each_lost(health, [&](size_t s, uint32_t idx) {
       const uint64_t bit = 1ull << idx;
       if (lost[s] & bit) return;  // already tracked
       lost[s] |= bit;
       ++report.chunks_lost;
-      if (!dead[s])
+      if (dead[s] == kAlive)
         queue.push({static_cast<uint32_t>(std::popcount(lost[s])), s});
     });
   };
@@ -285,10 +314,11 @@ RepairReport RepairOrchestrator::run(const FailureTrace& trace) {
 
       Pattern& pat = pattern_for(lost_mask, readable);
       if (pat.candidates.empty()) {
-        // Exceeds the code's tolerance — data loss. Failures only
-        // accumulate, so the stripe can never become solvable again.
+        // Exceeds the code's tolerance — data loss, unless a later restore
+        // re-admits one of its devices (absorb_event revives the stripe and
+        // gives this count back).
         ++report.stripes_unrecoverable;
-        dead[s] = true;
+        dead[s] = kUnrecoverable;
         queue.pop();
         continue;
       }
@@ -302,7 +332,7 @@ RepairReport RepairOrchestrator::run(const FailureTrace& trace) {
         // Fleet too degraded to place the repair anywhere; drop the stripe
         // from the queue so the run terminates, and report the gap.
         report.chunks_unplaced += erased.size();
-        dead[s] = true;
+        dead[s] = kUnplaced;
         queue.pop();
         continue;
       }
@@ -478,7 +508,9 @@ void RepairReport::write_json(std::ostream& os, int indent) const {
   field("chunks", chunks);
   field("failure_events", failure_events);
   field("disks_failed", disks_failed);
+  field("disks_restored", disks_restored);
   field("chunks_lost", chunks_lost);
+  field("chunks_readmitted", chunks_readmitted);
   field("chunks_repaired", chunks_repaired);
   field("chunks_unplaced", chunks_unplaced);
   field("stripes_unrecoverable", stripes_unrecoverable);
@@ -520,7 +552,28 @@ void write_comparison_json(std::ostream& os, const Topology& topo, PlacementPoli
     reports[i].write_json(os, 4);
     os << (i + 1 < reports.size() ? ",\n" : "\n");
   }
-  os << "  ]\n}\n";
+  os << "  ],\n";
+  // The flat record view of the same numbers, in the shared BENCH_*.json
+  // schema (name/config/metric/value) every bench artifact carries — one
+  // parser serves all artifacts.
+  os << "  \"records\": [\n";
+  const std::pair<const char*, uint64_t (*)(const RepairReport&)> metrics[] = {
+      {"chunks_repaired", [](const RepairReport& r) { return static_cast<uint64_t>(r.chunks_repaired); }},
+      {"chunks_readmitted", [](const RepairReport& r) { return static_cast<uint64_t>(r.chunks_readmitted); }},
+      {"strips_read", [](const RepairReport& r) { return static_cast<uint64_t>(r.strips_read); }},
+      {"bytes_read", [](const RepairReport& r) { return r.bytes_read; }},
+      {"cross_rack_bytes", [](const RepairReport& r) { return r.cross_rack_bytes; }},
+      {"time_to_safe_ticks", [](const RepairReport& r) { return r.time_to_safe_ticks; }},
+  };
+  bool first = true;
+  for (const RepairReport& r : reports)
+    for (const auto& [metric, get] : metrics) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"name\": \"repair_traffic\", \"config\": \"" << r.spec
+         << "\", \"metric\": \"" << metric << "\", \"value\": " << get(r) << "}";
+    }
+  os << "\n  ]\n}\n";
 }
 
 }  // namespace xorec::cluster

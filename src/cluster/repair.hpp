@@ -91,7 +91,11 @@ struct RepairReport {
   size_t chunks = 0;
   size_t failure_events = 0;
   size_t disks_failed = 0;
+  size_t disks_restored = 0;   // devices re-admitted by restore events
   size_t chunks_lost = 0;      // distinct chunks that entered the lost set
+  size_t chunks_readmitted = 0;  // lost chunks that became readable again
+                                 // when their device was restored (no repair
+                                 // traffic was spent on them)
   size_t chunks_repaired = 0;
   size_t chunks_unplaced = 0;  // repaired but no eligible disk was left
   size_t stripes_unrecoverable = 0;  // data loss: no candidate plan solved

@@ -41,9 +41,10 @@ struct Topology {
   uint32_t first_node_of_rack(uint32_t rack) const { return rack * nodes_per_rack; }
 };
 
-/// Which disks are alive right now. Failures only accumulate (a failed
-/// device never returns within one trace) — the repair orchestrator's job is
-/// to re-create the lost chunks elsewhere, not to heal devices.
+/// Which disks are alive right now. Failures accumulate until a restore
+/// event re-admits the device (a repaired or replaced disk/node/rack returns
+/// to service wiped — its chunks still live wherever repair re-created them,
+/// but chunks NOT yet repaired become readable again).
 class HealthMap {
  public:
   explicit HealthMap(const Topology& topo)
@@ -85,6 +86,33 @@ class HealthMap {
     const uint32_t first = topo_.first_node_of_rack(rack);
     for (uint32_t node = first; node < first + topo_.nodes_per_rack; ++node)
       n += fail_node(node);
+    return n;
+  }
+
+  /// Re-admit one disk / every disk of a node / every disk of a rack.
+  /// Returns the number of disks that transitioned failed -> healthy (0 when
+  /// the target was already fully healthy — restores may re-hit a device).
+  size_t restore_disk(uint32_t disk) {
+    if (disk >= disk_ok_.size()) throw std::out_of_range("HealthMap: disk id out of range");
+    if (disk_ok_[disk]) return 0;
+    disk_ok_[disk] = true;
+    --failed_disks_;
+    return 1;
+  }
+  size_t restore_node(uint32_t node) {
+    if (node >= topo_.node_count())
+      throw std::out_of_range("HealthMap: node id out of range");
+    size_t n = 0;
+    const uint32_t first = topo_.first_disk_of_node(node);
+    for (uint32_t d = first; d < first + topo_.disks_per_node; ++d) n += restore_disk(d);
+    return n;
+  }
+  size_t restore_rack(uint32_t rack) {
+    if (rack >= topo_.racks) throw std::out_of_range("HealthMap: rack id out of range");
+    size_t n = 0;
+    const uint32_t first = topo_.first_node_of_rack(rack);
+    for (uint32_t node = first; node < first + topo_.nodes_per_rack; ++node)
+      n += restore_node(node);
     return n;
   }
 

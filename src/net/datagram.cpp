@@ -1,0 +1,387 @@
+#include "net/datagram.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace xorec::net {
+
+// ---- socket helpers --------------------------------------------------------
+
+namespace {
+
+sockaddr_in to_sockaddr(const UdpAddress& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.ip);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+}  // namespace
+
+UdpAddress udp_address(const std::string& host, uint16_t port) {
+  in_addr addr{};
+  if (inet_pton(AF_INET, host.c_str(), &addr) != 1)
+    throw std::runtime_error("udp_address: not a dotted-quad IPv4 host: " + host);
+  return UdpAddress{ntohl(addr.s_addr), port};
+}
+
+int open_udp_socket(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("open_udp_socket: socket() failed");
+  // A loss sweep fans out bursts of k+m datagrams; a roomy receive buffer
+  // keeps kernel drops out of the controlled-loss experiment.
+  const int rcvbuf = 4 << 20;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  const sockaddr_in sa = to_sockaddr(udp_address(host, port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("open_udp_socket: bind() failed");
+  }
+  return fd;
+}
+
+uint16_t local_udp_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+    throw std::runtime_error("local_udp_port: getsockname() failed");
+  return ntohs(sa.sin_port);
+}
+
+void close_socket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+namespace {
+
+/// Blocking recvfrom with a poll() timeout; returns bytes received, 0 on
+/// timeout, -1 on error. Fills `from` when non-null.
+ssize_t recv_datagram(int fd, uint8_t* buf, size_t cap, int timeout_ms,
+                      sockaddr_in* from = nullptr) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return ready;  // 0 = timeout, <0 = error
+  socklen_t from_len = from ? sizeof(*from) : 0;
+  return ::recvfrom(fd, buf, cap, 0, reinterpret_cast<sockaddr*>(from),
+                    from ? &from_len : nullptr);
+}
+
+}  // namespace
+
+// ---- deterministic loss ----------------------------------------------------
+
+namespace {
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool LossPolicy::drop(uint64_t packet_index) const {
+  if (rate <= 0.0) return false;
+  const double u =
+      static_cast<double>(mix64(seed ^ mix64(packet_index + 1)) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+// ---- group assembly --------------------------------------------------------
+
+std::vector<uint32_t> StripeGroup::missing_data() const {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < k; ++i)
+    if (!has(i)) ids.push_back(i);
+  return ids;
+}
+
+std::vector<uint32_t> StripeGroup::present_ids() const {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < k + m; ++i)
+    if (has(i)) ids.push_back(i);
+  return ids;
+}
+
+std::optional<StripeGroup> GroupAssembler::feed(const uint8_t* data, size_t len) {
+  PacketView view;
+  if (decode_packet(data, len, view) != FrameError::Ok) {
+    ++stats_.crc_drops;
+    return std::nullopt;
+  }
+  const PacketHeader& h = view.header;
+  if (h.flags & kPacketFlagAck) return std::nullopt;  // not ours to assemble
+  ++stats_.packets_received;
+  stats_.bytes_received += len;
+
+  const bool marker = (h.flags & kPacketFlagGroupEnd) != 0;
+  auto it = pending_.find(h.group);
+  if (it == pending_.end()) {
+    if (!marker && h.payload_len == 0) {  // a strip carries bytes, always
+      ++stats_.mismatch_drops;
+      return std::nullopt;
+    }
+    StripeGroup g;
+    g.group = h.group;
+    g.spec.assign(view.spec);
+    g.k = h.k;
+    g.m = h.m;
+    // A marker-created group saw every strip lost: no frag_len to size an
+    // arena from, and recover_group will report it empty.
+    g.frag_len = marker ? 0 : h.payload_len;
+    if (g.frag_len)
+      g.arena.assign(static_cast<size_t>(g.k + g.m) * g.frag_len, 0);
+    it = pending_.emplace(h.group, std::move(g)).first;
+  }
+  StripeGroup& g = it->second;
+  if (h.k != g.k || h.m != g.m || view.spec != g.spec ||
+      (!marker && h.payload_len != g.frag_len)) {
+    ++stats_.mismatch_drops;
+    return std::nullopt;
+  }
+
+  if (marker) {
+    g.strips_sent = h.strip;
+    StripeGroup done = std::move(g);
+    pending_.erase(it);
+    ++stats_.groups_completed;
+    return done;
+  }
+
+  if (g.has(h.strip)) {
+    ++stats_.duplicate_strips;
+    return std::nullopt;
+  }
+  std::memcpy(g.slot(h.strip), view.payload.data(), h.payload_len);
+  g.have |= uint64_t{1} << h.strip;
+  ++g.strips_received;
+  return std::nullopt;
+}
+
+// ---- degraded read ---------------------------------------------------------
+
+RecoveryResult recover_group(StripeGroup& group, const ServiceHandle& handle) {
+  RecoveryResult r;
+  if (group.frag_len == 0 || group.strips_received == 0) {
+    r.error = "unrecoverable: every strip of the group was lost";
+    return r;
+  }
+  const Codec& codec = handle.codec();
+  if (codec.data_fragments() != group.k || codec.parity_fragments() != group.m) {
+    r.error = "geometry mismatch: spec disagrees with packet k/m";
+    return r;
+  }
+  if (group.frag_len % codec.fragment_multiple() != 0) {
+    r.error = "geometry mismatch: frag_len violates codec fragment_multiple";
+    return r;
+  }
+
+  const std::vector<uint32_t> missing = group.missing_data();
+  if (missing.empty()) {  // intact delivery, nothing to rebuild
+    r.complete = true;
+    return r;
+  }
+
+  const std::vector<uint32_t> available = group.present_ids();
+  std::shared_ptr<const ReconstructPlan> plan;
+  try {
+    plan = handle.plan_reconstruct(available, missing);
+  } catch (const std::exception& e) {
+    r.error = std::string("unrecoverable: ") + e.what();
+    return r;
+  }
+
+  std::vector<const uint8_t*> avail_ptrs;
+  avail_ptrs.reserve(available.size());
+  for (uint32_t id : available) avail_ptrs.push_back(group.slot(id));
+  std::vector<uint8_t*> out_ptrs;
+  out_ptrs.reserve(missing.size());
+  for (uint32_t id : missing) out_ptrs.push_back(group.slot(id));
+
+  try {
+    handle.reconstruct(plan, avail_ptrs.data(), out_ptrs.data(), group.frag_len).get();
+  } catch (const std::exception& e) {
+    r.error = std::string("reconstruct failed: ") + e.what();
+    return r;
+  }
+  for (uint32_t id : missing) group.have |= uint64_t{1} << id;
+  r.complete = true;
+  r.degraded = true;
+  r.reconstructed = static_cast<uint32_t>(missing.size());
+  return r;
+}
+
+// ---- sender ----------------------------------------------------------------
+
+DatagramSender::DatagramSender(int fd, UdpAddress dest, ServiceHandle handle,
+                               LossPolicy loss)
+    : fd_(fd), dest_(dest), handle_(std::move(handle)), loss_(loss) {}
+
+void DatagramSender::send_packet(const std::vector<uint8_t>& packet) {
+  const sockaddr_in sa = to_sockaddr(dest_);
+  if (::sendto(fd_, packet.data(), packet.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0)
+    throw std::runtime_error("DatagramSender: sendto() failed");
+  stats_.bytes_sent += packet.size();
+}
+
+void DatagramSender::send_strip_packet(uint64_t group, uint32_t strip,
+                                       const uint8_t* payload, size_t frag_len,
+                                       bool retransmit) {
+  // Every strip packet — including a retransmission — rolls against the
+  // loss policy; only then does selective-repeat pay its true cost.
+  const bool dropped = loss_.drop(eligible_index_++);
+  if (retransmit) ++stats_.retransmissions;
+  if (dropped) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  const uint32_t k = handle_.codec().data_fragments();
+  PacketHeader h;
+  h.flags = strip >= k ? kPacketFlagParity : 0;
+  h.group = group;
+  h.strip = strip;
+  h.k = k;
+  h.m = handle_.codec().parity_fragments();
+  send_packet(build_packet(h, handle_.spec(),
+                           std::span<const uint8_t>(payload, frag_len)));
+  ++stats_.packets_sent;
+}
+
+uint64_t DatagramSender::send_stripe(const uint8_t* const* data, size_t frag_len,
+                                     bool with_parity) {
+  const Codec& codec = handle_.codec();
+  const uint32_t k = codec.data_fragments();
+  const uint32_t m = codec.parity_fragments();
+  const uint64_t group = next_group_++;
+
+  std::vector<uint8_t> parity_arena;
+  std::vector<uint8_t*> parity_ptrs;
+  if (with_parity) {
+    parity_arena.assign(static_cast<size_t>(m) * frag_len, 0);
+    parity_ptrs.reserve(m);
+    for (uint32_t i = 0; i < m; ++i)
+      parity_ptrs.push_back(parity_arena.data() + static_cast<size_t>(i) * frag_len);
+    handle_.encode(data, parity_ptrs.data(), frag_len).get();
+  }
+
+  for (uint32_t i = 0; i < k; ++i)
+    send_strip_packet(group, i, data[i], frag_len, /*retransmit=*/false);
+  if (with_parity)
+    for (uint32_t i = 0; i < m; ++i)
+      send_strip_packet(group, k + i, parity_ptrs[i], frag_len, /*retransmit=*/false);
+
+  send_group_end(group, with_parity ? k + m : k);
+  ++stats_.stripes_sent;
+  return group;
+}
+
+void DatagramSender::resend_strip(uint64_t group, uint32_t strip,
+                                  const uint8_t* payload, size_t frag_len) {
+  send_strip_packet(group, strip, payload, frag_len, /*retransmit=*/true);
+}
+
+void DatagramSender::send_group_end(uint64_t group, uint32_t strips_sent) {
+  PacketHeader h;
+  h.flags = kPacketFlagGroupEnd;
+  h.group = group;
+  h.strip = strips_sent;
+  h.k = handle_.codec().data_fragments();
+  h.m = handle_.codec().parity_fragments();
+  send_packet(build_packet(h, handle_.spec(), {}));
+  ++stats_.markers_sent;
+}
+
+// ---- receiver --------------------------------------------------------------
+
+DatagramReceiver::DatagramReceiver(int fd, CodecService& service)
+    : fd_(fd), service_(service) {}
+
+std::optional<GroupResult> DatagramReceiver::receive_group(int timeout_ms) {
+  uint8_t buf[wire::kMaxDatagram];
+  for (;;) {
+    const ssize_t n = recv_datagram(fd_, buf, sizeof(buf), timeout_ms);
+    if (n <= 0) return std::nullopt;  // timeout (or socket error)
+    auto done = assembler_.feed(buf, static_cast<size_t>(n));
+    if (!done) continue;
+
+    GroupResult result;
+    result.group = std::move(*done);
+    auto it = handles_.find(result.group.spec);
+    if (it == handles_.end()) {
+      try {
+        it = handles_.emplace(result.group.spec, service_.acquire(result.group.spec))
+                 .first;
+      } catch (const std::exception& e) {
+        result.recovery.error = std::string("bad spec: ") + e.what();
+        ++stats_.groups;
+        ++stats_.groups_unrecoverable;
+        return result;
+      }
+    }
+    result.recovery = recover_group(result.group, it->second);
+    it->second.note_net_request(
+        static_cast<uint64_t>(result.group.strips_received) * result.group.frag_len,
+        static_cast<uint64_t>(result.recovery.reconstructed) * result.group.frag_len);
+    ++stats_.groups;
+    if (result.recovery.degraded) {
+      ++stats_.degraded_reads;
+      stats_.strips_reconstructed += result.recovery.reconstructed;
+    }
+    if (!result.recovery.complete) ++stats_.groups_unrecoverable;
+    return result;
+  }
+}
+
+// ---- receipts ---------------------------------------------------------------
+
+std::vector<uint8_t> build_ack_packet(const GroupAck& ack, uint32_t k, uint32_t m) {
+  uint8_t body[12];
+  for (int i = 0; i < 4; ++i) {
+    body[i] = static_cast<uint8_t>(ack.strips_received >> (8 * i));
+    body[4 + i] = static_cast<uint8_t>(ack.strips_reconstructed >> (8 * i));
+    body[8 + i] = static_cast<uint8_t>(ack.status >> (8 * i));
+  }
+  PacketHeader h;
+  h.flags = kPacketFlagAck;
+  h.group = ack.group;
+  h.strip = ack.strips_received;
+  h.k = k;
+  h.m = m;
+  return build_packet(h, {}, std::span<const uint8_t>(body, sizeof(body)));
+}
+
+bool parse_ack(const PacketView& view, GroupAck& out) {
+  if (!(view.header.flags & kPacketFlagAck)) return false;
+  if (view.payload.size() != 12) return false;
+  out.group = view.header.group;
+  out.strips_received = out.strips_reconstructed = out.status = 0;
+  for (int i = 0; i < 4; ++i) {
+    out.strips_received |= static_cast<uint32_t>(view.payload[i]) << (8 * i);
+    out.strips_reconstructed |= static_cast<uint32_t>(view.payload[4 + i]) << (8 * i);
+    out.status |= static_cast<uint32_t>(view.payload[8 + i]) << (8 * i);
+  }
+  return true;
+}
+
+std::optional<GroupAck> recv_ack(int fd, int timeout_ms) {
+  uint8_t buf[wire::kMaxDatagram];
+  for (;;) {
+    const ssize_t n = recv_datagram(fd, buf, sizeof(buf), timeout_ms);
+    if (n <= 0) return std::nullopt;
+    PacketView view;
+    if (decode_packet(buf, static_cast<size_t>(n), view) != FrameError::Ok) continue;
+    GroupAck ack;
+    if (parse_ack(view, ack)) return ack;
+  }
+}
+
+}  // namespace xorec::net

@@ -1,0 +1,249 @@
+// UDP stripe transport with EC loss recovery: stripes fan out as
+// one-packet-per-strip groups; the receiver reassembles each group and, when
+// packets were lost, issues a DEGRADED READ — reconstructing the missing
+// data strips through a compiled ReconstructPlan instead of asking for a
+// retransmission. This is the packet-EC regime the paper's compile-once
+// pipeline finally reaches over a wire: small blocks, setup-time-critical,
+// every distinct loss pattern compiled once and then executed for every
+// later group that loses the same strips (the PlanCache serves the pattern
+// warm).
+//
+// Transfer model (mirroring the SDR-UDP reference's EC reliability mode):
+//
+//   sender                                receiver
+//   ------                                --------
+//   encode parity via CodecService
+//   k+m strip packets  --(seeded loss)->  GroupAssembler collects strips
+//   group-end marker   ---------------->  group completes -> recover_group()
+//                                         all data there?  deliver as-is
+//                                         strips missing?  plan_reconstruct +
+//                                                          execute (degraded)
+//                      <----------------  optional GroupAck receipt
+//
+// Loss is injected at the SENDER from a seeded deterministic policy
+// (splitmix64 per eligible packet), so a loss sweep is reproducible
+// bit-for-bit and the receiver genuinely never sees the dropped strips. The
+// group-end marker and ACKs model the reliable control channel and are
+// never dropped; in selective-repeat comparisons the marker is what
+// triggers the NAK instead.
+//
+// Strips land in a per-group arena (strip-major slots); recovery reads
+// survivor slots and writes rebuilt strips in place, so the codec touches
+// the received bytes directly — no per-strip copies after reassembly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/service.hpp"
+#include "net/frame.hpp"
+
+namespace xorec::net {
+
+// ---- loopback socket helpers -----------------------------------------------
+
+/// A resolved IPv4 endpoint (host byte order) — keeps <netinet/in.h> out of
+/// this header. Only dotted-quad hosts are accepted (the loopback use case).
+struct UdpAddress {
+  uint32_t ip = 0;
+  uint16_t port = 0;
+};
+UdpAddress udp_address(const std::string& host, uint16_t port);
+
+/// Open + bind a UDP socket (port 0 = ephemeral). Throws std::runtime_error
+/// on failure. Caller owns the fd (close_socket below).
+int open_udp_socket(const std::string& host, uint16_t port);
+uint16_t local_udp_port(int fd);
+void close_socket(int fd);
+
+// ---- deterministic loss injection ------------------------------------------
+
+/// Seeded i.i.d. packet loss: packet `index` drops iff a splitmix64 draw of
+/// (seed, index) lands under `rate`. Pure function — the same policy always
+/// drops the same packets, which is what makes a loss sweep a controlled
+/// experiment.
+struct LossPolicy {
+  double rate = 0.0;  // [0, 1)
+  uint64_t seed = 1;
+
+  bool drop(uint64_t packet_index) const;
+};
+
+// ---- group assembly (receiver side) ----------------------------------------
+
+/// One reassembled stripe group, pre-recovery: the arena holds k+m
+/// strip-major slots of frag_len bytes; `have` marks which arrived.
+struct StripeGroup {
+  uint64_t group = 0;
+  std::string spec;
+  uint32_t k = 0, m = 0;
+  uint32_t frag_len = 0;
+  uint64_t have = 0;             // bitmap of strips present (rebuilt ones added later)
+  uint32_t strips_received = 0;  // distinct strips that actually arrived
+  uint32_t strips_sent = 0;      // sender's count from the group-end marker
+  std::vector<uint8_t> arena;    // (k+m) * frag_len, strip-major
+
+  uint8_t* slot(uint32_t id) { return arena.data() + static_cast<size_t>(id) * frag_len; }
+  const uint8_t* slot(uint32_t id) const {
+    return arena.data() + static_cast<size_t>(id) * frag_len;
+  }
+  bool has(uint32_t id) const { return (have >> id) & 1; }
+  std::vector<uint32_t> missing_data() const;
+  std::vector<uint32_t> present_ids() const;  // data + parity, ascending
+};
+
+struct AssemblerStats {
+  size_t packets_received = 0;  // datagrams that parsed clean
+  size_t bytes_received = 0;
+  size_t crc_drops = 0;         // datagrams rejected by decode_packet
+  size_t mismatch_drops = 0;    // strip disagreed with its group's geometry
+  size_t duplicate_strips = 0;
+  size_t groups_completed = 0;
+};
+
+/// Collects strip packets into per-group arenas; a group completes when its
+/// group-end marker arrives (the marker is the stripe boundary — UDP
+/// reorders, so "all packets seen" is not knowable without it). Damaged or
+/// inconsistent datagrams are counted and dropped, never fatal.
+class GroupAssembler {
+ public:
+  /// Feed one raw datagram. Returns the completed group when `data` was its
+  /// group-end marker, else nullopt.
+  std::optional<StripeGroup> feed(const uint8_t* data, size_t len);
+
+  const AssemblerStats& stats() const { return stats_; }
+  size_t pending_groups() const { return pending_.size(); }
+
+ private:
+  std::map<uint64_t, StripeGroup> pending_;
+  AssemblerStats stats_;
+};
+
+// ---- degraded read ----------------------------------------------------------
+
+struct RecoveryResult {
+  bool complete = false;      // all k data strips present after recovery
+  bool degraded = false;      // a reconstruct plan had to run
+  uint32_t reconstructed = 0; // data strips rebuilt
+  std::string error;          // non-empty when unrecoverable / geometry bad
+};
+
+/// The degraded read: rebuild the group's missing DATA strips in place from
+/// whatever survivors arrived, routed through the service (plan compiled
+/// once per loss pattern, then served warm by the PlanCache). `handle` must
+/// be a lease on the group's spec. Returns complete=false with a reason when
+/// the losses exceed the code's tolerance — the caller's signal that only a
+/// retransmission (or a wider code) could save this group.
+RecoveryResult recover_group(StripeGroup& group, const ServiceHandle& handle);
+
+// ---- sender ------------------------------------------------------------------
+
+struct SenderStats {
+  size_t stripes_sent = 0;
+  size_t packets_sent = 0;     // strip packets that reached the socket
+  size_t packets_dropped = 0;  // strip packets eaten by the loss policy
+  size_t markers_sent = 0;
+  size_t retransmissions = 0;  // strip packets re-sent on request (SR mode)
+  uint64_t bytes_sent = 0;     // wire bytes of everything that was sent
+};
+
+/// Fans stripes out as strip packets toward `dest`, encoding parity through
+/// the service lease first. The loss policy applies to strip packets
+/// (including retransmissions) — markers always go through.
+class DatagramSender {
+ public:
+  DatagramSender(int fd, UdpAddress dest, ServiceHandle handle, LossPolicy loss = {});
+
+  const ServiceHandle& handle() const { return handle_; }
+
+  /// Send one stripe as a group: encode m parity strips from the k data
+  /// fragments (when with_parity), then one packet per strip + the group-end
+  /// marker. Returns the group id used (monotonic per sender). frag_len must
+  /// satisfy the codec and fit one datagram.
+  uint64_t send_stripe(const uint8_t* const* data, size_t frag_len,
+                       bool with_parity = true);
+
+  /// Re-send one strip of an earlier group (selective-repeat mode); still
+  /// subject to the loss policy, counted as a retransmission.
+  void resend_strip(uint64_t group, uint32_t strip, const uint8_t* payload,
+                    size_t frag_len);
+
+  /// The stripe-boundary marker (never dropped).
+  void send_group_end(uint64_t group, uint32_t strips_sent);
+
+  const SenderStats& stats() const { return stats_; }
+
+ private:
+  void send_packet(const std::vector<uint8_t>& packet);
+  void send_strip_packet(uint64_t group, uint32_t strip, const uint8_t* payload,
+                         size_t frag_len, bool retransmit);
+
+  int fd_;
+  UdpAddress dest_;
+  ServiceHandle handle_;
+  LossPolicy loss_;
+  uint64_t next_group_ = 0;
+  uint64_t eligible_index_ = 0;  // loss-policy packet counter
+  SenderStats stats_;
+};
+
+// ---- receiver ----------------------------------------------------------------
+
+struct GroupResult {
+  StripeGroup group;        // arena holds received + rebuilt strips
+  RecoveryResult recovery;
+};
+
+struct ReceiverStats {
+  size_t groups = 0;
+  size_t degraded_reads = 0;
+  size_t strips_reconstructed = 0;
+  size_t groups_unrecoverable = 0;
+};
+
+/// Blocking receive pump: socket -> GroupAssembler -> recover_group, with a
+/// per-spec ServiceHandle cache. One receiver serves any mix of specs.
+class DatagramReceiver {
+ public:
+  DatagramReceiver(int fd, CodecService& service);
+
+  /// Block until the next group completes; nullopt when `timeout_ms` passes
+  /// without any datagram arriving.
+  std::optional<GroupResult> receive_group(int timeout_ms = 1000);
+
+  const AssemblerStats& assembler_stats() const { return assembler_.stats(); }
+  const ReceiverStats& stats() const { return stats_; }
+
+ private:
+  int fd_;
+  CodecService& service_;
+  GroupAssembler assembler_;
+  std::map<std::string, ServiceHandle> handles_;
+  ReceiverStats stats_;
+};
+
+// ---- receipts ----------------------------------------------------------------
+
+/// A receiver's per-group receipt (kPacketFlagAck payload): what arrived,
+/// what the degraded read rebuilt, and whether the group was delivered.
+struct GroupAck {
+  uint64_t group = 0;
+  uint32_t strips_received = 0;
+  uint32_t strips_reconstructed = 0;
+  uint32_t status = 0;  // 0 = complete, 1 = unrecoverable, 2 = error
+
+  static constexpr uint32_t kComplete = 0, kUnrecoverable = 1, kError = 2;
+};
+
+std::vector<uint8_t> build_ack_packet(const GroupAck& ack, uint32_t k, uint32_t m);
+/// Parse an ack from a decoded packet view; false when `view` is not an ack.
+bool parse_ack(const PacketView& view, GroupAck& out);
+/// Blocking ack wait on `fd` (nullopt on timeout); non-ack datagrams are
+/// skipped.
+std::optional<GroupAck> recv_ack(int fd, int timeout_ms = 1000);
+
+}  // namespace xorec::net

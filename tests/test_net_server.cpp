@@ -1,0 +1,226 @@
+// NetServer + net::Client over real loopback TCP (plus the server's shared
+// UDP socket): remote encode matches local encode byte for byte, remote
+// reconstruct is a wire-served degraded read, malformed and unsatisfiable
+// requests come back as clean Error frames on a connection that stays
+// usable, and the per-pool ServiceStats net counters see the traffic.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/service.hpp"
+#include "net/client.hpp"
+#include "net/datagram.hpp"
+#include "net/server.hpp"
+
+using namespace xorec;
+using namespace xorec::net;
+
+namespace {
+
+constexpr uint32_t kK = 6, kM = 4;
+constexpr size_t kFragLen = 1024;
+const char* kSpec = "rs(6,4)";
+
+std::vector<std::vector<uint8_t>> make_data() {
+  std::vector<std::vector<uint8_t>> data(kK, std::vector<uint8_t>(kFragLen));
+  uint64_t x = 0xBEEF;
+  for (auto& frag : data)
+    for (auto& b : frag) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      b = static_cast<uint8_t>(x);
+    }
+  return data;
+}
+
+/// Server + started lifetime for one test.
+struct ServerFixture {
+  CodecService service;
+  NetServer server;
+  ServerFixture() : server(service, {}) { server.start(); }
+  ~ServerFixture() { server.stop(); }
+};
+
+}  // namespace
+
+TEST(NetServer, PortsAreBoundBeforeStart) {
+  CodecService service;
+  NetServer server(service, {});
+  // Ephemeral ports are resolved at construction — known before serving.
+  EXPECT_GT(server.tcp_port(), 0);
+  EXPECT_GT(server.udp_port(), 0);
+  server.start();
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(NetServer, PingAndRemoteEncodeMatchLocal) {
+  ServerFixture fx;
+  Client client("127.0.0.1", fx.server.tcp_port());
+  client.ping();
+
+  const auto data = make_data();
+  std::vector<const uint8_t*> data_ptrs(kK);
+  for (uint32_t i = 0; i < kK; ++i) data_ptrs[i] = data[i].data();
+
+  std::vector<std::vector<uint8_t>> remote(kM, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> remote_ptrs(kM);
+  for (uint32_t i = 0; i < kM; ++i) remote_ptrs[i] = remote[i].data();
+  client.encode(kSpec, data_ptrs.data(), kK, remote_ptrs.data(), kM, kFragLen);
+
+  const auto codec = make_codec(kSpec);
+  std::vector<std::vector<uint8_t>> local(kM, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> local_ptrs(kM);
+  for (uint32_t i = 0; i < kM; ++i) local_ptrs[i] = local[i].data();
+  codec->encode(data_ptrs.data(), local_ptrs.data(), kFragLen);
+
+  for (uint32_t i = 0; i < kM; ++i) EXPECT_EQ(remote[i], local[i]) << "parity " << i;
+
+  const NetServerStats stats = fx.server.stats();
+  EXPECT_GE(stats.requests, 1u);
+  EXPECT_GE(stats.responses, 2u);  // pong + encode response
+  EXPECT_GT(stats.tcp_bytes_in, 0u);
+  EXPECT_GT(stats.tcp_bytes_out, 0u);
+
+  // The per-pool net counters saw exactly this pool's traffic.
+  bool seen = false;
+  for (const auto& pool : fx.service.stats().pools)
+    if (pool.spec == kSpec) {
+      seen = true;
+      EXPECT_GE(pool.net_requests, 1u);
+      EXPECT_GT(pool.net_bytes_in, 0u);
+      EXPECT_GT(pool.net_bytes_out, 0u);
+    }
+  EXPECT_TRUE(seen);
+}
+
+TEST(NetServer, RemoteReconstructIsAWireServedDegradedRead) {
+  ServerFixture fx;
+  Client client("127.0.0.1", fx.server.tcp_port());
+
+  const auto data = make_data();
+  std::vector<const uint8_t*> data_ptrs(kK);
+  for (uint32_t i = 0; i < kK; ++i) data_ptrs[i] = data[i].data();
+  const auto codec = make_codec(kSpec);
+  std::vector<std::vector<uint8_t>> parity(kM, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> parity_ptrs(kM);
+  for (uint32_t i = 0; i < kM; ++i) parity_ptrs[i] = parity[i].data();
+  codec->encode(data_ptrs.data(), parity_ptrs.data(), kFragLen);
+
+  // Erase data strips 0 and 3; ship everything else as survivors.
+  const std::vector<uint32_t> erased{0, 3};
+  std::vector<uint32_t> available;
+  std::vector<const uint8_t*> avail_ptrs;
+  for (uint32_t i = 0; i < kK; ++i)
+    if (i != 0 && i != 3) {
+      available.push_back(i);
+      avail_ptrs.push_back(data[i].data());
+    }
+  for (uint32_t i = 0; i < kM; ++i) {
+    available.push_back(kK + i);
+    avail_ptrs.push_back(parity[i].data());
+  }
+
+  std::vector<std::vector<uint8_t>> rebuilt(2, std::vector<uint8_t>(kFragLen, 0xEE));
+  std::vector<uint8_t*> out_ptrs{rebuilt[0].data(), rebuilt[1].data()};
+  client.reconstruct(kSpec, available, avail_ptrs.data(), erased, out_ptrs.data(),
+                     kFragLen);
+  EXPECT_EQ(rebuilt[0], data[0]);
+  EXPECT_EQ(rebuilt[1], data[3]);
+}
+
+TEST(NetServer, ErrorsAreCleanAndTheConnectionSurvives) {
+  ServerFixture fx;
+  Client client("127.0.0.1", fx.server.tcp_port());
+  const auto data = make_data();
+  std::vector<const uint8_t*> data_ptrs(kK);
+  for (uint32_t i = 0; i < kK; ++i) data_ptrs[i] = data[i].data();
+  std::vector<std::vector<uint8_t>> out(kM, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> out_ptrs(kM);
+  for (uint32_t i = 0; i < kM; ++i) out_ptrs[i] = out[i].data();
+
+  // Unknown spec: the server's Error frame becomes the exception text.
+  EXPECT_THROW(
+      client.encode("bogus(3,2)", data_ptrs.data(), kK, out_ptrs.data(), kM, kFragLen),
+      std::runtime_error);
+
+  // frag_len violating the codec's geometry: rejected, not crashed.
+  EXPECT_THROW(client.encode(kSpec, data_ptrs.data(), kK, out_ptrs.data(), kM, 100),
+               std::runtime_error);
+
+  // More erasures than the code tolerates: plan_reconstruct's refusal
+  // travels back as an Error frame.
+  std::vector<uint32_t> available{5};
+  const uint8_t* avail_ptrs[] = {data[5].data()};
+  std::vector<uint32_t> erased{0, 1, 2, 3, 4};
+  std::vector<std::vector<uint8_t>> rebuilt(5, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> rebuilt_ptrs(5);
+  for (size_t i = 0; i < 5; ++i) rebuilt_ptrs[i] = rebuilt[i].data();
+  EXPECT_THROW(client.reconstruct(kSpec, available, avail_ptrs, erased,
+                                  rebuilt_ptrs.data(), kFragLen),
+               std::runtime_error);
+
+  // After three rejected requests the connection is still serving.
+  client.ping();
+  client.encode(kSpec, data_ptrs.data(), kK, out_ptrs.data(), kM, kFragLen);
+  EXPECT_GE(fx.server.stats().errors, 3u);
+}
+
+TEST(NetServer, ManySequentialRequestsAndSecondClient) {
+  ServerFixture fx;
+  Client a("127.0.0.1", fx.server.tcp_port());
+  Client b("127.0.0.1", fx.server.tcp_port());
+  const auto data = make_data();
+  std::vector<const uint8_t*> data_ptrs(kK);
+  for (uint32_t i = 0; i < kK; ++i) data_ptrs[i] = data[i].data();
+  std::vector<std::vector<uint8_t>> out(kM, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> out_ptrs(kM);
+  for (uint32_t i = 0; i < kM; ++i) out_ptrs[i] = out[i].data();
+
+  for (int round = 0; round < 16; ++round) {
+    Client& c = round & 1 ? b : a;
+    c.encode(kSpec, data_ptrs.data(), kK, out_ptrs.data(), kM, kFragLen);
+  }
+  const NetServerStats stats = fx.server.stats();
+  EXPECT_GE(stats.connections_accepted, 2u);
+  EXPECT_GE(stats.requests, 16u);
+}
+
+TEST(NetServer, UdpGroupsAreServedOnTheSharedSocket) {
+  ServerFixture fx;
+  const auto data = make_data();
+  std::vector<const uint8_t*> data_ptrs(kK);
+  for (uint32_t i = 0; i < kK; ++i) data_ptrs[i] = data[i].data();
+
+  CodecService sender_service;  // sender-side parity encodes only
+  const int fd = open_udp_socket("127.0.0.1", 0);
+  DatagramSender sender(fd, udp_address("127.0.0.1", fx.server.udp_port()),
+                        sender_service.acquire(kSpec), LossPolicy{0.15, 42});
+
+  const int kStripes = 10;
+  int complete = 0, degraded = 0;
+  for (int s = 0; s < kStripes; ++s) {
+    const uint64_t group = sender.send_stripe(data_ptrs.data(), kFragLen);
+    const auto ack = recv_ack(fd, 2000);
+    ASSERT_TRUE(ack.has_value()) << "stripe " << s;
+    EXPECT_EQ(ack->group, group);
+    if (ack->status == GroupAck::kComplete) {
+      ++complete;
+      if (ack->strips_reconstructed > 0) ++degraded;
+    }
+  }
+  close_socket(fd);
+
+  EXPECT_EQ(complete, kStripes);
+  EXPECT_GT(degraded, 0);
+  EXPECT_EQ(sender.stats().retransmissions, 0u);
+  const NetServerStats stats = fx.server.stats();
+  EXPECT_EQ(stats.udp_groups, static_cast<size_t>(kStripes));
+  EXPECT_EQ(stats.udp_unrecoverable, 0u);
+  EXPECT_GE(stats.udp_degraded_reads, static_cast<size_t>(degraded));
+}
