@@ -9,8 +9,11 @@
 // (paper intel B=1K: 4.03 / 4.36 / 7.50 / 8.92 GB/s encode,
 //                    2.35 / 3.32 / 5.51 / 6.67 GB/s decode).
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "slp/metrics.hpp"
 
@@ -19,7 +22,11 @@ using namespace xorec::bench;
 
 namespace {
 
-void print_stage_table(const char* title, const slp::PipelineResult& r) {
+/// The static cost tables are deterministic, so they double as the
+/// machine-readable artifact (BENCH_stage_summary.json).
+std::vector<BenchRecord> g_records;
+
+void print_stage_table(const char* title, const char* key, const slp::PipelineResult& r) {
   const auto base = slp::measure(r.base, slp::ExecForm::Binary);
   const auto co = slp::measure(*r.compressed, slp::ExecForm::Binary);
   const auto fu = slp::measure(*r.fused, slp::ExecForm::Fused);
@@ -31,6 +38,18 @@ void print_stage_table(const char* title, const slp::PipelineResult& r) {
               fu.mem_accesses, sc.mem_accesses);
   std::printf("  NVar  %5zu %5zu %5zu %5zu\n", base.nvar, co.nvar, fu.nvar, sc.nvar);
   std::printf("  CCap  %5zu %5zu %5zu %5zu\n", base.ccap, co.ccap, fu.ccap, sc.ccap);
+  const auto add = [&](const char* stage, size_t xors, size_t mem, size_t nvar,
+                       size_t ccap) {
+    const std::string cfg = std::string(key) + "/" + stage;
+    g_records.push_back({"stage_table", cfg, "xor_ops", static_cast<double>(xors)});
+    g_records.push_back({"stage_table", cfg, "mem_accesses", static_cast<double>(mem)});
+    g_records.push_back({"stage_table", cfg, "nvar", static_cast<double>(nvar)});
+    g_records.push_back({"stage_table", cfg, "ccap", static_cast<double>(ccap)});
+  };
+  add("base", base.xor_ops, base.mem_accesses, base.nvar, base.ccap);
+  add("compressed", co.xor_ops, co.mem_accesses, co.nvar, co.ccap);
+  add("fused", fu.instructions, fu.mem_accesses, fu.nvar, fu.ccap);
+  add("scheduled", sc.instructions, sc.mem_accesses, sc.nvar, sc.ccap);
 }
 
 /// The multilevel scheduling pass: per-level simulated misses of the chosen
@@ -77,7 +96,7 @@ int main(int argc, char** argv) {
     const ServiceHandle full = lease("");
     print_stage_table("P_enc (paper: 755/385/146; 2265/1155/677; 32/385/146/88; "
                       "92/447/224/167)",
-                      *full.codec().encode_pipeline());
+                      "P_enc", *full.codec().encode_pipeline());
     // The generic plan API: every codec (not just RsCodec) exposes the
     // decode pipeline + cost measures of a solved erasure pattern this way.
     const std::vector<uint32_t> erased{2, 4, 5, 6};
@@ -88,7 +107,7 @@ int main(int argc, char** argv) {
     const auto plan = full.plan_reconstruct(available, erased);
     print_stage_table("P_dec (paper: 1368/511/206; 4104/1533/923; 32/511/206/125; "
                       "89/585/283/205)",
-                      *plan->decode_pipeline());
+                      "P_dec", *plan->decode_pipeline());
     std::printf("P_dec plan totals: #xor=%zu #M=%zu (xor_count/schedule_stats)\n",
                 plan->xor_count(), plan->schedule_stats().mem_accesses);
     print_cache_column("rs(10,4) full", full.codec());
@@ -116,6 +135,10 @@ int main(int argc, char** argv) {
       {"fused", ",passes=fuse"},
       {"scheduled", ""},
       {"multilevel", ",sched=multilevel"},
+      // The execution-backend axis on the fully scheduled program:
+      // "scheduled" runs exec=auto (lowered straight-line kernels); this row
+      // pins the interpreting executor on the SAME compiled plan.
+      {"interp", ",exec=interp"},
   };
   for (const Stage& s : stages) {
     auto codec = lease(s.extra).codec_ptr();
@@ -144,8 +167,20 @@ int main(int argc, char** argv) {
   // times (tables + throughput + batch) but built ONCE.
   const ServiceStats stats = service.stats();
   for (const PoolStats& pool : stats.pools)
-    std::printf("pool \"%s\": %zu clients, %zu plans, %zu cached programs\n",
-                pool.spec.c_str(), pool.clients, pool.plans, pool.cached_programs);
+    std::printf("pool \"%s\": %zu clients, %zu plans, %zu cached programs, exec=%s/%s\n",
+                pool.spec.c_str(), pool.clients, pool.plans, pool.cached_programs,
+                pool.exec_backend.c_str(), pool.exec_isa.c_str());
+
+  const char* env = std::getenv("XOREC_STAGE_JSON");
+  const std::string path = env && *env ? env : "BENCH_stage_summary.json";
+  {
+    std::ofstream out(path);
+    write_bench_json(out, "bench_stage_summary",
+                     {{"code", dims}, {"block", std::to_string(block)},
+                      {"erased", "2,4,5,6"}},
+                     g_records);
+  }
+  std::printf("wrote %s (%zu records)\n", path.c_str(), g_records.size());
   benchmark::Shutdown();
   return 0;
 }

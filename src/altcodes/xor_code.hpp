@@ -66,6 +66,7 @@ class XorCodec : public Codec {
   /// Cache identity + cached patterns, for warmup profiles.
   PlanFootprint plan_footprint() const override { return core_.footprint(); }
   size_t cached_program_count() const override { return core_.cache_size(); }
+  ExecInfo exec_info() const override { return core_.exec_info(); }
 
  protected:
   void encode_impl(const uint8_t* const* data, uint8_t* const* parity,

@@ -95,6 +95,15 @@ struct PlanReadSet {
   size_t strips = 0;
 };
 
+/// The execution backend a codec's compiled programs actually run on, after
+/// exec=auto resolution, host-capability degrade and the XOREC_FORCE_ISA
+/// override — e.g. {"lowered", "avx512"}. Empty strings for codecs without
+/// a blocked executor (the GF-table baseline, custom codecs).
+struct ExecInfo {
+  std::string backend;
+  std::string isa;
+};
+
 /// A codec's footprint in its plan-compilation cache: the fingerprints its
 /// programs are keyed under and the pattern keys currently cached
 /// (MRU-first per cache shard). All-zero fingerprints mean the codec does
@@ -213,6 +222,10 @@ class Codec {
   /// cheap counterpart of plan_footprint() for stats polling (no pattern
   /// materialization). Default: none.
   virtual size_t cached_program_count() const { return 0; }
+
+  /// The resolved execution backend + ISA this codec runs (ServiceStats
+  /// surfaces it per pool). Default: no executor.
+  virtual ExecInfo exec_info() const { return {}; }
 
   /// data: data_fragments() pointers; parity: parity_fragments() pointers
   /// (written). frag_len must be a positive multiple of fragment_multiple().

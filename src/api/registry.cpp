@@ -110,11 +110,13 @@ void apply_option(CodecSpec& cs, const std::string& key, const std::string& valu
       cs.batch_threads = b;
     }
   } else if (key == "isa") {
-    if (value == "scalar") opt.exec.isa = kernel::Isa::Scalar;
-    else if (value == "word64") opt.exec.isa = kernel::Isa::Word64;
-    else if (value == "avx2") opt.exec.isa = kernel::Isa::Avx2;
-    else if (value == "auto") opt.exec.isa = kernel::Isa::Auto;
-    else fail(cs.spec, "isa must be scalar|word64|avx2|auto, got \"" + value + "\"");
+    if (auto isa = kernel::parse_isa(value.c_str())) opt.exec.isa = *isa;
+    else fail(cs.spec, "isa must be scalar|word64|avx2|avx512|neon|auto, got \"" + value + "\"");
+  } else if (key == "exec") {
+    if (value == "interp") opt.exec.backend = runtime::ExecBackend::Interp;
+    else if (value == "lowered") opt.exec.backend = runtime::ExecBackend::Lowered;
+    else if (value == "auto") opt.exec.backend = runtime::ExecBackend::Auto;
+    else fail(cs.spec, "exec must be interp|lowered|auto, got \"" + value + "\"");
   } else if (key == "passes") {
     // Preset -> pipeline mapping; rs_codec.cpp rs_name() is its inverse —
     // keep the two in sync.
@@ -506,12 +508,13 @@ std::string canonical_spec(const CodecSpec& given) {
     opts.push_back("block=" + std::to_string(o.exec.block_size));
   if (o.exec.threads != def.exec.threads)
     opts.push_back("threads=" + std::to_string(o.exec.threads));
-  if (o.exec.isa != def.exec.isa) {
-    const char* isa = o.exec.isa == kernel::Isa::Scalar   ? "scalar"
-                      : o.exec.isa == kernel::Isa::Word64 ? "word64"
-                                                          : "avx2";
-    opts.push_back(std::string("isa=") + isa);
-  }
+  if (o.exec.isa != def.exec.isa)
+    opts.push_back(std::string("isa=") + kernel::isa_name(o.exec.isa));
+  if (o.exec.backend != def.exec.backend &&
+      // Auto resolves to Lowered: the two produce identical executors (and
+      // share plan-cache entries), so only interp earns a token.
+      o.exec.backend == runtime::ExecBackend::Interp)
+    opts.push_back("exec=interp");
   if (!passes_tok.empty()) opts.push_back(passes_tok);
   if (!sched_tok.empty()) opts.push_back(sched_tok);
   if (pl.greedy_capacity != 0 && sched_takes_cap)
@@ -556,9 +559,10 @@ void register_codec_family(const std::string& family, CodecBuilder builder) {
 const std::vector<std::string>& spec_option_keys() {
   // Keep in sync with apply_option above and the grammar in registry.hpp —
   // this list is what help text and error messages print.
-  static const std::vector<std::string> keys = {"block",  "threads",  "isa",   "passes",
-                                                "sched",  "cap",      "levels", "cache",
-                                                "matrix", "prefetch", "batch", "warmup"};
+  static const std::vector<std::string> keys = {"block", "threads",  "isa",      "exec",
+                                                "passes", "sched",   "cap",      "levels",
+                                                "cache",  "matrix",  "prefetch", "batch",
+                                                "warmup"};
   return keys;
 }
 

@@ -304,6 +304,9 @@ ServiceStats CodecService::stats() const {
       ps.plans = pool->plans.load(std::memory_order_relaxed);
       ps.reconstructs = pool->reconstructs.load(std::memory_order_relaxed);
       ps.cached_programs = pool->codec->cached_program_count();
+      ExecInfo ei = pool->codec->exec_info();
+      ps.exec_backend = std::move(ei.backend);
+      ps.exec_isa = std::move(ei.isa);
       ps.strips_read = pool->strips_read.load(std::memory_order_relaxed);
       ps.repair_bytes_in = pool->repair_bytes_in.load(std::memory_order_relaxed);
       ps.repair_bytes_out = pool->repair_bytes_out.load(std::memory_order_relaxed);

@@ -216,6 +216,14 @@ uint64_t PlanCache::fingerprint_config(const slp::PipelineOptions& pipeline,
   h = fnv_mix(h, exec.threads);
   h = fnv_mix(h, exec.stagger_scratch ? 1 : 0);
   h = fnv_mix(h, exec.prefetch_next_block ? 1 : 0);
+  // The RESOLVED backend (Auto -> Lowered), so exec=auto and exec=lowered
+  // share entries while interp and lowered executors never collide in the
+  // shared cache; nt_threshold changes the lowered instruction stream.
+  const auto backend = exec.backend == runtime::ExecBackend::Auto
+                           ? runtime::ExecBackend::Lowered
+                           : exec.backend;
+  h = fnv_mix(h, static_cast<uint64_t>(backend));
+  h = fnv_mix(h, exec.nt_threshold);
   return h;
 }
 

@@ -52,6 +52,7 @@ class RsCodec : public Codec {
   /// Cache identity + cached patterns, for warmup profiles.
   PlanFootprint plan_footprint() const override { return core_.footprint(); }
   size_t cached_program_count() const override { return core_.cache_size(); }
+  ExecInfo exec_info() const override { return core_.exec_info(); }
 
   /// Decode-side pipeline for a specific erasure pattern of data fragments,
   /// exposed so benches can measure the paper's P_dec tables offline.

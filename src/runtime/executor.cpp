@@ -7,41 +7,81 @@
 
 namespace xorec::runtime {
 
+const char* exec_backend_name(ExecBackend b) {
+  switch (b) {
+    case ExecBackend::Interp: return "interp";
+    case ExecBackend::Lowered: return "lowered";
+    case ExecBackend::Auto: return "auto";
+  }
+  return "?";
+}
+
 Executor::Executor(ExecProgram program, ExecOptions opt)
-    : prog_(std::move(program)), opt_(opt), kernel_(kernel::resolve(opt.isa)) {
+    : prog_(std::move(program)), opt_(opt) {
   if (opt_.block_size == 0) throw std::invalid_argument("Executor: block_size == 0");
   if (opt_.threads == 0) opt_.threads = 1;
+
+  const kernel::KernelTable& kt = kernel::kernel_table(opt_.isa);
+  kernel_ = kt.many;
+  isa_ = kt.isa;
+  backend_ = opt_.backend == ExecBackend::Auto ? ExecBackend::Lowered : opt_.backend;
+  if (backend_ == ExecBackend::Lowered)
+    lowered_ = std::make_unique<const LoweredProgram>(prog_, kt, opt_.block_size,
+                                                      opt_.nt_threshold);
+
   if (opt_.threads > 1) {
     worker_scratch_.reserve(opt_.threads);
     for (size_t w = 0; w < opt_.threads; ++w)
-      worker_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_));
+      worker_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_, lowered_.get()));
   } else {
     // Pre-warm one freelist entry so the common single-caller case never
     // allocates inside run().
-    free_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_));
+    free_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_, lowered_.get()));
+    scratch_allocated_ = 1;
   }
 }
 
 std::unique_ptr<Executor::Scratch> Executor::acquire_scratch() const {
   {
     std::lock_guard lk(scratch_mu_);
+    ++scratch_in_use_;
+    scratch_high_water_ = std::max(scratch_high_water_, scratch_in_use_);
     if (!free_scratch_.empty()) {
       auto s = std::move(free_scratch_.back());
       free_scratch_.pop_back();
       return s;
     }
+    ++scratch_allocated_;
   }
-  return std::make_unique<Scratch>(prog_, opt_);
+  return std::make_unique<Scratch>(prog_, opt_, lowered_.get());
 }
 
 void Executor::release_scratch(std::unique_ptr<Scratch> s) const {
   std::lock_guard lk(scratch_mu_);
-  free_scratch_.push_back(std::move(s));
+  --scratch_in_use_;
+  // Keep at most high-water arenas parked: a one-off burst of concurrent
+  // callers must not pin burst-many arenas for the executor's lifetime.
+  if (free_scratch_.size() < std::max<size_t>(scratch_high_water_, 1))
+    free_scratch_.push_back(std::move(s));
+  else
+    ++scratch_dropped_;  // s frees on scope exit
+}
+
+ScratchStats Executor::scratch_stats() const {
+  std::lock_guard lk(scratch_mu_);
+  return {free_scratch_.size(), scratch_high_water_, scratch_allocated_, scratch_dropped_};
 }
 
 void Executor::run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
-                         size_t end, uint8_t* const* scratch) const {
+                         size_t end, Scratch& scratch) const {
+  if (lowered_) {
+    lowered_->run_range(*scratch.lowered_state, inputs, outputs, scratch.ptrs.data(), begin,
+                        end, opt_.block_size, opt_.prefetch_next_block);
+    return;
+  }
+
   const size_t B = opt_.block_size;
+  uint8_t* const* scr = scratch.ptrs.data();
   std::vector<const uint8_t*> srcs(std::max<size_t>(prog_.max_arity(), 1));
 
   for (size_t off = begin; off < end; off += B) {
@@ -59,13 +99,13 @@ void Executor::run_range(const uint8_t* const* inputs, uint8_t* const* outputs, 
         switch (s.space) {
           case Space::In: srcs[j] = inputs[s.index] + off; break;
           case Space::Out: srcs[j] = outputs[s.index] + off; break;
-          case Space::Scratch: srcs[j] = scratch[s.index]; break;
+          case Space::Scratch: srcs[j] = scr[s.index]; break;
         }
       }
       uint8_t* dst;
       switch (op.dst.space) {
         case Space::Out: dst = outputs[op.dst.index] + off; break;
-        case Space::Scratch: dst = scratch[op.dst.index]; break;
+        case Space::Scratch: dst = scr[op.dst.index]; break;
         case Space::In:
         default:
           throw std::logic_error("Executor: write to input space");
@@ -83,7 +123,7 @@ void Executor::run(const uint8_t* const* inputs, uint8_t* const* outputs,
   if (opt_.threads <= 1) {
     auto s = acquire_scratch();
     try {
-      run_range(inputs, outputs, 0, strip_len, s->ptrs.data());
+      run_range(inputs, outputs, 0, strip_len, *s);
     } catch (...) {
       release_scratch(std::move(s));
       throw;
@@ -103,7 +143,7 @@ void Executor::run(const uint8_t* const* inputs, uint8_t* const* outputs,
     if (w >= workers) return;
     const size_t begin = std::min(w * per * B, strip_len);
     const size_t end = std::min((w + 1) * per * B, strip_len);
-    if (begin < end) run_range(inputs, outputs, begin, end, worker_scratch_[w]->ptrs.data());
+    if (begin < end) run_range(inputs, outputs, begin, end, *worker_scratch_[w]);
   });
 }
 

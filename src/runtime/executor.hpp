@@ -1,6 +1,12 @@
-// The blocked SLP interpreter (§6.1): runs an ExecProgram over strips in
-// B-byte blocks so all the pebbles of one iteration stay cache-resident,
-// with optional thread-level parallelism over the strip length.
+// The blocked SLP execution engine (§6.1): runs a compiled program over
+// strips in B-byte blocks so all the pebbles of one iteration stay
+// cache-resident, with optional thread-level parallelism over the strip
+// length. Two backends share the blocking loop:
+//   exec=interp   — walk the ExecProgram, resolving operands per instruction
+//                   per block through the variadic xor_many kernel;
+//   exec=lowered  — run the straight-line LoweredProgram of pre-resolved
+//                   fixed-arity/accumulate kernel calls (lowered once, in
+//                   this constructor; see runtime/lowered_program.hpp).
 #pragma once
 
 #include <cstddef>
@@ -11,8 +17,16 @@
 #include "kernel/xor_kernel.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/exec_program.hpp"
+#include "runtime/lowered_program.hpp"
 
 namespace xorec::runtime {
+
+/// Execution backend (spec key exec=). Auto resolves to Lowered — the
+/// interpreter survives as the reference semantics and for differential
+/// testing.
+enum class ExecBackend : uint8_t { Interp, Lowered, Auto };
+
+const char* exec_backend_name(ExecBackend b);
 
 struct ExecOptions {
   size_t block_size = 2048;               // B of the blocking technique
@@ -23,13 +37,29 @@ struct ExecOptions {
   /// prefetches for the *input* strips of block i+1 so loads overlap the
   /// in-cache XOR work. 0 disables.
   bool prefetch_next_block = false;
+  ExecBackend backend = ExecBackend::Auto;
+  /// Lowered backend only: blocks at least this large may use non-temporal
+  /// stores for output strips no later instruction re-reads. The default
+  /// keeps NT off for cache-blocked sizes (streaming past the cache only
+  /// pays once a block outgrows it).
+  size_t nt_threshold = 256 * 1024;
+};
+
+/// Executor scratch-freelist counters (see Executor::scratch_stats).
+struct ScratchStats {
+  size_t free = 0;        // arenas parked in the freelist now
+  size_t high_water = 0;  // max concurrently-running run() callers seen
+  size_t allocated = 0;   // total arenas ever constructed
+  size_t dropped = 0;     // arenas freed instead of parked (freelist at cap)
 };
 
 /// Owns the scratch pebble arenas for one compiled program at one block
 /// size; reusable across calls. run() is thread-safe: with threads == 1
 /// concurrent callers draw private scratch from a freelist (the BatchCoder
 /// stripe-parallel path), with threads > 1 concurrent calls serialize on
-/// the fork-join pool's per-worker arenas.
+/// the fork-join pool's per-worker arenas. The freelist is bounded by the
+/// high-water concurrency actually observed, so a burst of callers cannot
+/// permanently pin burst-many arenas.
 class Executor {
  public:
   Executor(ExecProgram program, ExecOptions opt = {});
@@ -37,32 +67,53 @@ class Executor {
   const ExecProgram& program() const { return prog_; }
   const ExecOptions& options() const { return opt_; }
 
+  /// The backend/ISA this executor actually runs (after Auto resolution,
+  /// host capability degrade, and the XOREC_FORCE_ISA override).
+  ExecBackend backend() const { return backend_; }
+  kernel::Isa isa() const { return isa_; }
+  /// The lowered form, when backend() == Lowered (instruction-mix
+  /// introspection for tests/benches).
+  const LoweredProgram* lowered() const { return lowered_.get(); }
+
+  ScratchStats scratch_stats() const;
+
   /// inputs:  num_inputs strip pointers, each strip_len bytes.
   /// outputs: num_outputs strip pointers, each strip_len bytes.
   /// Any strip_len is accepted (the last block may be short).
   void run(const uint8_t* const* inputs, uint8_t* const* outputs, size_t strip_len) const;
 
  private:
-  /// One worker's private pebble storage.
+  /// One worker's private pebble storage (plus the lowered backend's slot
+  /// and argument tables, so run() never allocates).
   struct Scratch {
     StripArena arena;
     std::vector<uint8_t*> ptrs;
-    Scratch(const ExecProgram& prog, const ExecOptions& opt)
+    std::unique_ptr<LoweredProgram::State> lowered_state;
+    Scratch(const ExecProgram& prog, const ExecOptions& opt, const LoweredProgram* lp)
         : arena(prog.num_scratch, opt.block_size, opt.block_size, opt.stagger_scratch),
-          ptrs(arena.pointers()) {}
+          ptrs(arena.pointers()) {
+      if (lp) lowered_state = std::make_unique<LoweredProgram::State>(*lp);
+    }
   };
 
   void run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
-                 size_t end, uint8_t* const* scratch) const;
+                 size_t end, Scratch& scratch) const;
   std::unique_ptr<Scratch> acquire_scratch() const;
   void release_scratch(std::unique_ptr<Scratch> s) const;
 
   ExecProgram prog_;
   ExecOptions opt_;
   kernel::XorManyFn kernel_;
+  ExecBackend backend_ = ExecBackend::Interp;
+  kernel::Isa isa_ = kernel::Isa::Scalar;
+  std::unique_ptr<const LoweredProgram> lowered_;
   std::vector<std::unique_ptr<Scratch>> worker_scratch_;  // threads > 1 path
-  mutable std::mutex scratch_mu_;                          // guards the freelist
+  mutable std::mutex scratch_mu_;  // guards the freelist + counters below
   mutable std::vector<std::unique_ptr<Scratch>> free_scratch_;
+  mutable size_t scratch_in_use_ = 0;
+  mutable size_t scratch_high_water_ = 0;
+  mutable size_t scratch_allocated_ = 0;
+  mutable size_t scratch_dropped_ = 0;
 };
 
 }  // namespace xorec::runtime

@@ -51,15 +51,98 @@ std::string kernel_sweep_name(
 
 INSTANTIATE_TEST_SUITE_P(
     AllIsas, KernelSweep,
-    ::testing::Combine(::testing::Values(k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2),
+    ::testing::Combine(::testing::Values(k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2,
+                                         k::Isa::Avx512, k::Isa::Neon),
                        ::testing::Values<size_t>(1, 2, 3, 4, 5, 7, 8, 9, 13, 24),
-                       ::testing::Values<size_t>(1, 7, 31, 32, 33, 63, 64, 65, 255, 1024,
-                                                 4096, 10000)),
+                       ::testing::Values<size_t>(1, 7, 31, 32, 33, 63, 64, 65, 127, 128,
+                                                 129, 255, 1024, 4096, 10000)),
     kernel_sweep_name);
+
+// ---- KernelTable: fixed-arity, accumulate and non-temporal forms -----------
+
+class KernelTableSweep : public ::testing::TestWithParam<std::tuple<k::Isa, size_t, size_t>> {
+};
+
+TEST_P(KernelTableSweep, FixedAccumNtMatchOracle) {
+  const auto [isa, arity, len] = GetParam();
+  const k::KernelTable& kt = k::kernel_table(isa);
+  std::vector<std::vector<uint8_t>> srcs;
+  std::vector<const uint8_t*> ptrs;
+  for (size_t j = 0; j < arity; ++j) {
+    srcs.push_back(random_bytes(len, static_cast<uint32_t>(2000 + j)));
+    ptrs.push_back(srcs.back().data());
+  }
+  const auto expected = oracle(srcs, len);
+
+  ASSERT_NE(kt.fixed[arity], nullptr) << k::isa_name(kt.isa);
+  std::vector<uint8_t> dst(len, 0xEE);
+  kt.fixed[arity](dst.data(), ptrs.data(), len);
+  EXPECT_EQ(dst, expected) << "fixed[" << arity << "] " << k::isa_name(kt.isa);
+
+  // accum[arity]: dst ^= srcs...  (dst pre-seeded, folded into the oracle).
+  ASSERT_NE(kt.accum[arity], nullptr) << k::isa_name(kt.isa);
+  auto acc = random_bytes(len, 999);
+  std::vector<uint8_t> acc_expected(len);
+  for (size_t i = 0; i < len; ++i) acc_expected[i] = static_cast<uint8_t>(acc[i] ^ expected[i]);
+  kt.accum[arity](acc.data(), ptrs.data(), len);
+  EXPECT_EQ(acc, acc_expected) << "accum[" << arity << "] " << k::isa_name(kt.isa);
+
+  // many_nt: same contract as many minus dst/src aliasing (none here).
+  ASSERT_NE(kt.many_nt, nullptr) << k::isa_name(kt.isa);
+  std::vector<uint8_t> nt(len, 0xEE);
+  kt.many_nt(nt.data(), ptrs.data(), arity, len);
+  EXPECT_EQ(nt, expected) << "many_nt " << k::isa_name(kt.isa);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, KernelTableSweep,
+    ::testing::Combine(::testing::Values(k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2,
+                                         k::Isa::Avx512, k::Isa::Neon, k::Isa::Auto),
+                       ::testing::Values<size_t>(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values<size_t>(1, 31, 63, 64, 65, 96, 127, 129, 1000,
+                                                 4096)),
+    kernel_sweep_name);
+
+TEST(KernelTable, NtStoresHandleMisalignedDst) {
+  // The streaming-store kernels align dst internally; every misalignment of
+  // a destination inside a larger buffer must still match the oracle.
+  const size_t len = 4096;
+  for (k::Isa isa : {k::Isa::Avx2, k::Isa::Avx512, k::Isa::Auto}) {
+    const k::KernelTable& kt = k::kernel_table(isa);
+    const auto a = random_bytes(len + 128, 50);
+    const auto b = random_bytes(len + 128, 51);
+    for (size_t shift : {0, 1, 17, 31, 32, 33, 63}) {
+      const uint8_t* srcs[2] = {a.data(), b.data()};
+      std::vector<uint8_t> dst(len + 128, 0);
+      kt.many_nt(dst.data() + shift, srcs, 2, len);
+      for (size_t i = 0; i < len; ++i)
+        ASSERT_EQ(dst[shift + i], static_cast<uint8_t>(a[i] ^ b[i]))
+            << k::isa_name(kt.isa) << " shift " << shift << " i " << i;
+    }
+  }
+}
+
+TEST(KernelTable, DegradesToHostSupport) {
+  // Requesting a family the host lacks lands on a runnable fallback, and
+  // the table says which one it picked.
+  for (k::Isa isa : {k::Isa::Avx2, k::Isa::Avx512, k::Isa::Neon, k::Isa::Auto}) {
+    const k::KernelTable& kt = k::kernel_table(isa);
+    EXPECT_NE(kt.many, nullptr);
+    switch (kt.isa) {
+      case k::Isa::Avx2: EXPECT_TRUE(k::cpu_has_avx2()); break;
+      case k::Isa::Avx512: EXPECT_TRUE(k::cpu_has_avx512()); break;
+      case k::Isa::Neon: EXPECT_TRUE(k::cpu_has_neon()); break;
+      case k::Isa::Scalar:
+      case k::Isa::Word64: break;
+      case k::Isa::Auto: FAIL() << "kernel_table returned unresolved Auto";
+    }
+  }
+}
 
 TEST(Kernel, InPlaceAccumulationIsSafe) {
   // dst aliases srcs[0] exactly: v ^= x ^ y.
-  for (k::Isa isa : {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2}) {
+  for (k::Isa isa :
+       {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2, k::Isa::Avx512, k::Isa::Neon}) {
     auto a = random_bytes(777, 1);
     const auto a_copy = a;
     const auto b = random_bytes(777, 2);
@@ -72,7 +155,8 @@ TEST(Kernel, InPlaceAccumulationIsSafe) {
 }
 
 TEST(Kernel, InPlaceAliasingLastSource) {
-  for (k::Isa isa : {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2}) {
+  for (k::Isa isa :
+       {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2, k::Isa::Avx512, k::Isa::Neon}) {
     const auto a = random_bytes(321, 4);
     auto b = random_bytes(321, 5);
     const auto b_copy = b;
@@ -87,7 +171,8 @@ TEST(Kernel, MisalignedPointers) {
   // Strips in real fragments land at arbitrary offsets; all ISAs use
   // unaligned loads.
   const size_t len = 512;
-  for (k::Isa isa : {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2}) {
+  for (k::Isa isa :
+       {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2, k::Isa::Avx512, k::Isa::Neon}) {
     for (size_t shift : {1, 3, 7, 17}) {
       auto a = random_bytes(len + 64, 10);
       auto b = random_bytes(len + 64, 11);
@@ -116,8 +201,21 @@ TEST(Kernel, ZeroLengthIsNoop) {
 }
 
 TEST(Kernel, ResolveNeverReturnsNull) {
-  for (k::Isa isa : {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2, k::Isa::Auto})
+  for (k::Isa isa : {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2, k::Isa::Avx512,
+                     k::Isa::Neon, k::Isa::Auto})
     EXPECT_NE(k::resolve(isa), nullptr);
+}
+
+TEST(Kernel, IsaNamesRoundTrip) {
+  for (k::Isa isa : {k::Isa::Scalar, k::Isa::Word64, k::Isa::Avx2, k::Isa::Avx512,
+                     k::Isa::Neon, k::Isa::Auto}) {
+    const auto parsed = k::parse_isa(k::isa_name(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(k::parse_isa("sse2").has_value());
+  EXPECT_FALSE(k::parse_isa("").has_value());
+  EXPECT_FALSE(k::parse_isa(nullptr).has_value());
 }
 
 TEST(Kernel, SelfXorEvenTimesIsZero) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <thread>
 
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/executor.hpp"
@@ -89,14 +90,17 @@ TEST_P(ExecutorSweep, FullPipelineMatchesOracle) {
   const auto [block, isa, threads, stagger] = GetParam();
   const slp::Program base = random_flat(40, 16, 99);
   const slp::Program sched = slp::schedule_dfs(slp::fuse(slp::xor_repair_compress(base)));
-  runtime::ExecOptions opt;
-  opt.block_size = block;
-  opt.isa = isa;
-  opt.threads = threads;
-  opt.stagger_scratch = stagger;
-  run_and_check(sched, opt, 10240, 7);
-  run_and_check(sched, opt, 10000, 8);  // ragged tail (not a block multiple)
-  run_and_check(sched, opt, 100, 9);    // shorter than one block
+  for (auto backend : {runtime::ExecBackend::Interp, runtime::ExecBackend::Lowered}) {
+    runtime::ExecOptions opt;
+    opt.block_size = block;
+    opt.isa = isa;
+    opt.threads = threads;
+    opt.stagger_scratch = stagger;
+    opt.backend = backend;
+    run_and_check(sched, opt, 10240, 7);
+    run_and_check(sched, opt, 10000, 8);  // ragged tail (not a block multiple)
+    run_and_check(sched, opt, 100, 9);    // shorter than one block
+  }
 }
 
 std::string executor_sweep_name(
@@ -166,6 +170,110 @@ TEST(StripArena, StripsDoNotOverlap) {
   for (size_t i = 0; i < 10; ++i)
     for (size_t b = 0; b < 1000; ++b)
       ASSERT_EQ(arena.strip(i)[b], static_cast<uint8_t>(i + 1)) << i << ":" << b;
+}
+
+// ---- lowered backend -------------------------------------------------------
+
+TEST(LoweredProgram, ResolvesBackendAndIsa) {
+  runtime::Executor auto_exec(runtime::compile(make_peg()), {});
+  EXPECT_EQ(auto_exec.backend(), runtime::ExecBackend::Lowered);
+  EXPECT_NE(auto_exec.lowered(), nullptr);
+  EXPECT_NE(auto_exec.isa(), kernel::Isa::Auto);  // resolved to a real family
+
+  runtime::Executor interp(runtime::compile(make_peg()),
+                           {.backend = runtime::ExecBackend::Interp});
+  EXPECT_EQ(interp.backend(), runtime::ExecBackend::Interp);
+  EXPECT_EQ(interp.lowered(), nullptr);
+}
+
+TEST(LoweredProgram, FixedArityBindingAndOracle) {
+  // A fused program's instructions all land on fixed-arity or accumulate
+  // kernels (arity <= 8 after fusion of a small code) — the variadic
+  // fallback should be the exception, not the rule.
+  const slp::Program base = random_flat(24, 8, 42);
+  const slp::Program fu = slp::fuse(slp::xor_repair_compress(base));
+  runtime::Executor exec(runtime::compile(fu), {.block_size = 512});
+  ASSERT_NE(exec.lowered(), nullptr);
+  const auto& lp = *exec.lowered();
+  EXPECT_GT(lp.fixed_ops() + lp.accum_ops(), 0u);
+  EXPECT_LE(lp.fixed_ops() + lp.accum_ops() + lp.nt_ops(), lp.ops().size());
+  run_and_check(fu, {.block_size = 512}, 10000, 11);
+}
+
+TEST(LoweredProgram, InPlacePebbleAccumulatesViaFusedKernels) {
+  // P_reg updates registers in place (dst appears in its own sources); the
+  // lowering must fold those into accumulate kernels and stay correct.
+  runtime::Executor exec(runtime::compile(make_preg()), {.block_size = 256});
+  ASSERT_NE(exec.lowered(), nullptr);
+  run_and_check(make_preg(), {.block_size = 256}, 4096, 12);
+}
+
+TEST(LoweredProgram, NtThresholdGatesStreamingStores) {
+  const slp::Program base = random_flat(24, 8, 77);
+  const auto prog = runtime::compile(slp::fuse(slp::xor_repair_compress(base)));
+
+  runtime::ExecOptions small;  // default nt_threshold >> block: no NT ops
+  small.block_size = 2048;
+  runtime::Executor cold(prog, small);
+  ASSERT_NE(cold.lowered(), nullptr);
+  EXPECT_EQ(cold.lowered()->nt_ops(), 0u);
+
+  runtime::ExecOptions big;
+  big.block_size = 1 << 20;
+  big.nt_threshold = 1 << 20;
+  runtime::Executor hot(prog, big);
+  ASSERT_NE(hot.lowered(), nullptr);
+  if (kernel::kernel_table(kernel::Isa::Auto).isa == kernel::Isa::Avx2 ||
+      kernel::kernel_table(kernel::Isa::Auto).isa == kernel::Isa::Avx512) {
+    // Every final output write with no later reader streams.
+    EXPECT_GT(hot.lowered()->nt_ops(), 0u);
+  }
+  // Still byte-identical at a length spanning several huge blocks plus tail.
+  runtime::ExecOptions run_opt = big;
+  run_opt.block_size = 1 << 16;
+  run_opt.nt_threshold = 1 << 16;
+  run_and_check(slp::fuse(slp::xor_repair_compress(base)), run_opt, (1 << 17) + 333, 13);
+}
+
+TEST(Executor, ScratchFreelistStaysBounded) {
+  const slp::Program p = random_flat(16, 6, 5);
+  runtime::Executor exec(runtime::compile(p), {.block_size = 256});
+
+  const auto in = random_strips(16, 1024, 6);
+  std::vector<const uint8_t*> in_ptrs;
+  for (const auto& s : in) in_ptrs.push_back(s.data());
+  std::vector<std::vector<uint8_t>> out(p.outputs.size(), std::vector<uint8_t>(1024));
+  std::vector<uint8_t*> out_ptrs;
+  for (auto& s : out) out_ptrs.push_back(s.data());
+
+  // Sequential callers never grow anything: one arena, round-tripped.
+  for (int i = 0; i < 50; ++i) exec.run(in_ptrs.data(), out_ptrs.data(), 1024);
+  auto st = exec.scratch_stats();
+  EXPECT_EQ(st.high_water, 1u);
+  EXPECT_EQ(st.free, 1u);
+  EXPECT_EQ(st.allocated, 1u);
+  EXPECT_EQ(st.dropped, 0u);
+
+  // A concurrent burst may allocate up to burst-many arenas, but the
+  // freelist afterwards holds at most the high-water count — the rest are
+  // dropped, not pinned forever.
+  constexpr size_t kBurst = 8;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kBurst; ++t)
+    threads.emplace_back([&] {
+      std::vector<std::vector<uint8_t>> my_out(p.outputs.size(),
+                                               std::vector<uint8_t>(1024));
+      std::vector<uint8_t*> my_ptrs;
+      for (auto& s : my_out) my_ptrs.push_back(s.data());
+      for (int i = 0; i < 20; ++i) exec.run(in_ptrs.data(), my_ptrs.data(), 1024);
+    });
+  for (auto& t : threads) t.join();
+
+  st = exec.scratch_stats();
+  EXPECT_GE(st.high_water, 1u);
+  EXPECT_LE(st.high_water, kBurst);
+  EXPECT_LE(st.free, st.high_water);
+  EXPECT_EQ(st.free, st.allocated - st.dropped);  // nothing in use, none leaked
 }
 
 TEST(Executor, RejectsZeroBlockSize) {
