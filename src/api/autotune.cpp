@@ -9,61 +9,82 @@
 #include "ec/rs_codec.hpp"
 #include "runtime/exec_program.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/jit_cache.hpp"
 #include "slp/pipeline.hpp"
 
 namespace xorec {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// The shared calibration workload: the fully optimized RS(8,3) encode SLP
+/// over 8 x 256 KiB fragments (the working set dwarfs L2, so the blocking /
+/// backend choice is what the measurement sees). The compiled program is
+/// independent of both knobs, so it compiles ONCE per workload instance and
+/// the sweeps time cheap Executor rebuilds.
+struct CalibrationWorkload {
+  runtime::ExecProgram prog;
+  std::vector<std::vector<uint8_t>> data_bufs, parity_bufs;
+  std::vector<const uint8_t*> in;
+  std::vector<uint8_t*> out_mut;
+  std::vector<const uint8_t*> strip_in;
+  std::vector<uint8_t*> strip_out;
+  size_t strip_len = 32u << 10;
+
+  CalibrationWorkload() {
+    constexpr size_t n = 8, p = 3, w = ec::RsCodec::kStripsPerFragment;
+    const gf::Matrix code =
+        ec::make_code_matrix(ec::MatrixFamily::IsalVandermonde, n, p);
+    std::vector<size_t> parity_rows(p);
+    std::iota(parity_rows.begin(), parity_rows.end(), n);
+    const slp::PipelineResult pipe = slp::optimize(
+        bitmatrix::expand(code.select_rows(parity_rows)), {}, "autotune");
+    prog = runtime::compile(pipe.final_form() == slp::ExecForm::Binary
+                                ? pipe.final_program().binary_expanded()
+                                : pipe.final_program());
+
+    const size_t frag_len = w * strip_len;
+    data_bufs.assign(n, std::vector<uint8_t>(frag_len));
+    parity_bufs.assign(p, std::vector<uint8_t>(frag_len));
+    uint64_t fill = 0x9e3779b97f4a7c15ull;
+    for (auto& f : data_bufs)
+      for (auto& b : f)
+        b = static_cast<uint8_t>(fill = fill * 6364136223846793005ull + 1);
+    for (const auto& f : data_bufs) in.push_back(f.data());
+    for (auto& f : parity_bufs) out_mut.push_back(f.data());
+    strip_in = ec::BitmatrixCodecCore::strip_pointers(in.data(), n, w, frag_len);
+    strip_out =
+        ec::BitmatrixCodecCore::strip_pointers(out_mut.data(), p, w, frag_len);
+  }
+
+  /// Seconds per run() of `exec`, repeated until the reading is stable
+  /// (~10 ms per candidate).
+  double time_executor(const runtime::Executor& exec) const {
+    exec.run(strip_in.data(), strip_out.data(), strip_len);  // warm caches
+    size_t reps = 2;
+    double elapsed = 0;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (size_t r = 0; r < reps; ++r)
+        exec.run(strip_in.data(), strip_out.data(), strip_len);
+      elapsed = std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+      if (elapsed * reps > 0.01) break;
+      reps *= 2;
+    }
+    return elapsed;
+  }
+};
+
 size_t measure_auto_block() {
-  // One representative workload: the fully optimized RS(8,3) encode SLP.
-  // The compiled program is block-size independent (B only shapes the
-  // Executor), so the sweep compiles ONCE and times cheap Executor rebuilds.
-  constexpr size_t n = 8, p = 3, w = ec::RsCodec::kStripsPerFragment;
-  const gf::Matrix code = ec::make_code_matrix(ec::MatrixFamily::IsalVandermonde, n, p);
-  std::vector<size_t> parity_rows(p);
-  std::iota(parity_rows.begin(), parity_rows.end(), n);
-  const slp::PipelineResult pipe =
-      slp::optimize(bitmatrix::expand(code.select_rows(parity_rows)), {}, "block-auto");
-  const runtime::ExecProgram prog =
-      runtime::compile(pipe.final_form() == slp::ExecForm::Binary
-                           ? pipe.final_program().binary_expanded()
-                           : pipe.final_program());
-
-  // 8 x 256 KiB fragments: the working set dwarfs L2, so the blocking
-  // choice is what the measurement sees.
-  const size_t strip_len = 32u << 10;
-  const size_t frag_len = w * strip_len;
-  std::vector<std::vector<uint8_t>> data_bufs(n, std::vector<uint8_t>(frag_len));
-  std::vector<std::vector<uint8_t>> parity_bufs(p, std::vector<uint8_t>(frag_len));
-  uint64_t fill = 0x9e3779b97f4a7c15ull;
-  for (auto& f : data_bufs)
-    for (auto& b : f) b = static_cast<uint8_t>(fill = fill * 6364136223846793005ull + 1);
-  std::vector<const uint8_t*> data;
-  std::vector<uint8_t*> parity;
-  for (const auto& f : data_bufs) data.push_back(f.data());
-  for (auto& f : parity_bufs) parity.push_back(f.data());
-  const auto in = ec::BitmatrixCodecCore::strip_pointers(data.data(), n, w, frag_len);
-  const auto out = ec::BitmatrixCodecCore::strip_pointers(parity.data(), p, w, frag_len);
-
-  using Clock = std::chrono::steady_clock;
+  const CalibrationWorkload w;
   size_t best = 2048;  // overwritten by the first candidate below
   double best_time = 1e300;
   for (size_t block : {512u, 1024u, 2048u, 4096u, 8192u}) {
     runtime::ExecOptions eo;
     eo.block_size = block;
-    const runtime::Executor exec(prog, eo);
-    exec.run(in.data(), out.data(), strip_len);  // warm caches + scratch
-    // Run enough repetitions for a stable reading (~10 ms per candidate).
-    size_t reps = 2;
-    double elapsed = 0;
-    for (;;) {
-      const auto t0 = Clock::now();
-      for (size_t r = 0; r < reps; ++r) exec.run(in.data(), out.data(), strip_len);
-      elapsed = std::chrono::duration<double>(Clock::now() - t0).count() / reps;
-      if (elapsed * reps > 0.01) break;
-      reps *= 2;
-    }
+    const runtime::Executor exec(w.prog, eo);
+    const double elapsed = w.time_executor(exec);
     // A candidate must beat the incumbent by 5% to displace it: filters
     // timing noise and keeps the default on machines where B barely matters.
     if (elapsed < best_time * 0.95) {
@@ -76,10 +97,42 @@ size_t measure_auto_block() {
   return best;
 }
 
+runtime::ExecBackend measure_auto_exec() {
+  const CalibrationWorkload w;
+  auto time_backend = [&](runtime::ExecBackend b, runtime::ExecBackend& actual) {
+    runtime::ExecOptions eo;
+    eo.backend = b;
+    const runtime::Executor exec(w.prog, eo);
+    actual = exec.backend();  // jit may have degraded to lowered
+    return w.time_executor(exec);
+  };
+
+  runtime::ExecBackend actual;
+  runtime::ExecBackend best = runtime::ExecBackend::Lowered;
+  double best_time = time_backend(runtime::ExecBackend::Lowered, actual);
+  // Challengers must beat the incumbent lowered backend by 5%; jit only
+  // counts when the executor really ran the artifact (no silent fallback).
+  if (runtime::JitCache::available()) {
+    const double t = time_backend(runtime::ExecBackend::Jit, actual);
+    if (actual == runtime::ExecBackend::Jit && t < best_time * 0.95) {
+      best_time = t;
+      best = runtime::ExecBackend::Jit;
+    }
+  }
+  const double t = time_backend(runtime::ExecBackend::Interp, actual);
+  if (t < best_time * 0.95) best = runtime::ExecBackend::Interp;
+  return best;
+}
+
 }  // namespace
 
 size_t auto_block_size() {
   static const size_t measured = measure_auto_block();
+  return measured;
+}
+
+runtime::ExecBackend auto_exec_backend() {
+  static const runtime::ExecBackend measured = measure_auto_exec();
   return measured;
 }
 

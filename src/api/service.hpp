@@ -47,6 +47,7 @@
 
 #include "api/batch.hpp"
 #include "api/codec.hpp"
+#include "runtime/jit_cache.hpp"
 
 namespace xorec::ec {
 class PlanCache;
@@ -113,6 +114,12 @@ struct ServiceStats {
   /// too; inject Options::plan_cache for an exact per-service window.
   size_t warm_hits = 0, warm_misses = 0;
   double uptime_s = 0;
+  /// Process-wide jit artifact-cache counters (runtime/jit_cache.hpp):
+  /// compiles vs warm artifact loads vs lowered fallbacks. A warmed fleet
+  /// member should show compiles == 0 — every exec=jit pool activated by
+  /// dlopen'ing a shared artifact. Zero-valued for services with no jit
+  /// pools.
+  runtime::JitCacheStats jit;
 
   double warm_hit_rate() const {
     const size_t total = warm_hits + warm_misses;

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -54,6 +55,16 @@ struct NetServer::Impl {
     std::vector<uint8_t> body;
   };
 
+  /// One queued response: up to two gather segments. Small frames (errors,
+  /// pongs) travel whole in `head`; codec responses keep the 56-byte header
+  /// and the strip payload in the separate buffers they were produced in,
+  /// and writev stitches them on the wire.
+  struct Outbound {
+    std::vector<uint8_t> head;
+    std::vector<uint8_t> body;  // may be empty
+    size_t size() const { return head.size() + body.size(); }
+  };
+
   struct Conn {
     uint64_t id = 0;
     int fd = -1;
@@ -65,16 +76,17 @@ struct NetServer::Impl {
     std::vector<uint8_t> body;
     size_t body_got = 0;
     // write side: queued response frames, front partially written
-    std::deque<std::vector<uint8_t>> outbox;
-    size_t out_off = 0;
+    std::deque<Outbound> outbox;
+    size_t out_off = 0;  // bytes of the FRONT outbound already written
     size_t inflight = 0;       // submitted-but-unanswered requests
     bool closing = false;      // drain outbox, then close (framing lost)
     std::optional<Deferred> deferred;  // parsed request parked on backpressure
   };
 
   /// One in-flight TCP request: owns the request body (the codec reads the
-  /// wire bytes in place) and the preallocated response frame (the codec
-  /// writes into the bytes that will hit the socket).
+  /// wire bytes in place) and the preallocated response BODY (the codec
+  /// writes parity/rebuilt strips into the bytes that will hit the socket —
+  /// the header is encoded separately and writev gathers the two).
   struct Req {
     uint64_t conn_id = 0;
     std::vector<uint8_t> body;
@@ -82,7 +94,7 @@ struct NetServer::Impl {
     std::vector<uint8_t*> out_ptrs;
     std::vector<uint32_t> avail_ids, erased_ids;
     FrameHeader rh;  // response header; body_crc finalized at completion
-    std::vector<uint8_t> response;
+    std::vector<uint8_t> resp_body;
     std::optional<ServiceHandle> handle;
   };
 
@@ -104,7 +116,8 @@ struct NetServer::Impl {
 
   struct Finished {
     uint64_t conn_id = 0;
-    std::vector<uint8_t> bytes;
+    std::vector<uint8_t> head;
+    std::vector<uint8_t> body;  // empty for error/pong frames
     bool is_error = false;
   };
 
@@ -141,6 +154,8 @@ struct NetServer::Impl {
   std::atomic<size_t> connections_accepted{0}, open_conns{0};
   std::atomic<size_t> requests{0}, responses{0}, errors{0}, backpressure_stalls{0};
   std::atomic<uint64_t> tcp_bytes_in{0}, tcp_bytes_out{0};
+  std::atomic<size_t> writev_calls{0}, writev_segments{0};
+  std::atomic<uint64_t> gather_bytes_saved{0};
   std::atomic<size_t> udp_groups{0}, udp_degraded{0}, udp_unrecoverable{0};
 
   Impl(CodecService& svc, ServerOptions o) : service(svc), opt(std::move(o)) {
@@ -254,10 +269,11 @@ struct NetServer::Impl {
     }
   }
 
-  void push_finished(uint64_t conn_id, std::vector<uint8_t> bytes, bool is_error) {
+  void push_finished(uint64_t conn_id, std::vector<uint8_t> head, std::vector<uint8_t> body,
+                     bool is_error) {
     {
       std::lock_guard<std::mutex> lk(fmu);
-      finished.push_back(Finished{conn_id, std::move(bytes), is_error});
+      finished.push_back(Finished{conn_id, std::move(head), std::move(body), is_error});
     }
     wake();
   }
@@ -329,7 +345,7 @@ struct NetServer::Impl {
       if (it == by_id.end()) continue;  // connection already gone
       Conn& c = *it->second;
       if (c.inflight) --c.inflight;
-      queue_frame(c, std::move(f.bytes), f.is_error);
+      queue_segments(c, std::move(f.head), std::move(f.body), f.is_error);
     }
   }
 
@@ -381,8 +397,16 @@ struct NetServer::Impl {
   }
 
   void queue_frame(Conn& c, std::vector<uint8_t> bytes, bool is_error) {
+    queue_segments(c, std::move(bytes), {}, is_error);
+  }
+
+  void queue_segments(Conn& c, std::vector<uint8_t> head, std::vector<uint8_t> body,
+                      bool is_error) {
     (is_error ? errors : responses).fetch_add(1);
-    c.outbox.push_back(std::move(bytes));
+    // Every body byte leaves the process from the buffer the codec wrote it
+    // in — the copy a contiguous header+body frame would have paid.
+    gather_bytes_saved.fetch_add(body.size());
+    c.outbox.push_back(Outbound{std::move(head), std::move(body)});
   }
 
   // ---- TCP read / write ----------------------------------------------------
@@ -436,21 +460,45 @@ struct NetServer::Impl {
     return true;
   }
 
+  /// Gather every queued segment (bounded by kMaxIov) into one writev:
+  /// header and strip payload leave from their own buffers, and several
+  /// queued frames batch into a single syscall. `out_off` tracks how far
+  /// into the FRONT outbound the wire has advanced; partial writes resume
+  /// mid-segment on the next pass.
+  static constexpr int kMaxIov = 16;
+
   bool handle_write(Conn& c) {
     while (!c.outbox.empty()) {
-      std::vector<uint8_t>& front = c.outbox.front();
-      const ssize_t n =
-          ::write(c.fd, front.data() + c.out_off, front.size() - c.out_off);
+      iovec iov[kMaxIov];
+      int n_iov = 0;
+      size_t skip = c.out_off;
+      for (auto it = c.outbox.begin(); it != c.outbox.end() && n_iov < kMaxIov; ++it) {
+        for (std::vector<uint8_t>* seg : {&it->head, &it->body}) {
+          if (seg->empty()) continue;
+          if (skip >= seg->size()) {
+            skip -= seg->size();
+            continue;
+          }
+          if (n_iov == kMaxIov) break;
+          iov[n_iov].iov_base = seg->data() + skip;
+          iov[n_iov].iov_len = seg->size() - skip;
+          skip = 0;
+          ++n_iov;
+        }
+      }
+      const ssize_t n = ::writev(c.fd, iov, n_iov);
       if (n < 0) return true;  // EAGAIN
       if (n == 0) {
         close_conn(c.fd);
         return false;
       }
+      writev_calls.fetch_add(1);
+      writev_segments.fetch_add(static_cast<size_t>(n_iov));
       tcp_bytes_out.fetch_add(static_cast<uint64_t>(n));
       c.out_off += static_cast<size_t>(n);
-      if (c.out_off == front.size()) {
+      while (!c.outbox.empty() && c.out_off >= c.outbox.front().size()) {
+        c.out_off -= c.outbox.front().size();
         c.outbox.pop_front();
-        c.out_off = 0;
       }
     }
     return true;
@@ -537,9 +585,9 @@ struct NetServer::Impl {
       req->rh.frag_len = h.frag_len;
       req->rh.present_bitmap = low_bits(m) << k;
       req->rh.payload_count = static_cast<uint16_t>(m);
-      req->response.resize(wire::kFrameHeaderSize + req->rh.body_size());
+      req->resp_body.resize(req->rh.body_size());
       for (const auto& p : view.payloads) req->in_ptrs.push_back(p.data());
-      uint8_t* rb = req->response.data() + wire::kFrameHeaderSize;
+      uint8_t* rb = req->resp_body.data();
       for (uint32_t i = 0; i < m; ++i)
         req->out_ptrs.push_back(rb + static_cast<size_t>(i) * h.frag_len);
       fut = handle->encode(req->in_ptrs.data(), req->out_ptrs.data(), h.frag_len);
@@ -558,9 +606,9 @@ struct NetServer::Impl {
       req->rh.frag_len = h.frag_len;
       req->rh.present_bitmap = h.erased_bitmap;
       req->rh.payload_count = static_cast<uint16_t>(req->erased_ids.size());
-      req->response.resize(wire::kFrameHeaderSize + req->rh.body_size());
+      req->resp_body.resize(req->rh.body_size());
       for (const auto& p : view.payloads) req->in_ptrs.push_back(p.data());
-      uint8_t* rb = req->response.data() + wire::kFrameHeaderSize;
+      uint8_t* rb = req->resp_body.data();
       for (size_t i = 0; i < req->erased_ids.size(); ++i)
         req->out_ptrs.push_back(rb + i * h.frag_len);
       // Plan-less path: the plan lookup is memoized inside the job and an
@@ -573,17 +621,17 @@ struct NetServer::Impl {
     ++c.inflight;
     const uint64_t bytes_in = wire::kFrameHeaderSize + req->body.size();
     push_completion(std::move(fut), [this, req, bytes_in](bool ok, const std::string& emsg) {
-      std::vector<uint8_t> out;
       if (ok) {
-        uint8_t* rb = req->response.data() + wire::kFrameHeaderSize;
-        req->rh.body_crc = crc32(rb, req->rh.body_size());
-        encode_frame_header(req->rh, req->response.data());
-        out = std::move(req->response);
-        req->handle->note_net_request(bytes_in, out.size());
+        // The body stays where the codec wrote it; only the 56-byte header
+        // is materialized here. writev joins the two on the wire.
+        req->rh.body_crc = crc32(req->resp_body.data(), req->rh.body_size());
+        std::vector<uint8_t> head(wire::kFrameHeaderSize);
+        encode_frame_header(req->rh, head.data());
+        req->handle->note_net_request(bytes_in, head.size() + req->resp_body.size());
+        push_finished(req->conn_id, std::move(head), std::move(req->resp_body), false);
       } else {
-        out = error_frame(req->rh.request_id, emsg);
+        push_finished(req->conn_id, error_frame(req->rh.request_id, emsg), {}, true);
       }
-      push_finished(req->conn_id, std::move(out), !ok);
     });
   }
 
@@ -703,6 +751,9 @@ NetServerStats NetServer::stats() const {
   s.backpressure_stalls = impl_->backpressure_stalls.load();
   s.tcp_bytes_in = impl_->tcp_bytes_in.load();
   s.tcp_bytes_out = impl_->tcp_bytes_out.load();
+  s.writev_calls = impl_->writev_calls.load();
+  s.writev_segments = impl_->writev_segments.load();
+  s.gather_bytes_saved = impl_->gather_bytes_saved.load();
   s.udp_groups = impl_->udp_groups.load();
   s.udp_degraded_reads = impl_->udp_degraded.load();
   s.udp_unrecoverable = impl_->udp_unrecoverable.load();

@@ -16,20 +16,48 @@
 // The emitted code is plain C99 (byte loops with a word-64 fast path); it
 // relies on the compiler's vectorizer rather than intrinsics so it builds
 // anywhere.
+//
+// Two emission modes:
+//   default (block_size == 0) — the historical AOT form: block_size is a
+//     runtime parameter clamped to max_block_size, scratch is stack storage.
+//   baked (block_size != 0) — the exec=jit form (runtime/jit_cache.hpp):
+//     the block size is a compile-time constant, the runtime parameter is
+//     ignored, scratch falls back to one heap arena when the stack footprint
+//     would be unreasonable, and — when block_size >= nt_threshold — output
+//     strips no later instruction reads are written through non-temporal
+//     streaming stores (AVX2 intrinsics under __AVX2__, plain code
+//     elsewhere), mirroring the lowered backend's dead-store rule.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "runtime/exec_program.hpp"
 
 namespace xorec::runtime {
 
+/// Bumped whenever the emission changes shape. The version is stamped into
+/// the generated banner, so on-disk jit artifacts (content-addressed over
+/// the source text) can never be served across a codegen change.
+inline constexpr int kCodegenVersion = 3;
+
 struct CodegenOptions {
   std::string function_name = "xorec_coded_run";
   /// Scratch pebbles are stack buffers of this many bytes; must be >= the
   /// block_size passed at runtime. 4096 covers every paper configuration.
+  /// Ignored in baked mode (scratch is sized by the baked block).
   size_t max_block_size = 4096;
+  /// Nonzero: bake this block size as a compile-time constant (the jit
+  /// path); the function's block_size parameter is accepted and ignored.
+  size_t block_size = 0;
+  /// Baked mode only: with block_size >= nt_threshold, dead-store output
+  /// instructions use streaming stores. 0 disables.
+  size_t nt_threshold = 0;
 };
+
+/// Baked-mode scratch above this total lives in one malloc'd arena instead
+/// of the stack (large NT-class blocks would otherwise overflow it).
+inline constexpr size_t kCodegenStackScratchMax = 256 * 1024;
 
 /// Emit the C source for one execution program.
 std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt = {});

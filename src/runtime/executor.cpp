@@ -1,19 +1,66 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
+#include "runtime/codegen_c.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace xorec::runtime {
+
+namespace {
+
+// XOREC_FORCE_EXEC override state (mirror of kernel/dispatch.cpp's
+// ForceState for XOREC_FORCE_ISA): parsed lazily exactly once, replaceable
+// by the test hook.
+struct ExecForceState {
+  bool parsed = false;
+  std::optional<ExecBackend> value;
+};
+
+ExecForceState& exec_force_state() {
+  static ExecForceState s;
+  return s;
+}
+
+}  // namespace
 
 const char* exec_backend_name(ExecBackend b) {
   switch (b) {
     case ExecBackend::Interp: return "interp";
     case ExecBackend::Lowered: return "lowered";
     case ExecBackend::Auto: return "auto";
+    case ExecBackend::Jit: return "jit";
   }
   return "?";
+}
+
+std::optional<ExecBackend> parse_exec_backend(const char* name) {
+  if (!name) return std::nullopt;
+  const std::string_view v = name;
+  if (v == "interp") return ExecBackend::Interp;
+  if (v == "lowered") return ExecBackend::Lowered;
+  if (v == "auto") return ExecBackend::Auto;
+  if (v == "jit") return ExecBackend::Jit;
+  return std::nullopt;
+}
+
+std::optional<ExecBackend> forced_exec_backend() {
+  ExecForceState& s = exec_force_state();
+  if (!s.parsed) {
+    // Unknown names silently mean "no override", like XOREC_FORCE_ISA.
+    s.value = parse_exec_backend(std::getenv("XOREC_FORCE_EXEC"));
+    s.parsed = true;
+  }
+  return s.value;
+}
+
+void set_forced_exec_backend_for_testing(std::optional<ExecBackend> b) {
+  ExecForceState& s = exec_force_state();
+  s.parsed = true;
+  s.value = b;
 }
 
 Executor::Executor(ExecProgram program, ExecOptions opt)
@@ -24,19 +71,43 @@ Executor::Executor(ExecProgram program, ExecOptions opt)
   const kernel::KernelTable& kt = kernel::kernel_table(opt_.isa);
   kernel_ = kt.many;
   isa_ = kt.isa;
-  backend_ = opt_.backend == ExecBackend::Auto ? ExecBackend::Lowered : opt_.backend;
+  backend_ = opt_.backend;
+  if (auto f = forced_exec_backend()) backend_ = *f;
+  if (backend_ == ExecBackend::Auto) backend_ = ExecBackend::Lowered;
+
+  if (backend_ == ExecBackend::Jit && !prog_.ops.empty()) {
+    // Print the program with every decision baked (block size, NT stores)
+    // and fetch the native artifact through the cross-process cache: memo
+    // hit, warm dlopen, or one compile for the whole fleet.
+    CodegenOptions co;
+    co.function_name = "xorec_jit_run";
+    co.block_size = opt_.block_size;
+    co.nt_threshold = opt_.nt_threshold;
+    jit_ = JitCache::instance().get_or_compile(generate_c(prog_, co), isa_,
+                                               co.function_name);
+    if (jit_) {
+      jit_fn_ = jit_->fn();
+    } else {
+      // No compiler, disabled, or the compile failed: degrade to lowered.
+      JitCache::instance().note_fallback();
+      backend_ = ExecBackend::Lowered;
+    }
+  }
   if (backend_ == ExecBackend::Lowered)
     lowered_ = std::make_unique<const LoweredProgram>(prog_, kt, opt_.block_size,
                                                       opt_.nt_threshold);
 
+  const bool jit_active = backend_ == ExecBackend::Jit;
   if (opt_.threads > 1) {
     worker_scratch_.reserve(opt_.threads);
     for (size_t w = 0; w < opt_.threads; ++w)
-      worker_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_, lowered_.get()));
+      worker_scratch_.push_back(
+          std::make_unique<Scratch>(prog_, opt_, lowered_.get(), jit_active));
   } else {
     // Pre-warm one freelist entry so the common single-caller case never
     // allocates inside run().
-    free_scratch_.push_back(std::make_unique<Scratch>(prog_, opt_, lowered_.get()));
+    free_scratch_.push_back(
+        std::make_unique<Scratch>(prog_, opt_, lowered_.get(), jit_active));
     scratch_allocated_ = 1;
   }
 }
@@ -53,7 +124,8 @@ std::unique_ptr<Executor::Scratch> Executor::acquire_scratch() const {
     }
     ++scratch_allocated_;
   }
-  return std::make_unique<Scratch>(prog_, opt_, lowered_.get());
+  return std::make_unique<Scratch>(prog_, opt_, lowered_.get(),
+                                   backend_ == ExecBackend::Jit);
 }
 
 void Executor::release_scratch(std::unique_ptr<Scratch> s) const {
@@ -74,6 +146,17 @@ ScratchStats Executor::scratch_stats() const {
 
 void Executor::run_range(const uint8_t* const* inputs, uint8_t* const* outputs, size_t begin,
                          size_t end, Scratch& scratch) const {
+  if (jit_fn_) {
+    // One flat native call for the whole range: the artifact bakes the block
+    // loop, scratch and NT decisions, so only the strip bases shift.
+    // (prefetch_next_block has no hook here — the compiled loop body is
+    // opaque to us.)
+    for (uint32_t i = 0; i < prog_.num_inputs; ++i) scratch.jit_in[i] = inputs[i] + begin;
+    for (uint32_t i = 0; i < prog_.num_outputs; ++i)
+      scratch.jit_out[i] = outputs[i] + begin;
+    jit_fn_(scratch.jit_in.data(), scratch.jit_out.data(), end - begin, opt_.block_size);
+    return;
+  }
   if (lowered_) {
     lowered_->run_range(*scratch.lowered_state, inputs, outputs, scratch.ptrs.data(), begin,
                         end, opt_.block_size, opt_.prefetch_next_block);

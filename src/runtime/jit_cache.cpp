@@ -1,0 +1,323 @@
+#include "runtime/jit_cache.hpp"
+
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace xorec::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t elapsed_ns(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t fnv_bytes(uint64_t h, const char* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Compile flags matching one kernel ISA family, so the generated source's
+/// `#if defined(__AVX2__)` NT-store bodies resolve the way the plan assumed.
+/// Scalar/Word64 share the portable flag set (and thus artifacts — the C
+/// source is identical; the compiler's vectorizer decides the rest).
+const char* isa_cflags(kernel::Isa isa) {
+  switch (isa) {
+    case kernel::Isa::Avx2: return "-mavx2";
+    case kernel::Isa::Avx512: return "-mavx512f -mavx512bw";
+    default: return "";
+  }
+}
+
+/// First line of `cmd --version`, empty when the command fails. Used both as
+/// the availability probe and the fingerprint's compiler identity.
+std::string version_line(const std::string& cmd) {
+  FILE* pipe = ::popen((cmd + " --version 2>/dev/null").c_str(), "r");
+  if (!pipe) return {};
+  char buf[256] = {0};
+  std::string line;
+  if (std::fgets(buf, sizeof(buf), pipe)) {
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+  }
+  // Drain so pclose sees a clean exit status.
+  while (std::fgets(buf, sizeof(buf), pipe)) {
+  }
+  if (::pclose(pipe) != 0) return {};
+  return line;
+}
+
+struct CompilerProbe {
+  std::string command;  // "" = no working compiler
+  std::string id;
+};
+
+/// XOREC_JIT_CC, else the first of cc/gcc/clang answering --version.
+/// Memoized: the toolchain does not change under a running process.
+const CompilerProbe& compiler_probe() {
+  static const CompilerProbe probe = [] {
+    CompilerProbe p;
+    const char* forced = std::getenv("XOREC_JIT_CC");
+    if (forced && *forced) {
+      p.id = version_line(forced);
+      if (!p.id.empty()) p.command = forced;
+      return p;
+    }
+    for (const char* cand : {"cc", "gcc", "clang"}) {
+      p.id = version_line(cand);
+      if (!p.id.empty()) {
+        p.command = cand;
+        return p;
+      }
+    }
+    return p;
+  }();
+  return probe;
+}
+
+bool jit_disabled() {
+  const char* v = std::getenv("XOREC_JIT_DISABLE");
+  return v && *v;
+}
+
+std::string fp_hex(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+bool make_dirs(const std::string& path) {
+  // mkdir -p: each prefix in turn; EEXIST is success.
+  for (size_t pos = 1; pos <= path.size(); ++pos) {
+    if (pos != path.size() && path[pos] != '/') continue;
+    const std::string prefix = path.substr(0, pos);
+    if (::mkdir(prefix.c_str(), 0700) != 0 && errno != EEXIST) return false;
+  }
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// RAII flock on `<dir>/xorec_<fp>.lock`: the cross-process single-compile
+/// guarantee. flock serializes distinct open file descriptions, so it also
+/// covers threads that raced past the in-process memo.
+struct ArtifactLock {
+  int fd = -1;
+  explicit ArtifactLock(const std::string& lock_path) {
+    fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd >= 0 && ::flock(fd, LOCK_EX) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~ArtifactLock() {
+    if (fd >= 0) ::close(fd);  // closing releases the flock
+  }
+  bool held() const { return fd >= 0; }
+};
+
+}  // namespace
+
+JitModule::~JitModule() {
+  if (handle_) ::dlclose(handle_);
+}
+
+JitCache& JitCache::instance() {
+  static JitCache* cache = new JitCache;  // leaky: outlives static codecs
+  return *cache;
+}
+
+bool JitCache::available() {
+  return !jit_disabled() && !compiler_probe().command.empty();
+}
+
+const std::string& JitCache::compiler_command() { return compiler_probe().command; }
+const std::string& JitCache::compiler_id() { return compiler_probe().id; }
+
+std::string JitCache::cache_dir() {
+  if (const char* dir = std::getenv("XOREC_JIT_CACHE_DIR"); dir && *dir) return dir;
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = tmp && *tmp ? tmp : "/tmp";
+  if (!base.empty() && base.back() == '/') base.pop_back();
+  return base + "/xorec-jit-" + std::to_string(static_cast<unsigned long>(::getuid()));
+}
+
+uint64_t JitCache::fingerprint(const std::string& source, kernel::Isa isa) {
+  uint64_t h = kFnvOffset;
+  h = fnv_bytes(h, source.data(), source.size());
+  const char* flags = isa_cflags(isa);
+  h = fnv_bytes(h, flags, std::char_traits<char>::length(flags));
+  const std::string& id = compiler_probe().id;
+  h = fnv_bytes(h, id.data(), id.size());
+  return h;
+}
+
+std::shared_ptr<const JitModule> JitCache::load_artifact(const std::string& path,
+                                                         uint64_t fp,
+                                                         const std::string& symbol) {
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) return nullptr;
+  void* sym = ::dlsym(handle, symbol.c_str());
+  if (!sym) {
+    ::dlclose(handle);
+    return nullptr;
+  }
+  return std::make_shared<JitModule>(handle, reinterpret_cast<JitFn>(sym), fp, path);
+}
+
+std::shared_ptr<const JitModule> JitCache::get_or_compile(const std::string& source,
+                                                          kernel::Isa isa,
+                                                          const std::string& symbol) {
+  if (!available()) return nullptr;
+  const uint64_t fp = fingerprint(source, isa);
+
+  std::shared_ptr<std::mutex> build_mu;
+  {
+    std::lock_guard lk(mu_);
+    if (auto it = memo_.find(fp); it != memo_.end()) {
+      memory_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    auto& slot = building_[fp];
+    if (!slot) slot = std::make_shared<std::mutex>();
+    build_mu = slot;
+  }
+  // One builder per fingerprint per process; losers of this lock find the
+  // memo populated when they re-check.
+  std::lock_guard build_lk(*build_mu);
+  {
+    std::lock_guard lk(mu_);
+    if (auto it = memo_.find(fp); it != memo_.end()) {
+      memory_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  const std::string dir = cache_dir();
+  if (!make_dirs(dir)) return nullptr;
+  const std::string stem = dir + "/xorec_" + fp_hex(fp);
+  const std::string so_path = stem + ".so";
+
+  // Fast path: another process already published the artifact. Artifacts
+  // only ever appear via rename(2), so a visible file is complete; a file
+  // that still fails to load is corruption, handled under the lock below.
+  auto t0 = Clock::now();
+  if (auto m = load_artifact(so_path, fp, symbol)) {
+    load_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+    artifact_loads_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lk(mu_);
+    memo_[fp] = m;
+    return m;
+  }
+
+  ArtifactLock flk(stem + ".lock");
+  if (!flk.held()) return nullptr;
+
+  // Re-check under the cross-process lock: a racing process may have
+  // finished the compile while we waited.
+  struct stat st{};
+  const bool existed = ::stat(so_path.c_str(), &st) == 0;
+  t0 = Clock::now();
+  if (existed) {
+    if (auto m = load_artifact(so_path, fp, symbol)) {
+      load_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+      artifact_loads_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lk(mu_);
+      memo_[fp] = m;
+      return m;
+    }
+    // Present but unloadable: truncated or damaged. Discard and rebuild.
+    ::unlink(so_path.c_str());
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::string pid = std::to_string(static_cast<long>(::getpid()));
+  const std::string c_path = stem + "." + pid + ".c";
+  const std::string tmp_so = so_path + ".tmp." + pid;
+  {
+    std::ofstream out(c_path, std::ios::trunc);
+    out << source;
+    if (!out) {
+      ::unlink(c_path.c_str());
+      return nullptr;
+    }
+  }
+  const std::string cmd = compiler_probe().command + " -O2 -shared -fPIC " +
+                          isa_cflags(isa) + " -o " + tmp_so + " " + c_path +
+                          " 2>/dev/null";
+  t0 = Clock::now();
+  const int rc = std::system(cmd.c_str());
+  compile_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  ::unlink(c_path.c_str());
+  if (rc != 0) {
+    ::unlink(tmp_so.c_str());
+    return nullptr;
+  }
+  // Atomic publish: concurrent readers see either no artifact or a whole one.
+  if (::rename(tmp_so.c_str(), so_path.c_str()) != 0) {
+    ::unlink(tmp_so.c_str());
+    return nullptr;
+  }
+
+  t0 = Clock::now();
+  auto m = load_artifact(so_path, fp, symbol);
+  if (!m) {
+    ::unlink(so_path.c_str());
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  load_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  std::lock_guard lk(mu_);
+  memo_[fp] = m;
+  return m;
+}
+
+JitCacheStats JitCache::stats() const {
+  JitCacheStats s;
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.artifact_loads = artifact_loads_.load(std::memory_order_relaxed);
+  s.memory_hits = memory_hits_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.compile_ns = compile_ns_.load(std::memory_order_relaxed);
+  s.load_ns = load_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void JitCache::note_fallback() { fallbacks_.fetch_add(1, std::memory_order_relaxed); }
+
+void JitCache::clear_memory_cache() {
+  std::lock_guard lk(mu_);
+  memo_.clear();
+}
+
+void JitCache::reset_stats_for_testing() {
+  compiles_.store(0);
+  artifact_loads_.store(0);
+  memory_hits_.store(0);
+  fallbacks_.store(0);
+  rejected_.store(0);
+  compile_ns_.store(0);
+  load_ns_.store(0);
+}
+
+JitCacheStats jit_cache_stats() { return JitCache::instance().stats(); }
+
+}  // namespace xorec::runtime

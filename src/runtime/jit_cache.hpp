@@ -1,0 +1,151 @@
+// The JIT artifact cache (exec=jit): runtime-compiled native plans shared
+// across processes through a persistent on-disk store.
+//
+// PR 8's LoweredProgram removed per-op operand resolution but every call
+// still goes through a KernelTable function pointer. The logical endpoint of
+// the paper's "EC as program optimization" framing is to emit real machine
+// code per cached plan: the Executor prints its ExecProgram through
+// runtime/codegen_c (offsets, arities, block size and NT-store decisions all
+// baked into the source), drives the host C compiler
+// (`cc -O2 -shared -fPIC`), and dlopens the result — one flat function, no
+// slot table, no dispatch.
+//
+// Compiling costs tens of milliseconds, so artifacts persist on disk and are
+// content-addressed: the fingerprint covers the generated C source (which
+// already encodes the plan, the codegen version banner and every baked
+// decision), the ISA compile flags, and the compiler identity. A fleet of
+// worker processes therefore pays ONE compile per (plan, block size class,
+// ISA): the first process builds `<dir>/xorec_<fp>.so.tmp.<pid>` and
+// rename(2)s it into place (atomic on POSIX — readers never observe a torn
+// .so), racing processes serialize on a flock(2)'d `<fp>.lock` and find the
+// artifact already present when they get the lock. A later process just
+// dlopens. Artifacts that fail to load (truncated/corrupted files) are
+// unlinked and rebuilt, counted in `rejected`.
+//
+// Environment knobs:
+//   XOREC_JIT_CACHE_DIR  artifact directory (default: $TMPDIR or
+//                        /tmp + "/xorec-jit-<uid>", created on demand)
+//   XOREC_JIT_DISABLE    non-empty: jit reports unavailable; exec=jit
+//                        executors fall back to exec=lowered
+//   XOREC_JIT_CC         host compiler command (default: first of cc, gcc,
+//                        clang that answers --version)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "kernel/xor_kernel.hpp"
+
+namespace xorec::runtime {
+
+/// The generated entry point's signature (runtime/codegen_c.hpp): run the
+/// whole plan over `strip_len` bytes of every strip. Jit modules bake their
+/// block size, so the trailing parameter is accepted and ignored.
+using JitFn = void (*)(const uint8_t* const* in, uint8_t* const* out,
+                       size_t strip_len, size_t block_size);
+
+/// Process-wide jit counters (snapshot via jit_cache_stats(); surfaced in
+/// ServiceStats). `compiles` counts compiler invocations BY THIS PROCESS —
+/// a warmed fleet member serves entirely out of `artifact_loads`.
+struct JitCacheStats {
+  size_t compiles = 0;        // compiler invocations (cold artifacts built)
+  size_t artifact_loads = 0;  // on-disk .so dlopened (warm, no compiler)
+  size_t memory_hits = 0;     // in-process memo hits (already dlopened)
+  size_t fallbacks = 0;       // exec=jit requests degraded to exec=lowered
+  size_t rejected = 0;        // corrupt/unloadable artifacts discarded
+  uint64_t compile_ns = 0;    // wall time inside the host compiler
+  uint64_t load_ns = 0;       // wall time in dlopen/dlsym of artifacts
+};
+
+/// One loaded artifact: owns the dlopen handle for its lifetime. Executors
+/// hold these shared, so clearing the cache never unloads running code.
+class JitModule {
+ public:
+  JitModule(void* handle, JitFn fn, uint64_t fingerprint, std::string path)
+      : handle_(handle), fn_(fn), fingerprint_(fingerprint), path_(std::move(path)) {}
+  ~JitModule();
+
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  JitFn fn() const { return fn_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  /// The on-disk artifact this module was loaded from.
+  const std::string& path() const { return path_; }
+
+ private:
+  void* handle_ = nullptr;
+  JitFn fn_ = nullptr;
+  uint64_t fingerprint_ = 0;
+  std::string path_;
+};
+
+class JitCache {
+ public:
+  /// The process-wide instance every Executor compiles through.
+  static JitCache& instance();
+
+  /// A host compiler was found and XOREC_JIT_DISABLE is not set. The
+  /// compiler probe runs once; the disable switch is consulted per call so
+  /// tests can flip it.
+  static bool available();
+  /// The probed compiler command ("" when none) and its identity line (the
+  /// first line of `--version`, folded into every fingerprint so artifacts
+  /// from a different toolchain never collide).
+  static const std::string& compiler_command();
+  static const std::string& compiler_id();
+
+  /// The artifact directory (XOREC_JIT_CACHE_DIR or the per-uid tmp
+  /// default), resolved per call and created on demand.
+  static std::string cache_dir();
+
+  /// Content fingerprint of one artifact: generated source x ISA compile
+  /// flags x compiler id. The source text already bakes the plan, the
+  /// codegen version and the block/NT decisions, so equal fingerprints mean
+  /// byte-equivalent artifacts.
+  static uint64_t fingerprint(const std::string& source, kernel::Isa isa);
+
+  /// The compiled artifact for `source`: in-process memo, else dlopen of the
+  /// on-disk artifact, else compile-and-publish under the cross-process
+  /// lock. Returns nullptr when jit is unavailable or the compile fails
+  /// (callers fall back to the lowered backend and note_fallback()).
+  std::shared_ptr<const JitModule> get_or_compile(const std::string& source,
+                                                  kernel::Isa isa,
+                                                  const std::string& symbol);
+
+  JitCacheStats stats() const;
+  /// Called by the Executor when an exec=jit request degrades to lowered.
+  void note_fallback();
+
+  /// Drop the in-process memo (loaded modules stay alive through their
+  /// shared owners). The next lookup re-loads from disk — how tests and
+  /// bench_exec_backend measure the warm cross-process path without forking.
+  void clear_memory_cache();
+  void reset_stats_for_testing();
+
+ private:
+  JitCache() = default;
+
+  std::shared_ptr<const JitModule> load_artifact(const std::string& path, uint64_t fp,
+                                                 const std::string& symbol);
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const JitModule>> memo_;
+  // Per-fingerprint build serialization: same-process racers collapse onto
+  // one compile without serializing unrelated plans.
+  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> building_;
+
+  std::atomic<size_t> compiles_{0}, artifact_loads_{0}, memory_hits_{0};
+  std::atomic<size_t> fallbacks_{0}, rejected_{0};
+  std::atomic<uint64_t> compile_ns_{0}, load_ns_{0};
+};
+
+/// JitCache::instance().stats() — the ServiceStats/bench accessor.
+JitCacheStats jit_cache_stats();
+
+}  // namespace xorec::runtime
