@@ -150,9 +150,7 @@ std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt) {
   const bool baked = opt.block_size != 0;
   const size_t block = baked ? opt.block_size : opt.max_block_size;
   const bool nt = baked && opt.nt_threshold != 0 && opt.block_size >= opt.nt_threshold;
-  const bool heap_scratch =
-      baked && prog.num_scratch != 0 &&
-      static_cast<size_t>(prog.num_scratch) * block > kCodegenStackScratchMax;
+  const bool arena_scratch = baked && codegen_arena_bytes(prog.num_scratch, block) != 0;
 
   // Which ops stream (NT emission): the dead-store outputs, only when the
   // baked block is at least the NT threshold.
@@ -164,10 +162,9 @@ std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt) {
      << "). Do not edit. */\n";
   if (baked) {
     os << "/* baked: block_size=" << block << " nt_threshold=" << opt.nt_threshold
-       << " scratch=" << (heap_scratch ? "heap" : "stack") << " */\n";
+       << " scratch=" << (arena_scratch ? "arena" : "stack") << " */\n";
   }
   os << "#include <stddef.h>\n#include <stdint.h>\n#include <string.h>\n";
-  if (heap_scratch) os << "#include <stdlib.h>\n";
   // __AVX512F__ implies __AVX2__ under both gcc and clang, so one guard
   // covers every vectorized helper body.
   os << "#if defined(__AVX2__)\n#include <immintrin.h>\n#endif\n";
@@ -187,19 +184,21 @@ std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt) {
 
   os << "void " << opt.function_name
      << "(const uint8_t* const* in, uint8_t* const* out, size_t strip_len, "
-        "size_t block_size) {\n";
+        "size_t block_size"
+     << (baked ? ", uint8_t* scratch_arena" : "") << ") {\n";
   if (baked) {
     // The block size is a compile-time constant; the parameter survives only
     // for signature compatibility with the AOT form.
     os << "  (void)block_size;\n";
+    if (!arena_scratch) os << "  (void)scratch_arena;\n";
   } else {
     os << "  if (block_size == 0 || block_size > " << opt.max_block_size
        << ") block_size = " << opt.max_block_size << ";\n";
   }
-  if (heap_scratch) {
-    os << "  uint8_t* const scratch_arena = (uint8_t*)malloc("
-       << static_cast<size_t>(prog.num_scratch) * block << ");\n";
-    os << "  if (!scratch_arena) return;\n";
+  if (arena_scratch) {
+    // Scratch lives in the caller-owned arena (codegen_arena_bytes): the
+    // generated code performs no allocation, so there is no failure path for
+    // it to swallow silently.
     for (uint32_t s = 0; s < prog.num_scratch; ++s) {
       os << "  uint8_t* const scratch" << s << " = scratch_arena + "
          << static_cast<size_t>(s) * block << ";\n";
@@ -238,7 +237,6 @@ std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt) {
     emit_ops("len");
     os << "  }\n";
   }
-  if (heap_scratch) os << "  free(scratch_arena);\n";
   os << "}\n";
   return os.str();
 }

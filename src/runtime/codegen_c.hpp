@@ -12,6 +12,10 @@
 //             uint8_t* const* out,        // num_outputs strips
 //             size_t strip_len,           // bytes per strip
 //             size_t block_size);         // §6.1 blocking parameter
+// Baked mode appends a fifth parameter:
+//             uint8_t* scratch_arena      // codegen_arena_bytes() bytes of
+//                                         // caller-owned scratch (ignored —
+//                                         // may be NULL — when 0)
 //
 // The emitted code is plain C99 (byte loops with a word-64 fast path); it
 // relies on the compiler's vectorizer rather than intrinsics so it builds
@@ -22,8 +26,10 @@
 //     runtime parameter clamped to max_block_size, scratch is stack storage.
 //   baked (block_size != 0) — the exec=jit form (runtime/jit_cache.hpp):
 //     the block size is a compile-time constant, the runtime parameter is
-//     ignored, scratch falls back to one heap arena when the stack footprint
-//     would be unreasonable, and — when block_size >= nt_threshold — output
+//     ignored, scratch falls back to the caller-provided arena when the
+//     stack footprint would be unreasonable (the generated code never
+//     allocates, so it has no failure path to swallow — the caller's
+//     allocation fails loudly), and — when block_size >= nt_threshold — output
 //     strips no later instruction reads are written through non-temporal
 //     streaming stores (AVX2 intrinsics under __AVX2__, plain code
 //     elsewhere), mirroring the lowered backend's dead-store rule.
@@ -39,7 +45,7 @@ namespace xorec::runtime {
 /// Bumped whenever the emission changes shape. The version is stamped into
 /// the generated banner, so on-disk jit artifacts (content-addressed over
 /// the source text) can never be served across a codegen change.
-inline constexpr int kCodegenVersion = 3;
+inline constexpr int kCodegenVersion = 4;
 
 struct CodegenOptions {
   std::string function_name = "xorec_coded_run";
@@ -55,9 +61,18 @@ struct CodegenOptions {
   size_t nt_threshold = 0;
 };
 
-/// Baked-mode scratch above this total lives in one malloc'd arena instead
-/// of the stack (large NT-class blocks would otherwise overflow it).
+/// Baked-mode scratch above this total lives in the caller-provided arena
+/// instead of the stack (large NT-class blocks would otherwise overflow it).
 inline constexpr size_t kCodegenStackScratchMax = 256 * 1024;
+
+/// Bytes of caller-owned scratch arena the BAKED form of a program requires
+/// through its fifth parameter (single source of truth for the stack/arena
+/// split — the Executor sizes its per-worker arenas with this). 0 means the
+/// scratch fits the generated function's stack and the parameter is ignored.
+inline constexpr size_t codegen_arena_bytes(uint32_t num_scratch, size_t block_size) {
+  const size_t total = static_cast<size_t>(num_scratch) * block_size;
+  return total > kCodegenStackScratchMax ? total : 0;
+}
 
 /// Emit the C source for one execution program.
 std::string generate_c(const ExecProgram& prog, const CodegenOptions& opt = {});

@@ -14,8 +14,11 @@ namespace {
 
 // XOREC_FORCE_EXEC override state (mirror of kernel/dispatch.cpp's
 // ForceState for XOREC_FORCE_ISA): parsed lazily exactly once, replaceable
-// by the test hook.
+// by the test hook. Mutex-guarded — Executors are constructed from many
+// threads at once (and the test hook can race them), so the lazy parse must
+// not be a plain non-atomic flag.
 struct ExecForceState {
+  std::mutex mu;
   bool parsed = false;
   std::optional<ExecBackend> value;
 };
@@ -49,6 +52,7 @@ std::optional<ExecBackend> parse_exec_backend(const char* name) {
 
 std::optional<ExecBackend> forced_exec_backend() {
   ExecForceState& s = exec_force_state();
+  std::lock_guard lk(s.mu);
   if (!s.parsed) {
     // Unknown names silently mean "no override", like XOREC_FORCE_ISA.
     s.value = parse_exec_backend(std::getenv("XOREC_FORCE_EXEC"));
@@ -59,6 +63,7 @@ std::optional<ExecBackend> forced_exec_backend() {
 
 void set_forced_exec_backend_for_testing(std::optional<ExecBackend> b) {
   ExecForceState& s = exec_force_state();
+  std::lock_guard lk(s.mu);
   s.parsed = true;
   s.value = b;
 }
@@ -154,7 +159,8 @@ void Executor::run_range(const uint8_t* const* inputs, uint8_t* const* outputs, 
     for (uint32_t i = 0; i < prog_.num_inputs; ++i) scratch.jit_in[i] = inputs[i] + begin;
     for (uint32_t i = 0; i < prog_.num_outputs; ++i)
       scratch.jit_out[i] = outputs[i] + begin;
-    jit_fn_(scratch.jit_in.data(), scratch.jit_out.data(), end - begin, opt_.block_size);
+    jit_fn_(scratch.jit_in.data(), scratch.jit_out.data(), end - begin, opt_.block_size,
+            scratch.jit_arena.data());
     return;
   }
   if (lowered_) {

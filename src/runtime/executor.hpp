@@ -22,6 +22,7 @@
 
 #include "kernel/xor_kernel.hpp"
 #include "runtime/aligned_buffer.hpp"
+#include "runtime/codegen_c.hpp"
 #include "runtime/exec_program.hpp"
 #include "runtime/jit_cache.hpp"
 #include "runtime/lowered_program.hpp"
@@ -110,10 +111,14 @@ class Executor {
     StripArena arena;
     std::vector<uint8_t*> ptrs;
     std::unique_ptr<LoweredProgram::State> lowered_state;
-    // Jit path: per-worker shifted strip-pointer tables (the generated
-    // function owns its own scratch, so the arena is skipped entirely).
+    // Jit path: per-worker shifted strip-pointer tables, plus the baked
+    // form's caller-owned scratch arena when the pebbles outgrow the
+    // generated function's stack (codegen_arena_bytes; empty otherwise).
+    // Allocating here, not inside the generated code, means an allocation
+    // failure throws like any other — it can never be swallowed mid-encode.
     std::vector<const uint8_t*> jit_in;
     std::vector<uint8_t*> jit_out;
+    std::vector<uint8_t> jit_arena;
     Scratch(const ExecProgram& prog, const ExecOptions& opt, const LoweredProgram* lp,
             bool jit)
         : arena(jit ? 0 : prog.num_scratch, opt.block_size, opt.block_size,
@@ -123,6 +128,7 @@ class Executor {
       if (jit) {
         jit_in.resize(prog.num_inputs);
         jit_out.resize(prog.num_outputs);
+        jit_arena.resize(codegen_arena_bytes(prog.num_scratch, opt.block_size));
       }
     }
   };

@@ -2,15 +2,21 @@
 
 #include <dlfcn.h>
 #include <fcntl.h>
+#include <spawn.h>
 #include <sys/file.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <vector>
+
+extern char** environ;
 
 namespace xorec::runtime {
 
@@ -34,6 +40,31 @@ uint64_t fnv_bytes(uint64_t h, const char* data, size_t len) {
   return h;
 }
 
+uint64_t splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The fingerprint's second, structurally unrelated fold (splitmix over
+/// 64-bit words + a length-salted tail): a source pair colliding under FNV-1a
+/// stays separated here, so the combined 128-bit identity never serves the
+/// wrong native plan.
+uint64_t splitmix_bytes(uint64_t h, const char* data, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = splitmix(h ^ w);
+  }
+  uint64_t tail = 0;
+  for (size_t j = 0; i < len; ++i, ++j)
+    tail |= static_cast<uint64_t>(static_cast<uint8_t>(data[i])) << (8 * j);
+  h = splitmix(h ^ tail);
+  return splitmix(h ^ static_cast<uint64_t>(len));
+}
+
 /// Compile flags matching one kernel ISA family, so the generated source's
 /// `#if defined(__AVX2__)` NT-store bodies resolve the way the plan assumed.
 /// Scalar/Word64 share the portable flag set (and thus artifacts — the C
@@ -43,6 +74,19 @@ const char* isa_cflags(kernel::Isa isa) {
     case kernel::Isa::Avx2: return "-mavx2";
     case kernel::Isa::Avx512: return "-mavx512f -mavx512bw";
     default: return "";
+  }
+}
+
+/// Whitespace-split into argv tokens (XOREC_JIT_CC may be "ccache gcc"; the
+/// avx512 flag set is two flags in one string).
+void split_args(const std::string& s, std::vector<std::string>& out) {
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == ' ') ++i;
+    size_t j = i;
+    while (j < s.size() && s[j] != ' ') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
   }
 }
 
@@ -97,14 +141,9 @@ bool jit_disabled() {
   return v && *v;
 }
 
-std::string fp_hex(uint64_t fp) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
-  return buf;
-}
-
 bool make_dirs(const std::string& path) {
-  // mkdir -p: each prefix in turn; EEXIST is success.
+  // mkdir -p: each prefix in turn; EEXIST is success. 0700 throughout — the
+  // artifact dir is private to this uid by construction.
   for (size_t pos = 1; pos <= path.size(); ++pos) {
     if (pos != path.size() && path[pos] != '/') continue;
     const std::string prefix = path.substr(0, pos);
@@ -114,13 +153,65 @@ bool make_dirs(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
+/// The artifact dir feeds dlopen(), so it is a trust boundary: a real
+/// directory (lstat — a planted symlink is rejected even if its target
+/// passes every other check), owned by this uid, with no group/other access.
+/// A lax mode on a dir we own is chmod'd down to 0700; anything else —
+/// foreign owner, symlink, unfixable mode — makes the call fail (callers
+/// fall back to lowered). Under a sticky /tmp no other user can replace a
+/// directory that passed this check, and 0700 means nobody else can plant or
+/// swap .so files inside it.
+bool secure_dir(const std::string& path) {
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) != 0) return false;
+  if (!S_ISDIR(st.st_mode) || st.st_uid != ::getuid()) return false;
+  if ((st.st_mode & 077) == 0) return true;
+  if (::chmod(path.c_str(), 0700) != 0) return false;
+  return ::lstat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode) &&
+         st.st_uid == ::getuid() && (st.st_mode & 077) == 0;
+}
+
+/// argv-vector compiler invocation via posix_spawnp: no shell between us and
+/// the compiler, so cache paths with spaces or metacharacters are plain
+/// arguments. Child stdout/stderr go to /dev/null.
+bool run_compiler(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t fa;
+  if (::posix_spawn_file_actions_init(&fa) != 0) return false;
+  ::posix_spawn_file_actions_addopen(&fa, STDOUT_FILENO, "/dev/null", O_WRONLY, 0);
+  ::posix_spawn_file_actions_addopen(&fa, STDERR_FILENO, "/dev/null", O_WRONLY, 0);
+  pid_t pid = 0;
+  const int rc = ::posix_spawnp(&pid, argv[0], &fa, nullptr, argv.data(), environ);
+  ::posix_spawn_file_actions_destroy(&fa);
+  if (rc != 0) return false;
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return false;
+  }
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+/// The exported self-identity definition appended to every compiled TU (the
+/// fingerprint is computed over the source WITHOUT this suffix, so there is
+/// no circularity). load_artifact dlsym's it back and compares.
+constexpr char kFpSymbol[] = "xorec_jit_fp";
+
+std::string fp_guard_suffix(const std::string& fp_hex) {
+  return "\nconst char " + std::string(kFpSymbol) + "[] = \"" + fp_hex + "\";\n";
+}
+
 /// RAII flock on `<dir>/xorec_<fp>.lock`: the cross-process single-compile
 /// guarantee. flock serializes distinct open file descriptions, so it also
 /// covers threads that raced past the in-process memo.
 struct ArtifactLock {
   int fd = -1;
   explicit ArtifactLock(const std::string& lock_path) {
-    fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC | O_NOFOLLOW, 0600);
     if (fd >= 0 && ::flock(fd, LOCK_EX) != 0) {
       ::close(fd);
       fd = -1;
@@ -133,6 +224,13 @@ struct ArtifactLock {
 };
 
 }  // namespace
+
+std::string JitFingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx", static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return buf;
+}
 
 JitModule::~JitModule() {
   if (handle_) ::dlclose(handle_);
@@ -152,40 +250,59 @@ const std::string& JitCache::compiler_id() { return compiler_probe().id; }
 
 std::string JitCache::cache_dir() {
   if (const char* dir = std::getenv("XOREC_JIT_CACHE_DIR"); dir && *dir) return dir;
+  const auto join = [](std::string base, const std::string& leaf) {
+    while (!base.empty() && base.back() == '/') base.pop_back();
+    return base + leaf;
+  };
+  // Home-anchored cache first: unlike /tmp it is not a shared world-writable
+  // namespace, so nobody can have pre-claimed the path.
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg)
+    return join(xdg, "/xorec-jit");
+  if (const char* home = std::getenv("HOME"); home && *home)
+    return join(home, "/.cache/xorec-jit");
   const char* tmp = std::getenv("TMPDIR");
-  std::string base = tmp && *tmp ? tmp : "/tmp";
-  if (!base.empty() && base.back() == '/') base.pop_back();
-  return base + "/xorec-jit-" + std::to_string(static_cast<unsigned long>(::getuid()));
+  return join(tmp && *tmp ? tmp : "/tmp",
+              "/xorec-jit-" + std::to_string(static_cast<unsigned long>(::getuid())));
 }
 
-uint64_t JitCache::fingerprint(const std::string& source, kernel::Isa isa) {
-  uint64_t h = kFnvOffset;
-  h = fnv_bytes(h, source.data(), source.size());
+JitFingerprint JitCache::fingerprint(const std::string& source, kernel::Isa isa) {
+  JitFingerprint fp;
+  fp.h1 = kFnvOffset;
+  fp.h2 = 0x6a09e667f3bcc908ull;  // arbitrary non-FNV seed
+  const auto fold = [&fp](const char* data, size_t len) {
+    fp.h1 = fnv_bytes(fp.h1, data, len);
+    fp.h2 = splitmix_bytes(fp.h2, data, len);
+  };
+  fold(source.data(), source.size());
   const char* flags = isa_cflags(isa);
-  h = fnv_bytes(h, flags, std::char_traits<char>::length(flags));
+  fold(flags, std::char_traits<char>::length(flags));
   const std::string& id = compiler_probe().id;
-  h = fnv_bytes(h, id.data(), id.size());
-  return h;
+  fold(id.data(), id.size());
+  return fp;
 }
 
 std::shared_ptr<const JitModule> JitCache::load_artifact(const std::string& path,
-                                                         uint64_t fp,
+                                                         const std::string& fp_hex,
                                                          const std::string& symbol) {
   void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!handle) return nullptr;
   void* sym = ::dlsym(handle, symbol.c_str());
-  if (!sym) {
+  // Self-identity check: the artifact's baked fingerprint must match what we
+  // asked for. Catches a swapped/planted .so and any residual filename-hash
+  // collision before a single instruction of it runs.
+  const char* baked = reinterpret_cast<const char*>(::dlsym(handle, kFpSymbol));
+  if (!sym || !baked || fp_hex != baked) {
     ::dlclose(handle);
     return nullptr;
   }
-  return std::make_shared<JitModule>(handle, reinterpret_cast<JitFn>(sym), fp, path);
+  return std::make_shared<JitModule>(handle, reinterpret_cast<JitFn>(sym), fp_hex, path);
 }
 
 std::shared_ptr<const JitModule> JitCache::get_or_compile(const std::string& source,
                                                           kernel::Isa isa,
                                                           const std::string& symbol) {
   if (!available()) return nullptr;
-  const uint64_t fp = fingerprint(source, isa);
+  const std::string fp = fingerprint(source, isa).hex();
 
   std::shared_ptr<std::mutex> build_mu;
   {
@@ -210,8 +327,8 @@ std::shared_ptr<const JitModule> JitCache::get_or_compile(const std::string& sou
   }
 
   const std::string dir = cache_dir();
-  if (!make_dirs(dir)) return nullptr;
-  const std::string stem = dir + "/xorec_" + fp_hex(fp);
+  if (!make_dirs(dir) || !secure_dir(dir)) return nullptr;
+  const std::string stem = dir + "/xorec_" + fp;
   const std::string so_path = stem + ".so";
 
   // Fast path: another process already published the artifact. Artifacts
@@ -252,21 +369,23 @@ std::shared_ptr<const JitModule> JitCache::get_or_compile(const std::string& sou
   const std::string tmp_so = so_path + ".tmp." + pid;
   {
     std::ofstream out(c_path, std::ios::trunc);
-    out << source;
+    out << source << fp_guard_suffix(fp);
     if (!out) {
       ::unlink(c_path.c_str());
       return nullptr;
     }
   }
-  const std::string cmd = compiler_probe().command + " -O2 -shared -fPIC " +
-                          isa_cflags(isa) + " -o " + tmp_so + " " + c_path +
-                          " 2>/dev/null";
+  std::vector<std::string> args;
+  split_args(compiler_probe().command, args);
+  args.insert(args.end(), {"-O2", "-shared", "-fPIC"});
+  split_args(isa_cflags(isa), args);
+  args.insert(args.end(), {"-o", tmp_so, c_path});
   t0 = Clock::now();
-  const int rc = std::system(cmd.c_str());
+  const bool compiled = run_compiler(args);
   compile_ns_.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
   compiles_.fetch_add(1, std::memory_order_relaxed);
   ::unlink(c_path.c_str());
-  if (rc != 0) {
+  if (!compiled) {
     ::unlink(tmp_so.c_str());
     return nullptr;
   }

@@ -11,20 +11,33 @@
 // slot table, no dispatch.
 //
 // Compiling costs tens of milliseconds, so artifacts persist on disk and are
-// content-addressed: the fingerprint covers the generated C source (which
-// already encodes the plan, the codegen version banner and every baked
-// decision), the ISA compile flags, and the compiler identity. A fleet of
-// worker processes therefore pays ONE compile per (plan, block size class,
-// ISA): the first process builds `<dir>/xorec_<fp>.so.tmp.<pid>` and
-// rename(2)s it into place (atomic on POSIX — readers never observe a torn
-// .so), racing processes serialize on a flock(2)'d `<fp>.lock` and find the
-// artifact already present when they get the lock. A later process just
+// content-addressed: the 128-bit fingerprint (two independent 64-bit folds,
+// same discipline as ec/PlanCache::fingerprint_matrix) covers the generated
+// C source (which already encodes the plan, the codegen version banner and
+// every baked decision), the ISA compile flags, and the compiler identity.
+// A fleet of worker processes therefore pays ONE compile per (plan, block
+// size class, ISA): the first process builds `<dir>/xorec_<fp>.so.tmp.<pid>`
+// and rename(2)s it into place (atomic on POSIX — readers never observe a
+// torn .so), racing processes serialize on a flock(2)'d `<fp>.lock` and find
+// the artifact already present when they get the lock. A later process just
 // dlopens. Artifacts that fail to load (truncated/corrupted files) are
 // unlinked and rebuilt, counted in `rejected`.
 //
+// The cache feeds dlopen(), so its directory is treated as a trust boundary:
+// before any artifact is read or written the directory must lstat as a real
+// directory (not a symlink) owned by the current uid with no group/other
+// access (mode 0700; lax modes on a dir we own are chmod'd down, anything
+// else makes jit unavailable for the call). Each artifact additionally
+// exports its own fingerprint as the `xorec_jit_fp` symbol, verified after
+// dlopen — a swapped, stale, or hash-colliding .so is rejected and rebuilt
+// rather than silently executed. The compiler runs via posix_spawnp with an
+// argv vector (no shell), so cache paths are never shell-interpreted.
+//
 // Environment knobs:
-//   XOREC_JIT_CACHE_DIR  artifact directory (default: $TMPDIR or
-//                        /tmp + "/xorec-jit-<uid>", created on demand)
+//   XOREC_JIT_CACHE_DIR  artifact directory (default: $XDG_CACHE_HOME or
+//                        $HOME/.cache + "/xorec-jit", falling back to
+//                        $TMPDIR-or-/tmp + "/xorec-jit-<uid>"; created on
+//                        demand, subject to the ownership checks above)
 //   XOREC_JIT_DISABLE    non-empty: jit reports unavailable; exec=jit
 //                        executors fall back to exec=lowered
 //   XOREC_JIT_CC         host compiler command (default: first of cc, gcc,
@@ -43,11 +56,24 @@
 
 namespace xorec::runtime {
 
-/// The generated entry point's signature (runtime/codegen_c.hpp): run the
-/// whole plan over `strip_len` bytes of every strip. Jit modules bake their
-/// block size, so the trailing parameter is accepted and ignored.
+/// The generated entry point's baked-mode signature (runtime/codegen_c.hpp):
+/// run the whole plan over `strip_len` bytes of every strip. Jit modules
+/// bake their block size, so `block_size` is accepted and ignored;
+/// `scratch_arena` is the caller-owned arena of codegen_arena_bytes()
+/// (ignored — may be null — when the baked scratch fits the stack).
 using JitFn = void (*)(const uint8_t* const* in, uint8_t* const* out,
-                       size_t strip_len, size_t block_size);
+                       size_t strip_len, size_t block_size, uint8_t* scratch_arena);
+
+/// 128-bit artifact identity: two independent 64-bit content folds. Both
+/// halves appear in the artifact filename (32 hex digits) and in the
+/// artifact's exported `xorec_jit_fp` symbol, so serving the wrong native
+/// plan requires a simultaneous collision in two unrelated hash families
+/// AND an on-disk file that bakes the colliding hex.
+struct JitFingerprint {
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+  std::string hex() const;
+};
 
 /// Process-wide jit counters (snapshot via jit_cache_stats(); surfaced in
 /// ServiceStats). `compiles` counts compiler invocations BY THIS PROCESS —
@@ -66,22 +92,23 @@ struct JitCacheStats {
 /// hold these shared, so clearing the cache never unloads running code.
 class JitModule {
  public:
-  JitModule(void* handle, JitFn fn, uint64_t fingerprint, std::string path)
-      : handle_(handle), fn_(fn), fingerprint_(fingerprint), path_(std::move(path)) {}
+  JitModule(void* handle, JitFn fn, std::string fp_hex, std::string path)
+      : handle_(handle), fn_(fn), fp_hex_(std::move(fp_hex)), path_(std::move(path)) {}
   ~JitModule();
 
   JitModule(const JitModule&) = delete;
   JitModule& operator=(const JitModule&) = delete;
 
   JitFn fn() const { return fn_; }
-  uint64_t fingerprint() const { return fingerprint_; }
+  /// The 32-hex-digit content fingerprint this artifact was verified against.
+  const std::string& fingerprint_hex() const { return fp_hex_; }
   /// The on-disk artifact this module was loaded from.
   const std::string& path() const { return path_; }
 
  private:
   void* handle_ = nullptr;
   JitFn fn_ = nullptr;
-  uint64_t fingerprint_ = 0;
+  std::string fp_hex_;
   std::string path_;
 };
 
@@ -100,15 +127,17 @@ class JitCache {
   static const std::string& compiler_command();
   static const std::string& compiler_id();
 
-  /// The artifact directory (XOREC_JIT_CACHE_DIR or the per-uid tmp
-  /// default), resolved per call and created on demand.
+  /// The artifact directory (XOREC_JIT_CACHE_DIR, else $XDG_CACHE_HOME /
+  /// $HOME/.cache, else the per-uid tmp fallback), resolved per call and
+  /// created on demand. get_or_compile refuses to use it unless it passes
+  /// the ownership/mode/symlink checks in the header comment.
   static std::string cache_dir();
 
   /// Content fingerprint of one artifact: generated source x ISA compile
   /// flags x compiler id. The source text already bakes the plan, the
   /// codegen version and the block/NT decisions, so equal fingerprints mean
   /// byte-equivalent artifacts.
-  static uint64_t fingerprint(const std::string& source, kernel::Isa isa);
+  static JitFingerprint fingerprint(const std::string& source, kernel::Isa isa);
 
   /// The compiled artifact for `source`: in-process memo, else dlopen of the
   /// on-disk artifact, else compile-and-publish under the cross-process
@@ -131,14 +160,15 @@ class JitCache {
  private:
   JitCache() = default;
 
-  std::shared_ptr<const JitModule> load_artifact(const std::string& path, uint64_t fp,
+  std::shared_ptr<const JitModule> load_artifact(const std::string& path,
+                                                 const std::string& fp_hex,
                                                  const std::string& symbol);
 
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const JitModule>> memo_;
+  std::unordered_map<std::string, std::shared_ptr<const JitModule>> memo_;
   // Per-fingerprint build serialization: same-process racers collapse onto
   // one compile without serializing unrelated plans.
-  std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> building_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>> building_;
 
   std::atomic<size_t> compiles_{0}, artifact_loads_{0}, memory_hits_{0};
   std::atomic<size_t> fallbacks_{0}, rejected_{0};

@@ -476,6 +476,119 @@ TEST(JitArtifactCache, CorruptArtifactRejectedAndRebuilt) {
     ASSERT_EQ(st.frags[f], ref_st.frags[f]) << "fragment " << f;
 }
 
+// The artifact dir is a trust boundary (it feeds dlopen): a symlinked dir is
+// refused outright, a lax mode on a dir we own is tightened to 0700 before
+// use, shell metacharacters in the path are inert (the compiler is spawned
+// with an argv vector, not a shell), and an artifact whose baked fingerprint
+// symbol disagrees with its filename is rejected before any of it runs.
+
+TEST(JitArtifactCache, SymlinkCacheDirRefused) {
+  if (!jit_tests_enabled()) GTEST_SKIP() << "jit unavailable or force-clamped away";
+  JitDirGuard guard;
+  ASSERT_FALSE(guard.dir.empty());
+  const std::string real = guard.dir + "/real";
+  const std::string link = guard.dir + "/link";
+  std::filesystem::create_directory(real);
+  std::filesystem::create_directory_symlink(real, link);
+  setenv("XOREC_JIT_CACHE_DIR", link.c_str(), 1);
+
+  auto& jc = runtime::JitCache::instance();
+  jc.clear_memory_cache();
+  const auto s0 = runtime::jit_cache_stats();
+  const auto codec = make_codec(kJitRaceSpec);
+  const auto s1 = runtime::jit_cache_stats();
+  EXPECT_EQ(codec->exec_info().backend, "lowered")
+      << "a symlinked artifact dir must make jit unavailable";
+  EXPECT_GE(s1.fallbacks - s0.fallbacks, 1u);
+  EXPECT_EQ(s1.compiles, s0.compiles) << "nothing may be compiled into a symlinked dir";
+}
+
+TEST(JitArtifactCache, LaxDirModeTightenedBeforeUse) {
+  if (!jit_tests_enabled()) GTEST_SKIP() << "jit unavailable or force-clamped away";
+  JitDirGuard guard;
+  ASSERT_FALSE(guard.dir.empty());
+  namespace fs = std::filesystem;
+  fs::permissions(guard.dir, fs::perms::owner_all | fs::perms::group_all |
+                                 fs::perms::others_read | fs::perms::others_exec);
+
+  auto& jc = runtime::JitCache::instance();
+  jc.clear_memory_cache();
+  const auto codec = make_codec(kJitRaceSpec);
+  EXPECT_EQ(codec->exec_info().backend, "jit");
+  const fs::perms mode = fs::status(guard.dir).permissions();
+  EXPECT_EQ(mode & (fs::perms::group_all | fs::perms::others_all), fs::perms::none)
+      << "group/other access must be chmod'd away before artifacts are written";
+}
+
+TEST(JitArtifactCache, CacheDirWithShellMetacharacters) {
+  if (!jit_tests_enabled()) GTEST_SKIP() << "jit unavailable or force-clamped away";
+  JitDirGuard guard;
+  ASSERT_FALSE(guard.dir.empty());
+  // Valid POSIX directory name, lethal if it ever reaches a shell.
+  const std::string tricky = guard.dir + "/jit dir;$(echo pwned)&";
+  ASSERT_TRUE(std::filesystem::create_directory(tricky));
+  setenv("XOREC_JIT_CACHE_DIR", tricky.c_str(), 1);
+
+  auto& jc = runtime::JitCache::instance();
+  jc.clear_memory_cache();
+  const auto s0 = runtime::jit_cache_stats();
+  const auto codec = make_codec(kJitRaceSpec);
+  const auto s1 = runtime::jit_cache_stats();
+  EXPECT_EQ(codec->exec_info().backend, "jit")
+      << "metacharacter paths must compile cleanly (argv exec, no shell)";
+  EXPECT_EQ(s1.compiles - s0.compiles, 1u);
+  EXPECT_EQ(s1.fallbacks, s0.fallbacks);
+}
+
+TEST(JitArtifactCache, SwappedArtifactRejectedByFingerprint) {
+  if (!jit_tests_enabled()) GTEST_SKIP() << "jit unavailable or force-clamped away";
+  JitDirGuard guard;
+  ASSERT_FALSE(guard.dir.empty());
+
+  Stripe ref_st;
+  size_t frag_len = 0, total_frags = 0;
+  {
+    InterpRefPin pin;
+    const auto ref = make_codec("rs(5,2)@exec=interp");
+    frag_len = ref->fragment_multiple() * kOddStrip;
+    total_frags = ref->total_fragments();
+    ref_st = encoded_stripe(*ref, frag_len, /*seed=*/15);
+  }
+
+  auto& jc = runtime::JitCache::instance();
+  jc.clear_memory_cache();
+  {
+    // Two distinct plans -> two artifacts, each a perfectly valid .so.
+    const auto a = make_codec(kJitRaceSpec);
+    const auto b = make_codec("rs(6,3)@exec=jit,cache=private");
+  }
+  std::vector<std::filesystem::path> artifacts;
+  for (const auto& entry : std::filesystem::directory_iterator(guard.dir))
+    if (entry.path().extension() == ".so") artifacts.push_back(entry.path());
+  ASSERT_GE(artifacts.size(), 2u);
+  // Publish artifact 0's bytes under artifact 1's name (rename, like a real
+  // writer): a loadable .so whose baked fingerprint disagrees with the name
+  // it was served under.
+  const std::filesystem::path clone = artifacts[1].string() + ".clone";
+  std::filesystem::copy_file(artifacts[0], clone);
+  std::filesystem::rename(clone, artifacts[1]);
+
+  jc.clear_memory_cache();
+  const auto s0 = runtime::jit_cache_stats();
+  const auto a = make_codec(kJitRaceSpec);
+  const auto b = make_codec("rs(6,3)@exec=jit,cache=private");
+  const auto s1 = runtime::jit_cache_stats();
+  EXPECT_GE(s1.rejected - s0.rejected, 1u)
+      << "the fingerprint symbol must catch a swapped artifact";
+  EXPECT_EQ(s1.compiles - s0.compiles, 1u) << "only the swapped artifact recompiles";
+  EXPECT_EQ(a->exec_info().backend, "jit");
+  EXPECT_EQ(b->exec_info().backend, "jit");
+
+  const Stripe st = encoded_stripe(*a, frag_len, /*seed=*/15);
+  for (size_t f = 0; f < total_frags; ++f)
+    ASSERT_EQ(st.frags[f], ref_st.frags[f]) << "fragment " << f;
+}
+
 // Child-process probe for the cross-process tests: when re-exec'd with
 // XOREC_JIT_PROBE_OUT set, builds the race-spec codec against the inherited
 // XOREC_JIT_CACHE_DIR and reports "<compiles> <loads> <fallbacks> <hash>".
