@@ -132,6 +132,7 @@ CodecService::CodecService(Options opt)
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i)
     shards_.push_back(std::make_unique<Shard>(opt_.workers_per_shard));
+  shard_pools_.assign(n, 0);
   const CacheStats s = cache_view();
   baseline_hits_ = s.hits;
   baseline_misses_ = s.misses;
@@ -160,10 +161,12 @@ CodecService::Pool& CodecService::pool_for(const CodecSpec& parsed) {
   cs.warmup_path.clear();
   const std::string key = canonical_spec(cs);
 
+  ShardLoadProvider load_provider;
   {
     std::lock_guard lk(mu_);
     const auto it = by_spec_.find(key);
     if (it != by_spec_.end()) return *it->second;
+    load_provider = shard_load_;
   }
   // Build outside the lock (construction may compile the encoder —
   // milliseconds); racing builders are harmless, first insert wins and the
@@ -172,17 +175,50 @@ CodecService::Pool& CodecService::pool_for(const CodecSpec& parsed) {
   if (opt_.plan_cache) build.options.plan_cache = opt_.plan_cache;
   std::shared_ptr<const Codec> codec(make_codec(build));
 
+  // The load provider also runs OUTSIDE mu_: a sampler-backed provider
+  // reads under its own lock, and its sampling thread takes mu_ through
+  // stats() — invoking it under mu_ would order those locks both ways.
+  std::vector<double> loads;
+  if (load_provider) {
+    try {
+      loads = load_provider();
+    } catch (...) {
+      loads.clear();  // a broken provider degrades to round-robin
+    }
+  }
+
   std::lock_guard lk(mu_);
   const auto it = by_spec_.find(key);
   if (it != by_spec_.end()) return *it->second;
   auto pool = std::make_unique<Pool>();
   pool->spec = key;
   pool->codec = std::move(codec);
-  pool->shard = pools_.size() % shards_.size();
+  pool->shard = pick_shard_locked(loads);
+  ++shard_pools_[pool->shard];
   Pool& ref = *pool;
   by_spec_.emplace(key, &ref);
   pools_.push_back(std::move(pool));
   return ref;
+}
+
+size_t CodecService::pick_shard_locked(const std::vector<double>& loads) const {
+  if (loads.size() != shards_.size()) return pools_.size() % shards_.size();
+  size_t best = 0;
+  for (size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i] < loads[best]) {
+      best = i;
+    } else if (loads[i] == loads[best] && shard_pools_[i] < shard_pools_[best]) {
+      // Equal measured load (e.g. an idle service, all zeros) must not pile
+      // every new pool on shard 0 — spread by current pool count instead.
+      best = i;
+    }
+  }
+  return best;
+}
+
+void CodecService::set_shard_load_provider(ShardLoadProvider provider) {
+  std::lock_guard lk(mu_);
+  shard_load_ = std::move(provider);
 }
 
 ServiceHandle CodecService::acquire(const std::string& spec) {
@@ -199,8 +235,17 @@ ServiceHandle CodecService::acquire(const std::string& spec) {
     if (replay) {
       // First boot has no profile yet: a missing file is a quiet cold
       // start; an unreadable or corrupt one still throws from warmup().
-      if (std::ifstream(cs.warmup_path).good())
-        warmup(cs.warmup_path);
+      if (std::ifstream(cs.warmup_path).good()) {
+        try {
+          warmup(cs.warmup_path);
+        } catch (...) {
+          // A failed replay must not poison the path: un-claim it so the
+          // next acquire retries once the profile is fixed.
+          std::lock_guard lk(mu_);
+          warmed_paths_.erase(cs.warmup_path);
+          throw;
+        }
+      }
     }
   }
   Pool& pool = pool_for(cs);
@@ -283,12 +328,17 @@ ServiceStats CodecService::stats() const {
     ss.queue_depth = s.session.pending();
     ss.submitted = s.session.submitted();  // handle-routed + ObjectCodec blob jobs
     ss.bytes_coded = s.bytes.load(std::memory_order_relaxed);
-    ss.throughput_gbps =
+    ss.throughput_gBps =
         out.uptime_s > 0 ? static_cast<double>(ss.bytes_coded) / out.uptime_s / 1e9 : 0;
     out.shards.push_back(ss);
   }
+  out.cache_level_misses = (opt_.plan_cache ? opt_.plan_cache
+                                            : ec::PlanCache::process_shared())
+                               ->level_miss_totals();
   {
     std::lock_guard lk(mu_);
+    for (size_t i = 0; i < shards_.size(); ++i)
+      out.shards[i].pools = shard_pools_[i];
     // Snapshot the cache under the same lock that guards the baseline —
     // a concurrent warmup() resetting the window cannot push the baseline
     // past this snapshot (the clamp below guards belt-and-braces anyway,

@@ -37,6 +37,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -59,14 +60,19 @@ class CodecService;
 struct CodecSpec;  // api/registry.hpp
 
 /// One shard's routing counters. Throughput is averaged over the service's
-/// uptime (bytes of payload moved by routed jobs / seconds alive).
+/// uptime (bytes of payload moved by routed jobs / seconds alive) — a
+/// windowed rate lives in obs::Sampler, not here.
 struct ShardStats {
   size_t shard = 0;
   size_t workers = 0;
+  size_t pools = 0;        // pools currently pinned to this shard
   size_t submitted = 0;    // jobs routed to this shard so far
   size_t queue_depth = 0;  // jobs submitted but not yet finished, right now
   uint64_t bytes_coded = 0;  // payload bytes of routed jobs (data in + rebuilt out)
-  double throughput_gbps = 0;
+  /// GigaBYTES per second (bytes_coded / uptime / 1e9). The capital B is
+  /// load-bearing: an earlier revision shipped this as `throughput_gbps`,
+  /// a gigaBIT name over a gigabyte value.
+  double throughput_gBps = 0;
 };
 
 /// One pool entry's counters: a pooled codec and the clients leasing it.
@@ -113,6 +119,11 @@ struct ServiceStats {
   /// the process (a second service, bare make_codec traffic) land in it
   /// too; inject Options::plan_cache for an exact per-service window.
   size_t warm_hits = 0, warm_misses = 0;
+  /// Per-level simulated miss totals of the multilevel-scheduled programs
+  /// the service's cache view currently holds (ec::PlanCache::
+  /// level_miss_totals — last level = memory loads). Empty when nothing
+  /// cached was multilevel-scheduled.
+  std::vector<size_t> cache_level_misses;
   double uptime_s = 0;
   /// Process-wide jit artifact-cache counters (runtime/jit_cache.hpp):
   /// compiles vs warm artifact loads vs lowered fallbacks. A warmed fleet
@@ -226,6 +237,18 @@ class CodecService {
 
   size_t shard_count() const { return shards_.size(); }
 
+  /// Measured per-shard load, indexed by shard id — what depth-driven
+  /// placement consumes (obs::Sampler::drive_placement installs its
+  /// window-mean TaskQueue depths here).
+  using ShardLoadProvider = std::function<std::vector<double>()>;
+
+  /// Route NEW pools to the least-loaded shard per `provider` instead of
+  /// round-robin. Called OUTSIDE the service lock, so a provider may take
+  /// its own locks (and even call stats()); a throwing provider, an empty
+  /// one ({}), or a load vector of the wrong size falls back to
+  /// round-robin. Existing pools keep their pins.
+  void set_shard_load_provider(ShardLoadProvider provider);
+
   /// A consistent-enough snapshot under load: per-counter atomic reads —
   /// totals may trail in-flight traffic by a job, never tear.
   ServiceStats stats() const;
@@ -236,11 +259,17 @@ class CodecService {
   struct Shard;
 
   Pool& pool_for(const CodecSpec& parsed);  // acquire minus the warmup= side effect
+  /// The shard for the next new pool: argmin of `loads` (tie-broken by
+  /// fewest pools, then lowest index), or round-robin when `loads` is
+  /// absent/mis-sized. Caller holds mu_.
+  size_t pick_shard_locked(const std::vector<double>& loads) const;
 
   Options opt_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::mutex mu_;  // guards pools_ / by_spec_ / baseline_
+  mutable std::mutex mu_;  // guards pools_ / by_spec_ / baseline_ / shard_pools_ / shard_load_
   std::vector<std::unique_ptr<Pool>> pools_;  // creation order; never erased
+  std::vector<size_t> shard_pools_;  // pools pinned per shard (placement tie-break)
+  ShardLoadProvider shard_load_;     // copied out of mu_ before invocation
   std::unordered_map<std::string, Pool*> by_spec_;
   std::unordered_set<std::string> warmed_paths_;  // warmup= replays once per path
   std::chrono::steady_clock::time_point start_;

@@ -168,6 +168,24 @@ std::vector<std::vector<uint32_t>> PlanCache::patterns_for(uint64_t matrix_fp,
   return out;
 }
 
+std::vector<size_t> PlanCache::level_miss_totals() const {
+  // Levels come from MultilevelResult::levels plus one trailing slot for
+  // memory_loads; entries simulated with fewer levels just leave the deeper
+  // slots untouched.
+  std::vector<size_t> totals;
+  for (const auto& s : shards_) {
+    std::lock_guard lk(s->mu);
+    for (const auto& [key, entry] : s->map) {
+      const auto& ml = entry.first->pipeline.multilevel;
+      if (!ml) continue;
+      if (totals.size() < ml->levels.size() + 1) totals.resize(ml->levels.size() + 1, 0);
+      for (size_t i = 0; i < ml->levels.size(); ++i) totals[i] += ml->levels[i].misses;
+      totals[ml->levels.size()] += ml->memory_loads;
+    }
+  }
+  return totals;
+}
+
 void PlanCache::clear() {
   for (const auto& s : shards_) {
     std::lock_guard lk(s->mu);

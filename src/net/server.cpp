@@ -206,6 +206,13 @@ struct NetServer::Impl {
   void start() {
     if (started) return;
     started = true;
+    {
+      // stop() latches cstop so the completion thread drains and exits; a
+      // restarted server needs the latch cleared or its new completion
+      // thread exits immediately and responses are never delivered.
+      std::lock_guard<std::mutex> lk(cmu);
+      cstop = false;
+    }
     running.store(true);
     loop_thread = std::thread([this] { loop_main(); });
     completion_thread = std::thread([this] { completion_main(); });

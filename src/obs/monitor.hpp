@@ -1,0 +1,64 @@
+// MonitorServer: the scrape endpoint — a minimal HTTP/1.0 server on its own
+// poll() loop (same socket idioms as net/server.cpp: bind at construction so
+// an ephemeral port is known before start(), nonblocking fds, a wake pipe to
+// interrupt the poll on stop()).
+//
+//   GET /metrics      Prometheus text exposition (render_prometheus)
+//   GET /stats.json   bench_json.hpp record schema (render_stats_json)
+//
+// Both render a fresh MetricsRegistry::collect() per request; windowed rates
+// ride along automatically when a Sampler is registered on the registry.
+//
+// Parsing is deliberately hostile-input-shaped, same discipline as
+// net/frame.cpp: each connection reads into a FIXED 1 KiB buffer, so request
+// size never drives allocation — a request that fills the buffer without
+// terminating its header block is answered 431 from a static literal and
+// closed, as are malformed lines (400), non-GET methods (405) and unknown
+// paths (404). Only a well-formed GET of a known path allocates (the
+// rendered body). Connections are HTTP/1.0 close-after-response.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace xorec::obs {
+
+struct MonitorOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral (read back via port())
+  size_t max_connections = 32;
+};
+
+struct MonitorStats {
+  size_t connections_accepted = 0;
+  size_t requests = 0;      // well-formed GETs of known paths (2xx answered)
+  size_t bad_requests = 0;  // 4xx answered (malformed/oversized/unknown)
+};
+
+class MonitorServer {
+ public:
+  /// Binds immediately (so port() is known); serves nothing until start().
+  /// The registry must outlive the server. Throws std::runtime_error on
+  /// bind failure.
+  explicit MonitorServer(const MetricsRegistry& registry, MonitorOptions opt = {});
+  ~MonitorServer();  // stop()s if still running
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  void start();
+  void stop();
+
+  uint16_t port() const;
+  MonitorStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xorec::obs

@@ -5,9 +5,13 @@
 // usable, and the per-pool ServiceStats net counters see the traffic.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/registry.hpp"
@@ -57,6 +61,65 @@ TEST(NetServer, PortsAreBoundBeforeStart) {
   server.start();
   server.stop();
   server.stop();  // idempotent
+}
+
+TEST(NetServer, RestartedServerStillDeliversResponses) {
+  // Regression: stop() latches the completion-thread stop flag; before
+  // start() learned to reset it, a restarted server's completion thread
+  // exited immediately and encode responses were never delivered. Ping is
+  // answered inline by the event loop, so only a codec request (whose
+  // response rides the completion thread) can detect this — run it with a
+  // timeout so a regressed build fails instead of hanging forever.
+  CodecService service;
+  NetServer server(service, {});
+  server.start();
+  server.stop();
+  server.start();  // the restart under test
+
+  struct EncodeState {
+    std::vector<std::vector<uint8_t>> data = make_data();
+    std::vector<const uint8_t*> data_ptrs;
+    std::vector<std::vector<uint8_t>> out{kM, std::vector<uint8_t>(kFragLen)};
+    std::vector<uint8_t*> out_ptrs;
+  };
+  auto st = std::make_shared<EncodeState>();
+  for (uint32_t i = 0; i < kK; ++i) st->data_ptrs.push_back(st->data[i].data());
+  for (uint32_t i = 0; i < kM; ++i) st->out_ptrs.push_back(st->out[i].data());
+
+  auto done = std::make_shared<std::promise<bool>>();
+  std::future<bool> fut = done->get_future();
+  const uint16_t port = server.tcp_port();
+  // Detached + shared state: if the encode wedges (the pre-fix behavior),
+  // the thread must not dangle into destroyed stack frames while we report
+  // the failure; server.stop() below closes the connection, the client
+  // throws, and the thread finishes against its shared copy.
+  std::thread([st, done, port] {
+    try {
+      Client client("127.0.0.1", port);
+      client.encode(kSpec, st->data_ptrs.data(), kK, st->out_ptrs.data(), kM, kFragLen);
+      done->set_value(true);
+    } catch (...) {
+      done->set_value(false);
+    }
+  }).detach();
+
+  if (fut.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+    ADD_FAILURE() << "encode against a restarted server never completed "
+                     "(completion thread dead?)";
+    server.stop();  // closes the connection; the client throws and the thread ends
+    (void)fut.wait_for(std::chrono::seconds(10));
+    return;
+  }
+  EXPECT_TRUE(fut.get()) << "encode against a restarted server failed";
+
+  // The restarted server computed real parity, not garbage.
+  const auto codec = make_codec(kSpec);
+  std::vector<std::vector<uint8_t>> local(kM, std::vector<uint8_t>(kFragLen));
+  std::vector<uint8_t*> local_ptrs(kM);
+  for (uint32_t i = 0; i < kM; ++i) local_ptrs[i] = local[i].data();
+  codec->encode(st->data_ptrs.data(), local_ptrs.data(), kFragLen);
+  for (uint32_t i = 0; i < kM; ++i) EXPECT_EQ(st->out[i], local[i]) << "parity " << i;
+  server.stop();
 }
 
 TEST(NetServer, PingAndRemoteEncodeMatchLocal) {

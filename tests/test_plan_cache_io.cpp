@@ -138,6 +138,40 @@ TEST(PlanCacheIo, FailedWarmupDoesNotPoisonTheService) {
   std::remove(good.c_str());
 }
 
+// Regression: acquire("...@warmup=PATH") claims the path in warmed_paths_
+// BEFORE running the replay, so a corrupt profile used to poison the path
+// forever — acquire threw once, and every later acquire skipped the replay
+// even after the file was fixed. The failed claim must be released.
+TEST(PlanCacheIo, FailedInlineWarmupIsRetriedOnceTheProfileIsFixed) {
+  const std::string path = write_profile(
+      "poison", std::string(kHeader) + "codec rs(6,3) fp bad\n");
+  CodecService service(isolated());
+  const std::string spec = "rs(6,3)@warmup=" + path;
+
+  // First acquire: the corrupt profile throws out of the inline replay.
+  EXPECT_THROW((void)service.acquire(spec), std::runtime_error);
+
+  // Fix the file in place. Before the fix, the path stayed claimed and this
+  // replay never ran — the warm window showed zero replayed traffic.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << kHeader << "codec rs(6,3) fp 1 2 3\npattern 0 | 1 2 3 4 5 6\n";
+  }
+  ServiceHandle h = service.acquire(spec);
+
+  // The replay really happened: its pattern now serves warm.
+  (void)h.plan_reconstruct({1, 2, 3, 4, 5, 6}, {0});
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.warm_hits, 0u);
+  EXPECT_EQ(stats.warm_misses, 0u);
+
+  // And the path is claimed now — a third acquire must not replay again
+  // (the warm window keeps accumulating instead of resetting).
+  (void)service.acquire(spec);
+  EXPECT_GE(service.stats().warm_hits, stats.warm_hits);
+  std::remove(path.c_str());
+}
+
 // Records that parse but no longer apply — unknown families, stale options,
 // geometry-breaking pattern ids — are skipped, not fatal, and must not
 // abort the rest of the replay.
